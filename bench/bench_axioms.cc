@@ -1,0 +1,112 @@
+// Table 2 / Example 8 / Theorem 7: the axiom system A_GED in action —
+// proof generation and proof checking cost, and proof length against the
+// underlying chase length (the completeness construction replays every
+// chase step as a GED6 embedding plus deduction chains).
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "axiom/checker.h"
+#include "axiom/generator.h"
+#include "ged/parser.h"
+#include "reason/implication.h"
+
+namespace {
+
+using namespace ged;
+
+struct Instance {
+  std::vector<Ged> sigma;
+  Ged phi;
+};
+
+// Key-chain instance of growing size (same family as bench_fig4).
+Instance KeyChain(size_t n) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  Pattern q;
+  for (size_t i = 0; i < n; ++i) q.AddVar("x" + std::to_string(i), "n");
+  std::vector<Literal> x;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    x.push_back(Literal::Var(static_cast<VarId>(i), Sym("a"),
+                             static_cast<VarId>(i + 1), Sym("a")));
+  }
+  Ged phi("chain", q, std::move(x),
+          {Literal::Id(0, static_cast<VarId>(n - 1))});
+  return {sigma.Take(), std::move(phi)};
+}
+
+void BM_Axioms_GenerateProof(benchmark::State& state) {
+  Instance inst = KeyChain(static_cast<size_t>(state.range(0)));
+  size_t proof_steps = 0;
+  uint64_t chase_steps = 0;
+  for (auto _ : state) {
+    auto proof = GenerateImplicationProof(inst.sigma, inst.phi);
+    proof_steps = proof.value().size();
+    benchmark::DoNotOptimize(proof.ok());
+  }
+  ImplicationResult imp = CheckImplication(inst.sigma, inst.phi);
+  chase_steps = imp.chase.num_steps;
+  state.counters["chain"] = static_cast<double>(state.range(0));
+  state.counters["proof_steps"] = static_cast<double>(proof_steps);
+  state.counters["chase_steps"] = static_cast<double>(chase_steps);
+}
+
+void BM_Axioms_CheckProof(benchmark::State& state) {
+  Instance inst = KeyChain(static_cast<size_t>(state.range(0)));
+  auto proof = GenerateImplicationProof(inst.sigma, inst.phi);
+  for (auto _ : state) {
+    Status st = CheckProof(inst.sigma, proof.value());
+    benchmark::DoNotOptimize(st.ok());
+  }
+  state.counters["proof_steps"] = static_cast<double>(proof.value().size());
+}
+
+void BM_Axioms_DerivedAugmentation(benchmark::State& state) {
+  // Example 8(b): the augmentation rule as a generated proof.
+  auto base = ParseGed(R"(
+    ged base {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.b = y.b
+    })");
+  auto augmented = ParseGed(R"(
+    ged augmented {
+      match (x:n), (y:n)
+      where x.a = y.a, x.c = y.c
+      then  x.b = y.b, x.c = y.c
+    })");
+  std::vector<Ged> sigma = {base.Take()};
+  Ged phi = augmented.Take();
+  for (auto _ : state) {
+    auto proof = GenerateImplicationProof(sigma, phi);
+    benchmark::DoNotOptimize(proof.ok());
+  }
+}
+
+void BM_Axioms_InconsistencyProof(benchmark::State& state) {
+  // GED5 path: contradictory X closes the proof immediately.
+  auto phi = ParseGed(R"(
+    ged contradiction {
+      match (x:n)
+      where x.a = 1, x.a = 2
+      then  x.b = 3
+    })");
+  Ged target = phi.Take();
+  for (auto _ : state) {
+    auto proof = GenerateImplicationProof({}, target);
+    benchmark::DoNotOptimize(proof.ok());
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_Axioms_GenerateProof)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Axioms_CheckProof)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_Axioms_DerivedAugmentation);
+BENCHMARK(BM_Axioms_InconsistencyProof);

@@ -1,0 +1,52 @@
+// Consistency checking on a synthetic knowledge base (paper Example 1(1)):
+// the four Yago3/DBPedia inconsistency shapes — wrong creator, two capitals,
+// broken inheritance, child-and-parent cycles — detected by φ1–φ4 of
+// Example 3, serially and with the parallel validator.
+//
+//   ./build/examples/consistency_checking [num_products]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "gen/scenarios.h"
+#include "reason/validation.h"
+
+using namespace ged;
+
+int main(int argc, char** argv) {
+  KbParams params;
+  if (argc > 1) params.num_products = std::strtoul(argv[1], nullptr, 10);
+  params.wrong_creator = 3;
+  params.double_capital = 2;
+  params.flightless = 2;
+  params.child_parent = 2;
+  KbInstance kb = GenKnowledgeBase(params);
+  std::cout << "knowledge base: " << kb.graph.NumNodes() << " nodes, "
+            << kb.graph.NumEdges() << " edges\n";
+
+  std::vector<Ged> sigma = Example1Geds();
+  for (const Ged& phi : sigma) std::cout << "  " << phi.ToString() << "\n";
+
+  ValidationOptions opts;
+  opts.num_threads = 2;
+  ValidationReport report = Validate(kb.graph, sigma, opts);
+  std::cout << "\nG |= Sigma: " << std::boolalpha << report.satisfied << " ("
+            << report.violations.size() << " violations, "
+            << report.matches_checked << " matches checked)\n";
+
+  const char* kind[] = {"wrong-creator", "double-capital", "no-inheritance",
+                        "child-and-parent"};
+  size_t by_rule[4] = {0, 0, 0, 0};
+  for (const Violation& v : report.violations) ++by_rule[v.ged_index];
+  size_t expected[4] = {kb.expected_wrong_creator, kb.expected_double_capital,
+                        kb.expected_flightless, kb.expected_child_parent};
+  bool all_match = true;
+  for (int i = 0; i < 4; ++i) {
+    std::cout << "  " << kind[i] << ": found " << by_rule[i] << ", seeded "
+              << expected[i] << "\n";
+    all_match &= by_rule[i] == expected[i];
+  }
+  std::cout << (all_match ? "all seeded inconsistencies caught\n"
+                          : "MISMATCH against ground truth\n");
+  return all_match ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Entity resolution / knowledge-base expansion (paper Example 1(3)):
+// the recursive keys ψ1–ψ3 over albums and artists. Validation finds the
+// duplicates; the chase *resolves* them — merging nodes, attributes and
+// edges — including the recursive case where identifying two artists (ψ3)
+// unlocks identifying their albums (ψ1).
+//
+//   ./build/examples/entity_resolution [num_artists]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "chase/chase.h"
+#include "gen/scenarios.h"
+#include "match/matcher.h"
+#include "reason/validation.h"
+
+using namespace ged;
+
+int main(int argc, char** argv) {
+  MusicParams params;
+  if (argc > 1) params.num_artists = std::strtoul(argv[1], nullptr, 10);
+  params.dup_albums = 4;
+  params.dup_artists = 3;
+  MusicInstance music = GenMusicBase(params);
+  std::cout << "music base: " << music.graph.NumNodes() << " nodes ("
+            << music.dup_album_nodes << " duplicate albums, "
+            << music.dup_artist_nodes << " duplicate artists, "
+            << music.true_entities << " true entities)\n";
+
+  std::vector<Ged> keys = MusicKeys();
+  for (const Ged& key : keys) std::cout << "  " << key.ToString() << "\n";
+
+  // 1. Detection: the keys are violated by the duplicates.
+  ValidationReport report = Validate(music.graph, keys);
+  std::cout << "\nbefore resolution: G |= keys = " << std::boolalpha
+            << report.satisfied << "\n";
+
+  // 2. The homomorphism-vs-isomorphism point of §3: under subgraph
+  // isomorphism, ψ1/ψ3 are vacuous (x' and y' cannot share a node).
+  ValidationOptions iso;
+  iso.semantics = MatchSemantics::kIsomorphism;
+  ValidationReport iso_report = Validate(music.graph, {keys[0]}, iso);
+  ValidationReport hom_report = Validate(music.graph, {keys[0]});
+  std::cout << "psi1 violations under homomorphism: "
+            << hom_report.violations.size() << ", under isomorphism: "
+            << iso_report.violations.size() << "\n";
+
+  // 3. Resolution: chase with the keys; Church–Rosser guarantees a unique
+  // result regardless of which key fires first.
+  ChaseResult res = Chase(music.graph, keys);
+  if (!res.consistent) {
+    std::cout << "chase conflict (dirty duplicates): " << res.conflict_reason
+              << "\n";
+    return 1;
+  }
+  std::cout << "\nafter resolution: " << res.coercion.graph.NumNodes()
+            << " entities (expected " << music.true_entities << "), "
+            << res.num_steps << " chase steps\n";
+  ValidationReport after = Validate(res.coercion.graph, keys);
+  std::cout << "resolved graph satisfies the keys: " << after.satisfied
+            << "\n";
+  bool ok = res.coercion.graph.NumNodes() == music.true_entities &&
+            after.satisfied;
+  std::cout << (ok ? "resolution matches ground truth\n"
+                   : "MISMATCH against ground truth\n");
+  return ok ? 0 : 1;
+}

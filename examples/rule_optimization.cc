@@ -1,0 +1,75 @@
+// Rule optimization (paper §5.2): use implication to strip redundant
+// data-quality rules, generate a symbolic A_GED proof for one of the
+// redundancies (§6), and check the rule set is satisfiable before deploying
+// it (§5.1).
+//
+//   ./build/examples/rule_optimization
+
+#include <iostream>
+
+#include "axiom/checker.h"
+#include "axiom/generator.h"
+#include "ged/parser.h"
+#include "reason/implication.h"
+#include "reason/satisfiability.h"
+
+using namespace ged;
+
+int main() {
+  auto rules = ParseGeds(R"(
+    ged album_key {
+      match (x:album), (y:album)
+      where x.title = y.title, x.release = y.release
+      then  x.id = y.id
+    }
+    ged album_key_with_label {
+      match (x:album), (y:album)
+      where x.title = y.title, x.release = y.release, x.label = y.label
+      then  x.id = y.id
+    }
+    ged release_year_exists {
+      match (x:album)
+      then  x.release = x.release
+    }
+    ged same_album_same_release {
+      match (x:album), (y:album)
+      where x.title = y.title, x.release = y.release
+      then  x.release = y.release
+    })");
+  if (!rules.ok()) {
+    std::cerr << rules.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "rule set (" << rules.value().size() << " rules):\n";
+  for (const Ged& r : rules.value()) std::cout << "  " << r.ToString() << "\n";
+
+  // 1. Sanity: the set has a model (Theorem 2).
+  std::cout << "\nsatisfiable: " << std::boolalpha
+            << IsSatisfiable(rules.value()) << "\n";
+
+  // 2. Minimize: drop rules implied by the rest (Theorem 4).
+  std::vector<size_t> kept = MinimizeCover(rules.value());
+  std::cout << "minimal cover keeps " << kept.size() << " of "
+            << rules.value().size() << " rules:\n";
+  for (size_t i : kept) {
+    std::cout << "  " << rules.value()[i].name() << "\n";
+  }
+
+  // 3. A symbolic proof of one redundancy (Theorem 7's completeness
+  // construction), validated by the A_GED checker.
+  std::vector<Ged> cover;
+  for (size_t i : kept) cover.push_back(rules.value()[i]);
+  const Ged& redundant = rules.value()[1];  // album_key_with_label
+  auto proof = GenerateImplicationProof(cover, redundant);
+  if (!proof.ok()) {
+    std::cerr << "proof generation failed: " << proof.status().ToString()
+              << "\n";
+    return 1;
+  }
+  Status check = VerifyProofOf(cover, redundant, proof.value());
+  std::cout << "\nA_GED proof of '" << redundant.name() << "' ("
+            << proof.value().size() << " steps) checks: " << check.ok()
+            << "\n\n"
+            << proof.value().ToString();
+  return check.ok() ? 0 : 1;
+}

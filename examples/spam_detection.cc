@@ -1,0 +1,78 @@
+// Spam detection on a synthetic social network (paper Example 1(2)):
+// φ5 over the Q5 pattern — if a confirmed-fake account x' and an account x
+// like the same k blogs and both post blogs with a peculiar keyword, x is
+// fake too. Shows one round of detection plus the chase as a *propagation*
+// engine (newly caught accounts flag further accounts).
+//
+//   ./build/examples/spam_detection [k]
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "chase/chase.h"
+#include "gen/scenarios.h"
+#include "reason/validation.h"
+
+using namespace ged;
+
+int main(int argc, char** argv) {
+  SocialParams params;
+  if (argc > 1) params.k = std::strtoul(argv[1], nullptr, 10);
+  params.spam_pairs = 4;
+  params.decoy_pairs = 4;
+  SocialInstance net = GenSocialNetwork(params);
+  std::cout << "social graph: " << net.graph.NumNodes() << " nodes, "
+            << net.graph.NumEdges() << " edges; " << params.spam_pairs
+            << " seeded spam pairs, " << params.decoy_pairs << " decoys\n";
+
+  Ged phi5 = SpamGed(params.k, Value("peculiar"));
+  std::cout << "rule: " << phi5.ToString() << "\n\n";
+
+  // Detection = validation: violating matches name the spam accounts.
+  ValidationReport report = Validate(net.graph, {phi5});
+  std::set<NodeId> caught;
+  for (const Violation& v : report.violations) caught.insert(v.match[0]);
+  std::cout << "validation caught " << caught.size() << " accounts:";
+  for (NodeId x : caught) {
+    std::cout << " " << net.graph.attr(x, Sym("name"))->ToString();
+  }
+  std::cout << "\nexpected:";
+  for (NodeId x : net.expected_spam) {
+    std::cout << " " << net.graph.attr(x, Sym("name"))->ToString();
+  }
+  std::cout << "\n";
+
+  // Enforcement = chase. On the stored graph the seeded accounts carry
+  // is_fake = 0, so enforcing φ5 conflicts — dirty data invalidates the
+  // chasing sequence (§4.1). On the schemaless variant (is_fake unknown)
+  // the chase *generates* the attribute and flags the accounts.
+  ChaseResult dirty = Chase(net.graph, {phi5});
+  std::cout << "\nchase on the stored graph: "
+            << (dirty.consistent ? "valid" : "invalid (" +
+                                                 dirty.conflict_reason + ")")
+            << "\n";
+  SocialParams unknown = params;
+  unknown.unknown_flags = true;
+  SocialInstance net2 = GenSocialNetwork(unknown);
+  ChaseResult res = Chase(net2.graph, {phi5});
+  if (!res.consistent) {
+    std::cout << "unexpected conflict: " << res.conflict_reason << "\n";
+    return 1;
+  }
+  size_t flagged = 0;
+  for (NodeId x : net2.expected_spam) {
+    TermId t = res.eq.FindTerm(x, Sym("is_fake"));
+    if (t == kNoTerm) continue;
+    auto v = res.eq.TermConst(t);
+    if (v.has_value() && *v == Value(int64_t{1})) ++flagged;
+  }
+  std::cout << "chase on the schemaless variant flagged " << flagged << "/"
+            << net2.expected_spam.size() << " accounts\n";
+
+  bool ok = caught == std::set<NodeId>(net.expected_spam.begin(),
+                                       net.expected_spam.end());
+  std::cout << (ok ? "detection matches ground truth\n"
+                   : "MISMATCH against ground truth\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,269 @@
+#include "axiom/checker.h"
+
+#include <algorithm>
+
+#include "match/matcher.h"
+
+namespace ged {
+
+namespace {
+
+// Sorted canonical key for set comparison of literal lists.
+std::vector<std::string> LiteralKeys(const std::vector<Literal>& ls) {
+  std::vector<std::string> keys;
+  keys.reserve(ls.size());
+  for (const Literal& l : ls) keys.push_back(l.ToString());
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
+Status Err(size_t step, const std::string& msg) {
+  return Status::InvalidArgument("proof step " + std::to_string(step) + ": " +
+                                 msg);
+}
+
+// A conclusion literal `e` is a valid substitution image of `l1` (a literal
+// of the embedded GED) under match h and equivalence eq: attributes and
+// constants agree and each variable of `e` lies in the node class of the
+// matched variable. Any class member may represent the class (§6: h(Y1) is
+// over coercion nodes, which are classes of Q's variables).
+bool IsSubstImage(const EqRel& eq, const Match& h, const Literal& l1,
+                  const Literal& e) {
+  if (e.kind != l1.kind) return false;
+  switch (l1.kind) {
+    case LiteralKind::kConst:
+      return e.a == l1.a && e.c == l1.c && eq.SameNode(e.x, h[l1.x]);
+    case LiteralKind::kVar:
+      return e.a == l1.a && e.b == l1.b && eq.SameNode(e.x, h[l1.x]) &&
+             eq.SameNode(e.y, h[l1.y]);
+    case LiteralKind::kId:
+      return eq.SameNode(e.x, h[l1.x]) && eq.SameNode(e.y, h[l1.y]);
+  }
+  return false;
+}
+
+Status CheckStep(const std::vector<Ged>& sigma, const Proof& proof,
+                 size_t index) {
+  const ProofStep& step = proof.steps()[index];
+  const Ged& c = step.conclusion;
+  GEDLIB_RETURN_IF_ERROR(c.Validate());
+
+  auto premise = [&](size_t idx, const char* slot) -> Result<const Ged*> {
+    if (idx == kNoStep || idx >= index) {
+      return Err(index, std::string(slot) + " premise index invalid");
+    }
+    return &proof.steps()[idx].conclusion;
+  };
+
+  switch (step.rule) {
+    case RuleId::kInSigma: {
+      if (step.sigma_index == kNoStep || step.sigma_index >= sigma.size()) {
+        return Err(index, "sigma_index out of range");
+      }
+      if (!JudgmentEquals(c, Desugar(sigma[step.sigma_index]))) {
+        return Err(index, "conclusion is not the cited (desugared) GED");
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed1: {
+      if (c.is_forbidding()) return Err(index, "GED1 cannot conclude false");
+      std::vector<Literal> want =
+          UnionLiterals(c.X(), XidLiterals(c.pattern().NumVars()));
+      if (LiteralKeys(c.Y()) != LiteralKeys(want)) {
+        return Err(index, "GED1 conclusion must be Q(X -> X ∧ Xid)");
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed2: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      const Ged& p = *prev.value();
+      if (p.is_forbidding()) return Err(index, "GED2 premise cannot be false");
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED2 must preserve pattern and X");
+      }
+      const Literal& idlit = step.lit1;
+      if (idlit.kind != LiteralKind::kId || !ContainsLiteral(p.Y(), idlit)) {
+        return Err(index, "GED2 needs an id literal from Y");
+      }
+      const Literal& out = step.lit2;
+      if (out.kind != LiteralKind::kVar || out.a != out.b ||
+          out.x != idlit.x || out.y != idlit.y) {
+        return Err(index, "GED2 conclusion literal must be u.A = v.A");
+      }
+      if (!AttrOccurs(p.Y(), idlit.x, out.a)) {
+        return Err(index, "GED2: attribute u.A does not appear in Y");
+      }
+      if (c.is_forbidding() || c.Y().size() != 1 || !(c.Y()[0] == out)) {
+        return Err(index, "GED2 conclusion must be exactly { u.A = v.A }");
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed3: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      const Ged& p = *prev.value();
+      if (p.is_forbidding()) return Err(index, "GED3 premise cannot be false");
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED3 must preserve pattern and X");
+      }
+      if (!ContainsLiteral(p.Y(), step.lit1)) {
+        return Err(index, "GED3: literal not in Y");
+      }
+      Literal flipped = FlipLiteral(step.lit1);
+      if (c.is_forbidding() || c.Y().size() != 1 || !(c.Y()[0] == flipped)) {
+        return Err(index, "GED3 conclusion must be { flipped literal }");
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed4: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      const Ged& p = *prev.value();
+      if (p.is_forbidding()) return Err(index, "GED4 premise cannot be false");
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED4 must preserve pattern and X");
+      }
+      if (!ContainsLiteral(p.Y(), step.lit1) ||
+          !ContainsLiteral(p.Y(), step.lit2)) {
+        return Err(index, "GED4: literals not in Y");
+      }
+      auto composed = ComposeLiterals(step.lit1, step.lit2);
+      if (!composed.ok()) return Err(index, composed.status().message());
+      if (c.is_forbidding() || c.Y().size() != 1 ||
+          !(c.Y()[0] == composed.value())) {
+        return Err(index, "GED4 conclusion must be { composed literal }");
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed5: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      const Ged& p = *prev.value();
+      EqRel eq = JudgmentEq(p);
+      if (!eq.inconsistent()) {
+        return Err(index, "GED5 requires Eq_X ∪ Eq_Y to be inconsistent");
+      }
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED5 must preserve pattern and X");
+      }
+      return Status::OK();  // any Y1 (or false) follows
+    }
+
+    case RuleId::kGed6: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      auto other = premise(step.other, "other");
+      if (!other.ok()) return other.status();
+      const Ged& p = *prev.value();
+      const Ged& o = *other.value();
+      if (p.is_forbidding() || o.is_forbidding() || c.is_forbidding()) {
+        return Err(index, "GED6 operates on desugared (non-false) judgments");
+      }
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED6 must preserve pattern and X");
+      }
+      EqRel eq = JudgmentEq(p);
+      if (eq.inconsistent()) {
+        return Err(index, "GED6 requires Eq_X ∪ Eq_Y to be consistent");
+      }
+      Coercion co = BuildCoercion(eq);
+      // The stored match maps o's variables to nodes of G_Q (= p's vars).
+      if (step.h.size() != o.pattern().NumVars()) {
+        return Err(index, "GED6 match arity mismatch");
+      }
+      Match hq(step.h.size());
+      for (size_t i = 0; i < step.h.size(); ++i) {
+        if (step.h[i] >= co.node_map.size()) {
+          return Err(index, "GED6 match node out of range");
+        }
+        hq[i] = co.node_map[step.h[i]];
+      }
+      if (!IsValidMatch(o.pattern(), co.graph, hq)) {
+        return Err(index, "GED6: h is not a match of Q1 in (G_Q)_Eq");
+      }
+      if (!EqSatisfiesAll(eq, co, hq, o.X())) {
+        return Err(index, "GED6: h does not satisfy X1");
+      }
+      // Conclusion must extend Y with substitution images of o's Y.
+      const auto& py = p.Y();
+      const auto& cy = c.Y();
+      if (cy.size() < py.size()) {
+        return Err(index, "GED6 conclusion must extend Y");
+      }
+      for (size_t i = 0; i < py.size(); ++i) {
+        if (!(cy[i] == py[i])) {
+          return Err(index, "GED6 conclusion must preserve Y as a prefix");
+        }
+      }
+      for (size_t i = py.size(); i < cy.size(); ++i) {
+        bool ok = false;
+        for (const Literal& l1 : o.Y()) {
+          if (IsSubstImage(eq, step.h, l1, cy[i])) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) {
+          return Err(index,
+                     "GED6: added literal is not a substitution image of Y1");
+        }
+      }
+      return Status::OK();
+    }
+
+    case RuleId::kGed7: {
+      auto prev = premise(step.prev, "prev");
+      if (!prev.ok()) return prev.status();
+      const Ged& p = *prev.value();
+      if (p.is_forbidding()) return Err(index, "GED7 premise cannot be false");
+      if (c.pattern() != p.pattern() || LiteralKeys(c.X()) != LiteralKeys(p.X())) {
+        return Err(index, "GED7 must preserve pattern and X");
+      }
+      if (!c.Y().empty() || c.is_forbidding()) {
+        return Err(index,
+                   "derived GED7 is accepted only for empty-Y conclusions");
+      }
+      return Status::OK();
+    }
+  }
+  return Err(index, "unknown rule");
+}
+
+}  // namespace
+
+bool JudgmentEquals(const Ged& a, const Ged& b) {
+  if (!(a.pattern() == b.pattern())) return false;
+  if (a.is_forbidding() != b.is_forbidding()) return false;
+  return LiteralKeys(a.X()) == LiteralKeys(b.X()) &&
+         LiteralKeys(a.Y()) == LiteralKeys(b.Y());
+}
+
+Status CheckProof(const std::vector<Ged>& sigma, const Proof& proof) {
+  if (proof.size() == 0) {
+    return Status::InvalidArgument("empty proof");
+  }
+  for (size_t i = 0; i < proof.size(); ++i) {
+    GEDLIB_RETURN_IF_ERROR(CheckStep(sigma, proof, i));
+  }
+  return Status::OK();
+}
+
+Status VerifyProofOf(const std::vector<Ged>& sigma, const Ged& phi,
+                     const Proof& proof) {
+  GEDLIB_RETURN_IF_ERROR(CheckProof(sigma, proof));
+  const Ged& last = proof.back().conclusion;
+  if (JudgmentEquals(last, phi) || JudgmentEquals(last, Desugar(phi))) {
+    return Status::OK();
+  }
+  return Status::InvalidArgument(
+      "proof does not conclude the target judgment; got: " + last.ToString());
+}
+
+}  // namespace ged

@@ -1,0 +1,34 @@
+// Proof checking for A_GED (paper §6).
+//
+// CheckProof validates every derivation step against the side conditions of
+// Table 2 — including GED6's embedding condition, which requires finding the
+// claimed match inside the coercion (G_Q)_{Eq_X ∪ Eq_Y} and checking that it
+// satisfies the embedded GED's premise. A proof accepted by the checker only
+// derives judgments implied by Σ (soundness direction of Theorem 7); the
+// generator (generator.h) provides the completeness direction.
+
+#ifndef GEDLIB_AXIOM_CHECKER_H_
+#define GEDLIB_AXIOM_CHECKER_H_
+
+#include <vector>
+
+#include "axiom/proof.h"
+
+namespace ged {
+
+/// Semantic judgment equality: same pattern, same X and Y as literal *sets*
+/// (order- and duplicate-insensitive), same forbidding flag.
+bool JudgmentEquals(const Ged& a, const Ged& b);
+
+/// Validates every step of `proof` against Σ. OK iff all side conditions
+/// hold.
+Status CheckProof(const std::vector<Ged>& sigma, const Proof& proof);
+
+/// CheckProof + the last conclusion is `phi` (up to Desugar and literal-set
+/// equality).
+Status VerifyProofOf(const std::vector<Ged>& sigma, const Ged& phi,
+                     const Proof& proof);
+
+}  // namespace ged
+
+#endif  // GEDLIB_AXIOM_CHECKER_H_

@@ -1,0 +1,135 @@
+#include "axiom/proof.h"
+
+#include <sstream>
+
+namespace ged {
+
+namespace {
+const char* RuleName(RuleId r) {
+  switch (r) {
+    case RuleId::kInSigma: return "InSigma";
+    case RuleId::kGed1: return "GED1";
+    case RuleId::kGed2: return "GED2";
+    case RuleId::kGed3: return "GED3";
+    case RuleId::kGed4: return "GED4";
+    case RuleId::kGed5: return "GED5";
+    case RuleId::kGed6: return "GED6";
+    case RuleId::kGed7: return "GED7*";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string ProofStep::ToString(size_t index) const {
+  std::ostringstream os;
+  os << "(" << index << ") " << conclusion.ToString() << "   [" << RuleName(rule);
+  if (prev != kNoStep) os << " prev=" << prev;
+  if (other != kNoStep) os << " other=" << other;
+  if (sigma_index != kNoStep) os << " sigma=" << sigma_index;
+  os << "]";
+  return os.str();
+}
+
+std::string Proof::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    os << steps_[i].ToString(i) << "\n";
+  }
+  return os.str();
+}
+
+Ged Desugar(const Ged& phi) {
+  if (!phi.is_forbidding()) return phi;
+  AttrId false_attr = Sym("!false");
+  std::vector<Literal> y = {Literal::Const(0, false_attr, Value(int64_t{0})),
+                            Literal::Const(0, false_attr, Value(int64_t{1}))};
+  return Ged(phi.name(), phi.pattern(), phi.X(), std::move(y),
+             /*y_is_false=*/false);
+}
+
+std::vector<Literal> XidLiterals(size_t num_vars) {
+  std::vector<Literal> out;
+  out.reserve(num_vars);
+  for (VarId x = 0; x < num_vars; ++x) out.push_back(Literal::Id(x, x));
+  return out;
+}
+
+bool ContainsLiteral(const std::vector<Literal>& set, const Literal& l) {
+  for (const Literal& m : set) {
+    if (m == l) return true;
+  }
+  return false;
+}
+
+std::vector<Literal> UnionLiterals(const std::vector<Literal>& a,
+                                   const std::vector<Literal>& b) {
+  std::vector<Literal> out = a;
+  for (const Literal& l : b) {
+    if (!ContainsLiteral(out, l)) out.push_back(l);
+  }
+  return out;
+}
+
+Literal FlipLiteral(const Literal& l) {
+  switch (l.kind) {
+    case LiteralKind::kConst:
+      return l;  // c = x.A is kept implicit (paper allows it mid-proof)
+    case LiteralKind::kVar:
+      return Literal::Var(l.y, l.b, l.x, l.a);
+    case LiteralKind::kId:
+      return Literal::Id(l.y, l.x);
+  }
+  return l;
+}
+
+Result<Literal> ComposeLiterals(const Literal& l1, const Literal& l2) {
+  // (u1 = v) and (v = u2) => (u1 = u2).
+  if (l1.kind == LiteralKind::kVar && l2.kind == LiteralKind::kVar) {
+    if (l1.y == l2.x && l1.b == l2.a) {
+      return Literal::Var(l1.x, l1.a, l2.y, l2.b);
+    }
+    return Status::InvalidArgument("GED4: middle terms do not match");
+  }
+  if (l1.kind == LiteralKind::kVar && l2.kind == LiteralKind::kConst) {
+    if (l1.y == l2.x && l1.b == l2.a) {
+      return Literal::Const(l1.x, l1.a, l2.c);
+    }
+    return Status::InvalidArgument("GED4: middle terms do not match");
+  }
+  if (l1.kind == LiteralKind::kConst && l2.kind == LiteralKind::kConst) {
+    // (u1.a = c) and (c = u2.b), the latter written as u2.b = c.
+    if (l1.c == l2.c) {
+      return Literal::Var(l1.x, l1.a, l2.x, l2.a);
+    }
+    return Status::InvalidArgument("GED4: constants do not match");
+  }
+  if (l1.kind == LiteralKind::kId && l2.kind == LiteralKind::kId) {
+    if (l1.y == l2.x) return Literal::Id(l1.x, l2.y);
+    return Status::InvalidArgument("GED4: middle node does not match");
+  }
+  return Status::InvalidArgument("GED4: unsupported literal combination");
+}
+
+EqRel JudgmentEq(const Ged& judgment) {
+  Ged d = Desugar(judgment);
+  Graph gq = d.pattern().ToGraph();
+  return BuildEqX(gq, UnionLiterals(d.X(), d.Y()));
+}
+
+bool AttrOccurs(const std::vector<Literal>& set, VarId x, AttrId a) {
+  for (const Literal& l : set) {
+    switch (l.kind) {
+      case LiteralKind::kConst:
+        if (l.x == x && l.a == a) return true;
+        break;
+      case LiteralKind::kVar:
+        if ((l.x == x && l.a == a) || (l.y == x && l.b == a)) return true;
+        break;
+      case LiteralKind::kId:
+        break;
+    }
+  }
+  return false;
+}
+
+}  // namespace ged

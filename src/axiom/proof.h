@@ -1,0 +1,129 @@
+// The axiom system A_GED (paper §6, Table 2) as checkable proof objects.
+//
+// A proof of Σ ⊢ φ is a sequence of judgments, each either a member of Σ or
+// derived from earlier judgments by one of the six rules:
+//
+//   GED1  Σ ⊢ Q[x̄](X → X ∧ Xid)                       (reflexivity + ids)
+//   GED2  id literal in Y  ⟹  u.A = v.A for attributes appearing in Y
+//   GED3  symmetry of a literal in Y
+//   GED4  transitivity of two literals in Y
+//   GED5  Eq_X ∪ Eq_Y inconsistent ⟹ anything follows
+//   GED6  embed another derived GED via a match into (G_Q)_{Eq_X ∪ Eq_Y}
+//
+// GED7 (extract a subset of Y) is the *derived* rule the paper proves in
+// Example 8(a); the checker accepts it only for the degenerate empty-Y
+// target, everything else is expressed with the six base rules.
+//
+// Convention: inside proofs, the Boolean constant `false` is expanded to its
+// syntactic sugar — two constant literals binding the reserved attribute
+// `!false` of variable 0 to distinct constants (paper §3, "Forbidding
+// GEDs"). Desugar() performs the expansion; the only judgments allowed to
+// carry a literal `false` are conclusions of GED5.
+
+#ifndef GEDLIB_AXIOM_PROOF_H_
+#define GEDLIB_AXIOM_PROOF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chase/chase.h"
+#include "ged/ged.h"
+
+namespace ged {
+
+/// Inference rules of A_GED (plus the InSigma axiom and derived GED7).
+enum class RuleId {
+  kInSigma,  ///< cite a GED of Σ (desugared)
+  kGed1,
+  kGed2,
+  kGed3,
+  kGed4,
+  kGed5,
+  kGed6,
+  kGed7,  ///< derived subset rule; accepted only for empty-Y conclusions
+};
+
+/// Sentinel for unused premise slots.
+inline constexpr size_t kNoStep = SIZE_MAX;
+
+/// One derivation step. Field use per rule:
+///  * kInSigma: sigma_index; conclusion = Desugar(Σ[sigma_index]).
+///  * kGed1: conclusion = Q(X → X ∧ Xid) for any pattern Q and X.
+///  * kGed2: prev; lit1 = id literal (u.id = v.id) ∈ Y_prev; lit2 = the
+///           concluded literal u.A = v.A (u.A must appear in Y_prev).
+///  * kGed3: prev; lit1 ∈ Y_prev; conclusion Y = { flip(lit1) }.
+///  * kGed4: prev; lit1, lit2 ∈ Y_prev sharing a middle term;
+///           conclusion Y = { compose(lit1, lit2) }.
+///  * kGed5: prev with Eq_{X∪Y} inconsistent; conclusion = Q(X → anything).
+///  * kGed6: prev = Q(X → Y) with Eq_{X∪Y} consistent; other = Q1(X1 → Y1);
+///           h maps Q1's variables to *nodes of G_Q* (equivalently Q's
+///           variables); its quotient must match Q1 in (G_Q)_{Eq_{X∪Y}} and
+///           satisfy X1; conclusion = Q(X → Y ∧ h(Y1)).
+///  * kGed7: prev; conclusion Y ⊆ Y_prev (empty-Y use only).
+struct ProofStep {
+  RuleId rule = RuleId::kGed1;
+  Ged conclusion;
+  size_t prev = kNoStep;
+  size_t other = kNoStep;
+  size_t sigma_index = kNoStep;
+  Literal lit1;
+  Literal lit2;
+  Match h;
+
+  /// One-line rendering for proof dumps.
+  std::string ToString(size_t index) const;
+};
+
+/// A proof: steps whose last conclusion is the proven judgment.
+class Proof {
+ public:
+  /// Appends a step; returns its index.
+  size_t Append(ProofStep step) {
+    steps_.push_back(std::move(step));
+    return steps_.size() - 1;
+  }
+  const std::vector<ProofStep>& steps() const { return steps_; }
+  size_t size() const { return steps_.size(); }
+  const ProofStep& back() const { return steps_.back(); }
+
+  /// Multi-line rendering of the whole derivation.
+  std::string ToString() const;
+
+ private:
+  std::vector<ProofStep> steps_;
+};
+
+// ----- shared literal/judgment helpers (used by checker and generator) ----
+
+/// Expands `false` into the sugar literals on variable 0 (no-op otherwise).
+Ged Desugar(const Ged& phi);
+
+/// The literal set Xid = { x.id = x.id : x ∈ x̄ }.
+std::vector<Literal> XidLiterals(size_t num_vars);
+
+/// True iff `l` occurs in `set` (exact equality).
+bool ContainsLiteral(const std::vector<Literal>& set, const Literal& l);
+
+/// Order-preserving union with exact-literal dedup.
+std::vector<Literal> UnionLiterals(const std::vector<Literal>& a,
+                                   const std::vector<Literal>& b);
+
+/// GED3's symmetry: swaps the sides of a var/id literal (identity on
+/// constant literals, whose flipped form c = x.A is kept implicit).
+Literal FlipLiteral(const Literal& l);
+
+/// GED4's transitivity table: composes (u1 = v) and (v = u2) into
+/// (u1 = u2). Supported middles: attribute term, constant, node.
+Result<Literal> ComposeLiterals(const Literal& l1, const Literal& l2);
+
+/// Eq_{X ∪ Y} of a judgment over its own canonical graph G_Q.
+EqRel JudgmentEq(const Ged& judgment);
+
+/// The occurrence test of GED2: attribute (x, a) textually appears in some
+/// literal of `set`.
+bool AttrOccurs(const std::vector<Literal>& set, VarId x, AttrId a);
+
+}  // namespace ged
+
+#endif  // GEDLIB_AXIOM_PROOF_H_

@@ -1,0 +1,41 @@
+#include "common/interner.h"
+
+#include <cassert>
+
+namespace ged {
+
+Interner::Interner() {
+  // Reserve symbol 0 for the pattern wildcard.
+  names_.emplace_back("_");
+  index_.emplace("_", kWildcard);
+}
+
+Symbol Interner::Intern(std::string_view s) {
+  auto it = index_.find(std::string(s));
+  if (it != index_.end()) return it->second;
+  Symbol sym = static_cast<Symbol>(names_.size());
+  names_.emplace_back(s);
+  index_.emplace(names_.back(), sym);
+  return sym;
+}
+
+Symbol Interner::Find(std::string_view s) const {
+  auto it = index_.find(std::string(s));
+  return it == index_.end() ? kNotInterned : it->second;
+}
+
+const std::string& Interner::Name(Symbol sym) const {
+  assert(sym < names_.size());
+  return names_[sym];
+}
+
+Interner& GlobalInterner() {
+  static Interner* interner = new Interner();
+  return *interner;
+}
+
+Symbol Sym(std::string_view s) { return GlobalInterner().Intern(s); }
+
+const std::string& SymName(Symbol sym) { return GlobalInterner().Name(sym); }
+
+}  // namespace ged

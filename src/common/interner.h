@@ -1,0 +1,63 @@
+// Symbol interning for the countably infinite label set Γ and attribute
+// set Υ of the paper (§2). Labels and attribute names are interned once and
+// handled as dense 32-bit symbols everywhere else in the library.
+
+#ifndef GEDLIB_COMMON_INTERNER_H_
+#define GEDLIB_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ged {
+
+/// A dense id for an interned string (label in Γ or attribute in Υ).
+using Symbol = uint32_t;
+
+/// The wildcard label '_' of graph patterns. Interners always assign it
+/// symbol 0, so `kWildcard` is a process-wide constant.
+inline constexpr Symbol kWildcard = 0;
+
+/// Bidirectional string <-> Symbol table.
+///
+/// Symbol 0 is pre-assigned to "_" (the pattern wildcard). The interner is
+/// append-only; symbols are stable for the lifetime of the interner.
+class Interner {
+ public:
+  Interner();
+
+  /// Returns the symbol for `s`, interning it on first use.
+  Symbol Intern(std::string_view s);
+  /// Returns the symbol for `s` or kNotInterned when never interned.
+  Symbol Find(std::string_view s) const;
+  /// Returns the string for `sym`; `sym` must have been produced by this
+  /// interner.
+  const std::string& Name(Symbol sym) const;
+  /// Number of interned symbols (including the wildcard).
+  size_t size() const { return names_.size(); }
+
+  /// Sentinel returned by Find for unknown strings.
+  static constexpr Symbol kNotInterned = UINT32_MAX;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> index_;
+};
+
+/// The process-wide interner used by all gedlib structures.
+///
+/// Graphs, patterns and dependencies compared against each other must share
+/// an interner; a single global one keeps examples and tests simple while
+/// remaining thread-compatible for read access after setup.
+Interner& GlobalInterner();
+
+/// Shorthand: intern `s` in the global interner.
+Symbol Sym(std::string_view s);
+/// Shorthand: name of `sym` in the global interner.
+const std::string& SymName(Symbol sym);
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_INTERNER_H_

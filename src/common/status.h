@@ -1,0 +1,138 @@
+// Status / Result<T>: exception-free error handling for gedlib.
+//
+// All fallible public APIs in gedlib return Status or Result<T>
+// (RocksDB/Arrow style). Exceptions are never thrown on library paths.
+
+#ifndef GEDLIB_COMMON_STATUS_H_
+#define GEDLIB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ged {
+
+/// Machine-readable error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Malformed input (parser errors, bad literals, ...).
+  kNotFound,          ///< A referenced node/attribute/rule does not exist.
+  kOutOfRange,        ///< An index or id outside its valid range.
+  kResourceExhausted, ///< A configured cap (steps, matches, ...) was hit.
+  kInternal,          ///< Invariant violation inside the library.
+  kUnknown,           ///< A decision procedure could not decide (see ext/).
+};
+
+/// Result status of a fallible operation: either OK or a code plus message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+  /// Returns an kInvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a kNotFound status with the given message.
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  /// Returns a kOutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a kResourceExhausted status with the given message.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// Returns a kInternal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Returns a kUnknown status with the given message.
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The error category.
+  StatusCode code() const { return code_; }
+  /// The human-readable error message ("" when OK).
+  const std::string& message() const { return msg_; }
+  /// "OK" or "<code>: <message>" for logs.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + msg_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode c) {
+    switch (c) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kInternal: return "Internal";
+      case StatusCode::kUnknown: return "Unknown";
+    }
+    return "?";
+  }
+
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// A value-or-error holder. Access to value() requires ok().
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  /// Constructs a failed result carrying `status` (must not be OK).
+  Result(Status status) : status_(std::move(status)) {      // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The error status (OK when a value is present).
+  const Status& status() const { return status_; }
+  /// The held value; must only be called when ok().
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  /// Mutable access to the held value; must only be called when ok().
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the held value out; must only be called when ok().
+  T Take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status out of the current function.
+#define GEDLIB_RETURN_IF_ERROR(expr)             \
+  do {                                           \
+    ::ged::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+// Union-find with path halving and union by size.
+//
+// The chase's equivalence relations Eq (paper §4.1) are built on top of this
+// structure: one instance for node classes and one for attribute classes.
+
+#ifndef GEDLIB_COMMON_UNION_FIND_H_
+#define GEDLIB_COMMON_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace ged {
+
+/// Disjoint-set forest over dense element ids [0, size).
+class UnionFind {
+ public:
+  /// Creates `n` singleton classes.
+  explicit UnionFind(size_t n = 0) { Reset(n); }
+
+  /// Resets to `n` singleton classes.
+  void Reset(size_t n) {
+    parent_.resize(n);
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    size_.assign(n, 1);
+    num_classes_ = n;
+  }
+
+  /// Adds a fresh singleton element and returns its id.
+  uint32_t Add() {
+    uint32_t id = static_cast<uint32_t>(parent_.size());
+    parent_.push_back(id);
+    size_.push_back(1);
+    ++num_classes_;
+    return id;
+  }
+
+  /// Representative of `x`'s class (with path halving).
+  uint32_t Find(uint32_t x) const {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the classes of `a` and `b`.
+  /// Returns the surviving root, or UINT32_MAX if already merged.
+  uint32_t Union(uint32_t a, uint32_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return UINT32_MAX;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+    --num_classes_;
+    return a;
+  }
+
+  /// True iff `a` and `b` are in the same class.
+  bool Same(uint32_t a, uint32_t b) const { return Find(a) == Find(b); }
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+  /// Number of distinct classes.
+  size_t num_classes() const { return num_classes_; }
+  /// Number of elements in `x`'s class.
+  uint32_t ClassSize(uint32_t x) const { return size_[Find(x)]; }
+
+ private:
+  mutable std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_classes_ = 0;
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_UNION_FIND_H_

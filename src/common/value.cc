@@ -1,0 +1,94 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace ged {
+
+namespace {
+// Kind rank for the cross-kind total order: bool < number < string.
+int KindRank(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kBool: return 0;
+    case Value::Kind::kInt:
+    case Value::Kind::kDouble: return 1;
+    case Value::Kind::kString: return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+int Value::Compare(const Value& o) const {
+  int ra = KindRank(kind());
+  int rb = KindRank(o.kind());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind()) {
+    case Kind::kBool: {
+      bool a = AsBool(), b = o.AsBool();
+      return a == b ? 0 : (a < b ? -1 : 1);
+    }
+    case Kind::kInt:
+      if (o.kind() == Kind::kInt) {
+        int64_t a = AsInt(), b = o.AsInt();
+        return a == b ? 0 : (a < b ? -1 : 1);
+      }
+      [[fallthrough]];
+    case Kind::kDouble: {
+      double a = AsDouble(), b = o.AsDouble();
+      if (a == b) return 0;
+      return a < b ? -1 : 1;
+    }
+    case Kind::kString:
+      return AsString().compare(o.AsString()) < 0
+                 ? -1
+                 : (AsString() == o.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (kind()) {
+    case Kind::kBool: return AsBool() ? "true" : "false";
+    case Kind::kInt: return std::to_string(AsInt());
+    case Kind::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      // Keep doubles visually distinct from ints in dumps.
+      if (os.str().find_first_of(".eE") == std::string::npos) os << ".0";
+      return os.str();
+    }
+    case Kind::kString: {
+      std::string out = "\"";
+      for (char c : AsString()) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out.push_back('"');
+      return out;
+    }
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  switch (kind()) {
+    case Kind::kBool: return AsBool() ? 0x9e3779b97f4a7c15ULL : 0x517cc1b7ULL;
+    case Kind::kInt:
+    case Kind::kDouble: {
+      // Numbers equal under == must hash equal: hash the double image when
+      // the integer is exactly representable, else the integer itself.
+      double d = AsDouble();
+      if (kind() == Kind::kInt &&
+          static_cast<int64_t>(d) != AsInt()) {
+        return std::hash<int64_t>()(AsInt());
+      }
+      if (d == 0.0) d = 0.0;  // collapse -0.0 and +0.0
+      return std::hash<double>()(d);
+    }
+    case Kind::kString:
+      return std::hash<std::string>()(AsString()) ^ 0xabcdef12ULL;
+  }
+  return 0;
+}
+
+}  // namespace ged

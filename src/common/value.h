@@ -1,0 +1,95 @@
+// Value: attribute values drawn from the countably infinite set U (paper §2).
+//
+// Nodes of a property graph carry tuples F_A(v) = (A1 = a1, ..., An = an)
+// whose values are constants in U. gedlib represents U as the tagged union
+// {bool, int64, double, string}. Equality is semantic (1 == 1.0); a total
+// order across kinds is provided for the GDC built-in predicates <, <=, ....
+
+#ifndef GEDLIB_COMMON_VALUE_H_
+#define GEDLIB_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace ged {
+
+/// A constant from the value universe U.
+///
+/// Semantics used throughout gedlib (documented in DESIGN.md):
+///  * equality: same kind and same payload, except that integer and double
+///    compare numerically (Value(1) == Value(1.0));
+///  * order (for GDC predicates): kinds are ranked bool < number < string;
+///    within numbers the numeric order applies, within strings the
+///    lexicographic order, and false < true. This yields a total order, so
+///    constraint propagation in ext/ is well defined.
+class Value {
+ public:
+  /// Discriminator for the underlying kind.
+  enum class Kind { kBool, kInt, kDouble, kString };
+
+  /// Constructs the integer 0 (default value; rarely meaningful by itself).
+  Value() : rep_(int64_t{0}) {}
+  /// Constructs a boolean constant.
+  explicit Value(bool b) : rep_(b) {}
+  /// Constructs an integer constant.
+  Value(int64_t i) : rep_(i) {}  // NOLINT: implicit by design for literals
+  /// Constructs an integer constant from int.
+  Value(int i) : rep_(static_cast<int64_t>(i)) {}  // NOLINT
+  /// Constructs a floating-point constant.
+  Value(double d) : rep_(d) {}  // NOLINT
+  /// Constructs a string constant.
+  Value(std::string s) : rep_(std::move(s)) {}  // NOLINT
+  /// Constructs a string constant from a C string.
+  Value(const char* s) : rep_(std::string(s)) {}  // NOLINT
+
+  /// The kind of this constant.
+  Kind kind() const { return static_cast<Kind>(rep_.index()); }
+  /// True iff this is an int or a double.
+  bool is_number() const {
+    return kind() == Kind::kInt || kind() == Kind::kDouble;
+  }
+
+  /// The boolean payload; only valid when kind() == kBool.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  /// The integer payload; only valid when kind() == kInt.
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// The numeric payload as double; only valid for numbers.
+  double AsDouble() const {
+    return kind() == Kind::kInt ? static_cast<double>(AsInt())
+                                : std::get<double>(rep_);
+  }
+  /// The string payload; only valid when kind() == kString.
+  const std::string& AsString() const { return std::get<std::string>(rep_); }
+
+  /// Semantic equality (1 == 1.0; kinds otherwise must agree).
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+  bool operator<=(const Value& o) const { return Compare(o) <= 0; }
+  bool operator>(const Value& o) const { return Compare(o) > 0; }
+  bool operator>=(const Value& o) const { return Compare(o) >= 0; }
+
+  /// Three-way comparison under the documented total order:
+  /// negative, zero or positive as *this <, ==, > `o`.
+  int Compare(const Value& o) const;
+
+  /// Renders the constant as it appears in the rule DSL (strings quoted).
+  std::string ToString() const;
+
+  /// A hash consistent with operator== (numeric 1 and 1.0 hash equal).
+  size_t Hash() const;
+
+ private:
+  std::variant<bool, int64_t, double, std::string> rep_;
+};
+
+/// std::hash adapter so Value can key unordered containers.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_VALUE_H_

@@ -1,0 +1,15 @@
+#include "ged/canonical.h"
+
+namespace ged {
+
+CanonicalGraph BuildCanonicalGraph(const std::vector<Ged>& sigma) {
+  CanonicalGraph out;
+  out.offsets.reserve(sigma.size());
+  for (const Ged& phi : sigma) {
+    NodeId offset = out.graph.DisjointUnion(phi.pattern().ToGraph());
+    out.offsets.push_back(offset);
+  }
+  return out;
+}
+
+}  // namespace ged

@@ -1,0 +1,31 @@
+// Canonical graphs (paper §5.1–§5.2).
+//
+// The canonical graph G_Σ of a set Σ of GEDs is the disjoint union of the
+// patterns of all GEDs in Σ, with empty attribute function. Chasing G_Σ by Σ
+// characterizes satisfiability (Theorem 2); chasing the canonical graph G_Q
+// of one pattern, starting from Eq_X, characterizes implication (Theorem 4).
+
+#ifndef GEDLIB_GED_CANONICAL_H_
+#define GEDLIB_GED_CANONICAL_H_
+
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// G_Σ plus the mapping from each GED's variables to its nodes.
+struct CanonicalGraph {
+  Graph graph;
+  /// offsets[i] + x is the node of variable x of sigma[i]'s pattern.
+  std::vector<NodeId> offsets;
+};
+
+/// Builds G_Σ = ⊎_i Q_i as a graph (wildcard '_' kept as a special label,
+/// F_A empty).
+CanonicalGraph BuildCanonicalGraph(const std::vector<Ged>& sigma);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GED_CANONICAL_H_

@@ -1,0 +1,62 @@
+#include "ged/literal.h"
+
+#include <sstream>
+
+namespace ged {
+
+namespace {
+std::string VarName(const Pattern* q, VarId x) {
+  if (q != nullptr) return q->var_name(x);
+  return "$" + std::to_string(x);
+}
+
+std::string Render(const Pattern* q, const Literal& l) {
+  std::ostringstream os;
+  switch (l.kind) {
+    case LiteralKind::kConst:
+      os << VarName(q, l.x) << "." << SymName(l.a) << " = " << l.c.ToString();
+      break;
+    case LiteralKind::kVar:
+      os << VarName(q, l.x) << "." << SymName(l.a) << " = " << VarName(q, l.y)
+         << "." << SymName(l.b);
+      break;
+    case LiteralKind::kId:
+      os << VarName(q, l.x) << ".id = " << VarName(q, l.y) << ".id";
+      break;
+  }
+  return os.str();
+}
+}  // namespace
+
+std::string Literal::ToString(const Pattern& q) const {
+  return Render(&q, *this);
+}
+
+std::string Literal::ToString() const { return Render(nullptr, *this); }
+
+bool SatisfiesLiteral(const Graph& g, const Match& h, const Literal& l) {
+  switch (l.kind) {
+    case LiteralKind::kConst: {
+      auto v = g.attr(h[l.x], l.a);
+      return v.has_value() && *v == l.c;
+    }
+    case LiteralKind::kVar: {
+      auto va = g.attr(h[l.x], l.a);
+      auto vb = g.attr(h[l.y], l.b);
+      return va.has_value() && vb.has_value() && *va == *vb;
+    }
+    case LiteralKind::kId:
+      return h[l.x] == h[l.y];
+  }
+  return false;
+}
+
+bool SatisfiesAll(const Graph& g, const Match& h,
+                  const std::vector<Literal>& literals) {
+  for (const Literal& l : literals) {
+    if (!SatisfiesLiteral(g, h, l)) return false;
+  }
+  return true;
+}
+
+}  // namespace ged

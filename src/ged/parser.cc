@@ -1,0 +1,409 @@
+#include "ged/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ged {
+
+namespace {
+
+enum class TokKind { kIdent, kString, kNumber, kPunct, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // punct: the symbol; string: unquoted payload
+  size_t line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Lex() {
+    std::vector<Token> out;
+    while (pos_ < text_.size()) {
+      char ch = text_[pos_];
+      if (ch == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(ch))) {
+        ++pos_;
+        continue;
+      }
+      if (ch == '#') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\'')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent,
+                       std::string(text_.substr(start, pos_ - start)), line_});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(ch)) ||
+          (ch == '-' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])) &&
+           NumberContext(out))) {
+        size_t start = pos_;
+        if (ch == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' ||
+                ((text_[pos_] == '+' || text_[pos_] == '-') && pos_ > start &&
+                 (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kNumber,
+                       std::string(text_.substr(start, pos_ - start)), line_});
+        continue;
+      }
+      if (ch == '"') {
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+          if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+          if (text_[pos_] == '\n') ++line_;
+          s.push_back(text_[pos_++]);
+        }
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("line " + std::to_string(line_) +
+                                         ": unterminated string");
+        }
+        ++pos_;  // closing quote
+        out.push_back({TokKind::kString, std::move(s), line_});
+        continue;
+      }
+      // Multi-char punctuation first.
+      static const char* kMulti[] = {"->", "!=", "<=", ">="};
+      bool matched = false;
+      for (const char* m : kMulti) {
+        if (text_.substr(pos_, 2) == m) {
+          out.push_back({TokKind::kPunct, m, line_});
+          pos_ += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      static const std::string kSingle = "()[]{},:.-=<>";
+      if (kSingle.find(ch) != std::string::npos) {
+        out.push_back({TokKind::kPunct, std::string(1, ch), line_});
+        ++pos_;
+        continue;
+      }
+      return Status::InvalidArgument("line " + std::to_string(line_) +
+                                     ": unexpected character '" +
+                                     std::string(1, ch) + "'");
+    }
+    out.push_back({TokKind::kEnd, "", line_});
+    return out;
+  }
+
+ private:
+  // '-' starts a number only where a value can appear (after an operator),
+  // not between ']' and '[' of an edge.
+  static bool NumberContext(const std::vector<Token>& out) {
+    if (out.empty()) return false;
+    const Token& prev = out.back();
+    return prev.kind == TokKind::kPunct &&
+           (prev.text == "=" || prev.text == "!=" || prev.text == "<" ||
+            prev.text == "<=" || prev.text == ">" || prev.text == ">=" ||
+            prev.text == ",");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<std::vector<RuleAst>> ParseFile() {
+    std::vector<RuleAst> rules;
+    while (!AtEnd()) {
+      auto r = ParseRule();
+      if (!r.ok()) return r.status();
+      rules.push_back(r.Take());
+    }
+    return rules;
+  }
+
+ private:
+  const Token& Peek() const { return toks_[pos_]; }
+  const Token& Next() { return toks_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokKind::kEnd; }
+
+  Status Error(const std::string& msg) {
+    return Status::InvalidArgument("line " + std::to_string(Peek().line) +
+                                   ": " + msg + " (got '" + Peek().text +
+                                   "')");
+  }
+
+  bool Accept(const std::string& punct) {
+    if (Peek().kind == TokKind::kPunct && Peek().text == punct) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptIdent(const std::string& kw) {
+    if (Peek().kind == TokKind::kIdent && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(const std::string& punct) {
+    if (!Accept(punct)) return Error("expected '" + punct + "'");
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent(const char* what) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Error(std::string("expected ") + what);
+    }
+    return Next().text;
+  }
+
+  Result<RuleAst> ParseRule() {
+    RuleAst rule;
+    if (!AcceptIdent("ged") && !AcceptIdent("gdc") && !AcceptIdent("rule")) {
+      return Error("expected 'ged' (or 'gdc'/'rule') block");
+    }
+    auto name = ExpectIdent("rule name");
+    if (!name.ok()) return name.status();
+    rule.name = name.Take();
+    GEDLIB_RETURN_IF_ERROR(Expect("{"));
+    if (!AcceptIdent("match")) return Error("expected 'match'");
+    GEDLIB_RETURN_IF_ERROR(ParseMatch(&rule));
+    if (AcceptIdent("where")) {
+      GEDLIB_RETURN_IF_ERROR(
+          ParseLiteralList(&rule.where, /*allow_or=*/nullptr));
+    }
+    if (!AcceptIdent("then")) return Error("expected 'then'");
+    if (AcceptIdent("false")) {
+      rule.then_false = true;
+    } else {
+      GEDLIB_RETURN_IF_ERROR(
+          ParseLiteralList(&rule.then_literals, &rule.then_disjunction));
+    }
+    GEDLIB_RETURN_IF_ERROR(Expect("}"));
+    return rule;
+  }
+
+  // match (x:person)-[create]->(y:product), (z)
+  Status ParseMatch(RuleAst* rule) {
+    do {
+      auto first = ParseNodeRef(rule);
+      if (!first.ok()) return first.status();
+      VarId cur = first.value();
+      while (Peek().kind == TokKind::kPunct && Peek().text == "-") {
+        Next();
+        GEDLIB_RETURN_IF_ERROR(Expect("["));
+        auto lbl = ExpectIdent("edge label");
+        if (!lbl.ok()) return lbl.status();
+        GEDLIB_RETURN_IF_ERROR(Expect("]"));
+        GEDLIB_RETURN_IF_ERROR(Expect("->"));
+        auto dst = ParseNodeRef(rule);
+        if (!dst.ok()) return dst.status();
+        rule->pattern.AddEdge(cur, Sym(lbl.value()), dst.value());
+        cur = dst.value();
+      }
+    } while (Accept(","));
+    return Status::OK();
+  }
+
+  Result<VarId> ParseNodeRef(RuleAst* rule) {
+    GEDLIB_RETURN_IF_ERROR(Expect("("));
+    auto name = ExpectIdent("variable name");
+    if (!name.ok()) return name.status();
+    std::string label = "_";
+    bool labeled = false;
+    if (Accept(":")) {
+      auto l = ExpectIdent("label");
+      if (!l.ok()) return l.status();
+      label = l.Take();
+      labeled = true;
+    }
+    GEDLIB_RETURN_IF_ERROR(Expect(")"));
+    VarId existing = rule->pattern.FindVar(name.value());
+    if (existing != Pattern::kNoVar) {
+      if (labeled && rule->pattern.label(existing) != Sym(label)) {
+        return Status::InvalidArgument("variable '" + name.value() +
+                                       "' redeclared with different label");
+      }
+      return existing;
+    }
+    return rule->pattern.AddVar(name.Take(), Sym(label));
+  }
+
+  // lit (, lit)*  or  lit (or lit)*   -- not mixed.
+  Status ParseLiteralList(std::vector<AstLiteral>* out, bool* disjunction) {
+    bool saw_comma = false, saw_or = false;
+    do {
+      auto lit = ParseLiteral();
+      if (!lit.ok()) return lit.status();
+      out->push_back(lit.Take());
+      if (Accept(",")) {
+        saw_comma = true;
+        continue;
+      }
+      if (disjunction != nullptr && AcceptIdent("or")) {
+        saw_or = true;
+        continue;
+      }
+      break;
+    } while (true);
+    if (saw_comma && saw_or) {
+      return Error("cannot mix ',' and 'or' in one literal list");
+    }
+    if (disjunction != nullptr) *disjunction = saw_or;
+    return Status::OK();
+  }
+
+  Result<AstLiteral> ParseLiteral() {
+    AstLiteral lit;
+    auto lv = ExpectIdent("variable");
+    if (!lv.ok()) return lv.status();
+    lit.lv = lv.Take();
+    GEDLIB_RETURN_IF_ERROR(Expect("."));
+    auto la = ExpectIdent("attribute");
+    if (!la.ok()) return la.status();
+    lit.la = la.Take();
+    // Operator.
+    static const char* kOps[] = {"=", "!=", "<=", ">=", "<", ">"};
+    lit.op.clear();
+    for (const char* op : kOps) {
+      if (Peek().kind == TokKind::kPunct && Peek().text == op) {
+        lit.op = op;
+        Next();
+        break;
+      }
+    }
+    if (lit.op.empty()) return Error("expected comparison operator");
+    // RHS: value or var.attr.
+    if (Peek().kind == TokKind::kString) {
+      lit.rhs_is_const = true;
+      lit.rc = Value(Next().text);
+      return lit;
+    }
+    if (Peek().kind == TokKind::kNumber) {
+      std::string num = Next().text;
+      bool is_double = num.find_first_of(".eE") != std::string::npos;
+      if (is_double) {
+        lit.rc = Value(std::strtod(num.c_str(), nullptr));
+      } else {
+        lit.rc = Value(static_cast<int64_t>(
+            std::strtoll(num.c_str(), nullptr, 10)));
+      }
+      lit.rhs_is_const = true;
+      return lit;
+    }
+    if (Peek().kind == TokKind::kIdent &&
+        (Peek().text == "true" || Peek().text == "false")) {
+      lit.rhs_is_const = true;
+      lit.rc = Value(Next().text == "true");
+      return lit;
+    }
+    auto rv = ExpectIdent("variable or value");
+    if (!rv.ok()) return rv.status();
+    lit.rv = rv.Take();
+    GEDLIB_RETURN_IF_ERROR(Expect("."));
+    auto ra = ExpectIdent("attribute");
+    if (!ra.ok()) return ra.status();
+    lit.ra = ra.Take();
+    return lit;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::vector<RuleAst>> ParseRules(std::string_view text) {
+  Lexer lexer(text);
+  auto toks = lexer.Lex();
+  if (!toks.ok()) return toks.status();
+  Parser parser(toks.Take());
+  return parser.ParseFile();
+}
+
+Result<Literal> AstToLiteral(const Pattern& pattern, const AstLiteral& al) {
+  if (al.op != "=") {
+    return Status::InvalidArgument("GED literal requires '=', got '" + al.op +
+                                   "' (use a GDC for built-in predicates)");
+  }
+  VarId x = pattern.FindVar(al.lv);
+  if (x == Pattern::kNoVar) {
+    return Status::NotFound("unknown variable '" + al.lv + "' in literal");
+  }
+  bool left_id = (al.la == "id");
+  if (al.rhs_is_const) {
+    if (left_id) {
+      return Status::InvalidArgument("id literal needs var.id on both sides");
+    }
+    return Literal::Const(x, Sym(al.la), al.rc);
+  }
+  VarId y = pattern.FindVar(al.rv);
+  if (y == Pattern::kNoVar) {
+    return Status::NotFound("unknown variable '" + al.rv + "' in literal");
+  }
+  bool right_id = (al.ra == "id");
+  if (left_id != right_id) {
+    return Status::InvalidArgument(
+        "id literal needs var.id on both sides: " + al.lv + "." + al.la);
+  }
+  if (left_id) return Literal::Id(x, y);
+  return Literal::Var(x, Sym(al.la), y, Sym(al.ra));
+}
+
+Result<std::vector<Ged>> ParseGeds(std::string_view text) {
+  auto rules = ParseRules(text);
+  if (!rules.ok()) return rules.status();
+  std::vector<Ged> out;
+  for (RuleAst& rule : rules.value()) {
+    if (rule.then_disjunction) {
+      return Status::InvalidArgument(rule.name +
+                                     ": 'or' requires a GED∨ (see ext/)");
+    }
+    std::vector<Literal> x, y;
+    for (const AstLiteral& al : rule.where) {
+      auto l = AstToLiteral(rule.pattern, al);
+      if (!l.ok()) return l.status();
+      x.push_back(l.Take());
+    }
+    for (const AstLiteral& al : rule.then_literals) {
+      auto l = AstToLiteral(rule.pattern, al);
+      if (!l.ok()) return l.status();
+      y.push_back(l.Take());
+    }
+    Ged ged(rule.name, std::move(rule.pattern), std::move(x), std::move(y),
+            rule.then_false);
+    GEDLIB_RETURN_IF_ERROR(ged.Validate());
+    out.push_back(std::move(ged));
+  }
+  return out;
+}
+
+Result<Ged> ParseGed(std::string_view text) {
+  auto geds = ParseGeds(text);
+  if (!geds.ok()) return geds.status();
+  if (geds.value().size() != 1) {
+    return Status::InvalidArgument("expected exactly one GED, got " +
+                                   std::to_string(geds.value().size()));
+  }
+  return std::move(geds.value()[0]);
+}
+
+}  // namespace ged

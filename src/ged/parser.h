@@ -1,0 +1,68 @@
+// Text DSL for dependencies.
+//
+// Grammar (Cypher-flavoured patterns, one rule per `ged NAME { ... }` block):
+//
+//   ged phi1 {
+//     match (x:person)-[create]->(y:product), (z:blog)
+//     where x.type = "video game", x.n = 5
+//     then  y.type = "programmer", x.id = y.id
+//   }
+//
+//   * `match` declares the pattern. A variable's label is given at its first
+//     occurrence (default `_` = wildcard); edge labels may be `_` too.
+//   * `where` (optional) is the premise X; `then` is the conclusion Y, or
+//     the keyword `false` for a forbidding GED.
+//   * Literals: x.A = c | x.A = y.B | x.id = y.id. The extended classes use
+//     the same grammar with operators != < <= > >= (GDCs, see ext/gdc.h) and
+//     `or`-separated then-literals (GED∨s, see ext/gedor.h).
+//
+// ParseRules produces a neutral AST; ParseGeds additionally converts and
+// rejects anything outside plain GEDs.
+
+#ifndef GEDLIB_GED_PARSER_H_
+#define GEDLIB_GED_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ged/ged.h"
+
+namespace ged {
+
+/// A parsed literal before class-specific conversion.
+struct AstLiteral {
+  std::string lv;         ///< left variable name
+  std::string la;         ///< left attribute name ("id" for id literals)
+  std::string op;         ///< "=", "!=", "<", "<=", ">", ">="
+  bool rhs_is_const = false;
+  std::string rv;         ///< right variable name (when !rhs_is_const)
+  std::string ra;         ///< right attribute name
+  Value rc;               ///< right constant (when rhs_is_const)
+};
+
+/// A parsed rule block, neutral w.r.t. GED / GDC / GED∨.
+struct RuleAst {
+  std::string name;
+  Pattern pattern;
+  std::vector<AstLiteral> where;
+  std::vector<AstLiteral> then_literals;
+  bool then_false = false;        ///< `then false`
+  bool then_disjunction = false;  ///< then-literals joined by `or`
+};
+
+/// Parses all rule blocks in `text`.
+Result<std::vector<RuleAst>> ParseRules(std::string_view text);
+
+/// Parses rule blocks and converts them to GEDs ("=" only, conjunctive Y).
+Result<std::vector<Ged>> ParseGeds(std::string_view text);
+
+/// Parses exactly one GED.
+Result<Ged> ParseGed(std::string_view text);
+
+/// Converts one AST literal to a GED literal over `pattern`'s variables.
+Result<Literal> AstToLiteral(const Pattern& pattern, const AstLiteral& al);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GED_PARSER_H_

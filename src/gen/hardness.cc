@@ -1,0 +1,208 @@
+#include "gen/hardness.h"
+
+#include <functional>
+#include <random>
+
+namespace ged {
+
+UGraph RandomUGraph(size_t n, double edge_prob, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  UGraph h;
+  h.n = n;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j < n; ++j) {
+      if (coin(rng) < edge_prob) h.edges.emplace_back(i, j);
+    }
+  }
+  return h;
+}
+
+bool IsKColorable(const UGraph& h, int k) {
+  std::vector<int> color(h.n, -1);
+  // Backtracking over vertices in index order.
+  std::function<bool(size_t)> go = [&](size_t v) -> bool {
+    if (v == h.n) return true;
+    for (int c = 0; c < k; ++c) {
+      bool ok = true;
+      for (const auto& [a, b] : h.edges) {
+        if ((a == v && color[b] == c) || (b == v && color[a] == c)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      color[v] = c;
+      if (go(v + 1)) return true;
+      color[v] = -1;
+    }
+    return false;
+  };
+  return go(0);
+}
+
+Graph TriangleGraph() {
+  Graph g;
+  NodeId a = g.AddNode("v");
+  NodeId b = g.AddNode("v");
+  NodeId c = g.AddNode("v");
+  for (auto [s, d] : {std::pair{a, b}, {b, c}, {a, c}}) {
+    g.AddEdge(s, "e", d);
+    g.AddEdge(d, "e", s);
+  }
+  return g;
+}
+
+Pattern ColoringPattern(const UGraph& h, const std::string& var_prefix) {
+  Pattern q;
+  for (size_t i = 0; i < h.n; ++i) {
+    q.AddVar(var_prefix + std::to_string(i), "v");
+  }
+  for (const auto& [a, b] : h.edges) {
+    q.AddEdge(a, "e", b);
+    q.AddEdge(b, "e", a);
+  }
+  return q;
+}
+
+Ged ColoringForbiddingGed(const UGraph& h) {
+  return Ged("forbid_H", ColoringPattern(h, "h"), {}, {},
+             /*y_is_false=*/true);
+}
+
+namespace {
+
+// Adds the K3 pattern (nodes labeled "v", doubled "e" edges) to `q`.
+std::vector<VarId> AddTrianglePattern(Pattern* q) {
+  VarId a = q->AddVar("c0", "v");
+  VarId b = q->AddVar("c1", "v");
+  VarId c = q->AddVar("c2", "v");
+  for (auto [s, d] : {std::pair{a, b}, {b, c}, {a, c}}) {
+    q->AddEdge(s, "e", d);
+    q->AddEdge(d, "e", s);
+  }
+  return {a, b, c};
+}
+
+}  // namespace
+
+ImplicationInstance ColoringImplicationGfdx(const UGraph& h) {
+  AttrId c_attr = Sym("C");
+  // φ: K3 plus two distinctly-labeled satellites u, v.
+  Pattern pq;
+  AddTrianglePattern(&pq);
+  VarId u = pq.AddVar("u", "alpha");
+  VarId v = pq.AddVar("v", "beta");
+  Ged phi("phi_k3", std::move(pq), {},
+          {Literal::Var(u, c_attr, v, c_attr)});
+  // σ: H plus its own satellites.
+  Pattern sq = ColoringPattern(h, "h");
+  VarId up = sq.AddVar("u'", "alpha");
+  VarId vp = sq.AddVar("v'", "beta");
+  Ged sigma("sigma_H", std::move(sq), {},
+            {Literal::Var(up, c_attr, vp, c_attr)});
+  return ImplicationInstance{{std::move(sigma)}, std::move(phi)};
+}
+
+ImplicationInstance ColoringImplicationGkey(const UGraph& h) {
+  // Conclusions are id literals between "gamma"-labeled satellites; each
+  // satellite is distinguished by a marker neighbor (alpha / beta) so the
+  // homomorphism is forced, and the merged nodes share label gamma.
+  auto attach = [&](Pattern* q, const char* marker) {
+    VarId sat = q->AddVar(std::string("s_") + marker, "gamma");
+    VarId mark = q->AddVar(std::string("m_") + marker, marker);
+    q->AddEdge(sat, "mark", mark);
+    return sat;
+  };
+  Pattern pq;
+  AddTrianglePattern(&pq);
+  VarId u = attach(&pq, "alpha");
+  VarId v = attach(&pq, "beta");
+  Ged phi("phi_k3_key", std::move(pq), {}, {Literal::Id(u, v)});
+  Pattern sq = ColoringPattern(h, "h");
+  VarId up = attach(&sq, "alpha");
+  VarId vp = attach(&sq, "beta");
+  Ged sigma("sigma_H_key", std::move(sq), {}, {Literal::Id(up, vp)});
+  return ImplicationInstance{{std::move(sigma)}, std::move(phi)};
+}
+
+std::vector<Ged> ColoringSatisfiabilityGfds(const UGraph& h) {
+  AttrId b_attr = Sym("B");
+  Value mark(int64_t{7});
+  // σ1 marks the κ-labeled K3 (its pattern cannot reach H's wildcard part:
+  // κ does not match '_').
+  Pattern k3;
+  VarId a = k3.AddVar("c0", "kappa");
+  VarId b = k3.AddVar("c1", "kappa");
+  VarId c = k3.AddVar("c2", "kappa");
+  for (auto [s, d] : {std::pair{a, b}, {b, c}, {a, c}}) {
+    k3.AddEdge(s, "e", d);
+    k3.AddEdge(d, "e", s);
+  }
+  Ged sigma1("mark_k3", std::move(k3), {},
+             {Literal::Const(a, b_attr, mark), Literal::Const(b, b_attr, mark),
+              Literal::Const(c, b_attr, mark)});
+  // σ2: H with wildcard nodes; firing requires every image to be marked,
+  // i.e. a homomorphism H → K3.
+  Pattern hp;
+  for (size_t i = 0; i < h.n; ++i) {
+    hp.AddVar("h" + std::to_string(i), kWildcard);
+  }
+  for (const auto& [s, d] : h.edges) {
+    hp.AddEdge(s, "e", d);
+    hp.AddEdge(d, "e", s);
+  }
+  std::vector<Literal> x;
+  for (VarId i = 0; i < h.n; ++i) x.push_back(Literal::Const(i, b_attr, mark));
+  Ged sigma2("forbid_colorable", std::move(hp), std::move(x), {},
+             /*y_is_false=*/true);
+  return {std::move(sigma1), std::move(sigma2)};
+}
+
+std::vector<Ged> ColoringSatisfiabilityGedx(const UGraph& h) {
+  AttrId b_attr = Sym("B");
+  AttrId c_attr = Sym("C");
+  // σ1 (GEDx): mark the κ-K3 by equating each c_i.B with the μ node's C.
+  Pattern k3;
+  VarId a = k3.AddVar("c0", "kappa");
+  VarId b = k3.AddVar("c1", "kappa");
+  VarId c = k3.AddVar("c2", "kappa");
+  for (auto [s, d] : {std::pair{a, b}, {b, c}, {a, c}}) {
+    k3.AddEdge(s, "e", d);
+    k3.AddEdge(d, "e", s);
+  }
+  VarId m = k3.AddVar("m", "mu");
+  Ged sigma1("mark_k3_x", std::move(k3), {},
+             {Literal::Var(a, b_attr, m, c_attr),
+              Literal::Var(b, b_attr, m, c_attr),
+              Literal::Var(c, b_attr, m, c_attr)});
+  // σ2 (GEDx, forbidding conclusion via label conflict): H with wildcard
+  // nodes whose B attributes all equal the μ node's C; concluding
+  // p.id = q.id for distinctly-labeled p, q is a conflict.
+  Pattern hp;
+  for (size_t i = 0; i < h.n; ++i) {
+    hp.AddVar("h" + std::to_string(i), kWildcard);
+  }
+  for (const auto& [s, d] : h.edges) {
+    hp.AddEdge(s, "e", d);
+    hp.AddEdge(d, "e", s);
+  }
+  VarId mp = hp.AddVar("m'", "mu");
+  VarId pn = hp.AddVar("p", "pi");
+  VarId qn = hp.AddVar("q", "rho");
+  std::vector<Literal> x;
+  for (VarId i = 0; i < h.n; ++i) {
+    x.push_back(Literal::Var(i, b_attr, mp, c_attr));
+  }
+  Ged sigma2("conflict_if_colorable", std::move(hp), std::move(x),
+             {Literal::Id(pn, qn)});
+  // σ3 (GKey): all μ nodes are the same node.
+  Pattern half;
+  half.AddVar("m0", "mu");
+  Ged sigma3 = MakeGkey("merge_mu", half, 0, [](VarId) {
+    return std::vector<Literal>{};
+  });
+  return {std::move(sigma1), std::move(sigma2), std::move(sigma3)};
+}
+
+}  // namespace ged

@@ -1,0 +1,79 @@
+// Hardness-reduction instance families (paper §5, Theorems 3/5/6 proofs).
+//
+// The lower bounds of Table 1 are by reductions from (the complement of)
+// 3-colorability, built on the classical fact that an undirected loop-free
+// graph H is 3-colorable iff there is a homomorphism H → K3. These
+// generators materialize the reduction families so that the benchmarks can
+// demonstrate the exponential worst-case cost, and the tests can verify the
+// reductions against a brute-force colorability checker:
+//
+//  * validation  (Thm 6):  K3 ⊨ { Q_H(∅ → false) }  iff  H is NOT 3-colorable
+//  * implication (Thm 5):  single GFDx (or GKey-style) σ_H with
+//                          Σ = {σ_H} ⊨ φ_K3  iff  H IS 3-colorable
+//  * satisfiability (Thm 3): two GFDs (constant marking), or a GEDx/GKey
+//                          trio (id marking), unsatisfiable iff H is
+//                          3-colorable.
+
+#ifndef GEDLIB_GEN_HARDNESS_H_
+#define GEDLIB_GEN_HARDNESS_H_
+
+#include <utility>
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// A simple undirected graph (coloring instance).
+struct UGraph {
+  size_t n = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+};
+
+/// Erdős–Rényi undirected graph without self-loops.
+UGraph RandomUGraph(size_t n, double edge_prob, unsigned seed);
+
+/// Brute-force k-colorability (reference oracle; exponential).
+bool IsKColorable(const UGraph& h, int k);
+
+/// K3 as a directed graph: 3 nodes labeled "v", both edge directions
+/// labeled "e" per undirected edge.
+Graph TriangleGraph();
+
+/// H as a pattern with nodes labeled "v" and both edge directions "e"
+/// (matches TriangleGraph's encoding).
+Pattern ColoringPattern(const UGraph& h, const std::string& var_prefix);
+
+/// Validation family: Q_H(∅ → false). K3 violates it iff H is 3-colorable
+/// (a homomorphic match is exactly a proper coloring).
+Ged ColoringForbiddingGed(const UGraph& h);
+
+/// An implication instance (Σ, φ).
+struct ImplicationInstance {
+  std::vector<Ged> sigma;
+  Ged phi;
+};
+
+/// Implication family with a single GFDx (the Theorem 5 shape):
+///   φ = (K3 ⊎ u:alpha ⊎ v:beta)(∅ → u.C = v.C)
+///   σ = (H  ⊎ u':alpha ⊎ v':beta)(∅ → u'.C = v'.C)
+/// Σ ⊨ φ iff H → K3, i.e. iff H is 3-colorable.
+ImplicationInstance ColoringImplicationGfdx(const UGraph& h);
+
+/// Same family with id-literal conclusions (GKey-style, no constants);
+/// marker satellites keep the merged nodes' labels compatible.
+ImplicationInstance ColoringImplicationGkey(const UGraph& h);
+
+/// Satisfiability family with two GFDs (constant marking, the Theorem 3
+/// shape): Σ is satisfiable iff H is NOT 3-colorable.
+std::vector<Ged> ColoringSatisfiabilityGfds(const UGraph& h);
+
+/// Satisfiability family without constant literals (two GEDxs marking via a
+/// shared μ-node attribute plus one GKey merging the μ nodes):
+/// satisfiable iff H is NOT 3-colorable.
+std::vector<Ged> ColoringSatisfiabilityGedx(const UGraph& h);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GEN_HARDNESS_H_

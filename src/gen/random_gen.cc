@@ -1,0 +1,133 @@
+#include "gen/random_gen.h"
+
+#include <random>
+
+namespace ged {
+
+Label GenNodeLabel(size_t i) { return Sym("L" + std::to_string(i)); }
+Label GenEdgeLabel(size_t i) { return Sym("e" + std::to_string(i)); }
+AttrId GenAttr(size_t i) { return Sym("a" + std::to_string(i)); }
+
+Graph RandomPropertyGraph(const RandomGraphParams& p) {
+  std::mt19937 rng(p.seed);
+  std::uniform_int_distribution<size_t> node_label(0, p.num_node_labels - 1);
+  std::uniform_int_distribution<size_t> edge_label(0, p.num_edge_labels - 1);
+  std::uniform_int_distribution<size_t> value(0, p.num_values - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+
+  Graph g;
+  for (size_t v = 0; v < p.num_nodes; ++v) {
+    NodeId id = g.AddNode(GenNodeLabel(node_label(rng)));
+    for (size_t a = 0; a < p.num_attrs; ++a) {
+      if (coin(rng) < p.attr_density) {
+        g.SetAttr(id, GenAttr(a), Value(static_cast<int64_t>(value(rng))));
+      }
+    }
+  }
+  if (p.num_nodes > 1) {
+    size_t num_edges = static_cast<size_t>(p.avg_out_degree * p.num_nodes);
+    std::uniform_int_distribution<NodeId> node(
+        0, static_cast<NodeId>(p.num_nodes - 1));
+    for (size_t e = 0; e < num_edges; ++e) {
+      g.AddEdge(node(rng), GenEdgeLabel(edge_label(rng)), node(rng));
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Random connected-ish pattern over the generator universes.
+Pattern RandomPattern(std::mt19937& rng, const RandomGedParams& p,
+                      const std::string& var_prefix) {
+  std::uniform_int_distribution<size_t> node_label(0, p.num_node_labels - 1);
+  std::uniform_int_distribution<size_t> edge_label(0, p.num_edge_labels - 1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Pattern q;
+  for (size_t i = 0; i < p.pattern_vars; ++i) {
+    Label l = coin(rng) < p.wildcard_rate ? kWildcard
+                                          : GenNodeLabel(node_label(rng));
+    q.AddVar(var_prefix + std::to_string(i), l);
+  }
+  if (p.pattern_vars == 0) return q;
+  std::uniform_int_distribution<VarId> var(
+      0, static_cast<VarId>(p.pattern_vars - 1));
+  for (size_t e = 0; e < p.pattern_edges; ++e) {
+    VarId src = e + 1 < p.pattern_vars ? static_cast<VarId>(e + 1) : var(rng);
+    VarId dst = e + 1 < p.pattern_vars ? static_cast<VarId>(e) : var(rng);
+    q.AddEdge(src, GenEdgeLabel(edge_label(rng)), dst);
+  }
+  return q;
+}
+
+Literal RandomLiteral(std::mt19937& rng, const RandomGedParams& p,
+                      size_t num_vars, bool allow_const, bool allow_id) {
+  std::uniform_int_distribution<VarId> var(0,
+                                           static_cast<VarId>(num_vars - 1));
+  std::uniform_int_distribution<size_t> attr(0, p.num_attrs - 1);
+  std::uniform_int_distribution<size_t> value(0, p.num_values - 1);
+  std::uniform_int_distribution<int> kind_die(0, 2);
+  for (;;) {
+    int k = kind_die(rng);
+    if (k == 0 && allow_const) {
+      return Literal::Const(var(rng), GenAttr(attr(rng)),
+                            Value(static_cast<int64_t>(value(rng))));
+    }
+    if (k == 1) {
+      return Literal::Var(var(rng), GenAttr(attr(rng)), var(rng),
+                          GenAttr(attr(rng)));
+    }
+    if (k == 2 && allow_id) {
+      VarId x = var(rng), y = var(rng);
+      return Literal::Id(x, y);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Ged> RandomGeds(size_t count, const RandomGedParams& p) {
+  std::mt19937 rng(p.seed);
+  bool allow_const = p.kind == GedClassKind::kGfd ||
+                     p.kind == GedClassKind::kGed ||
+                     p.kind == GedClassKind::kGkey;
+  bool allow_id =
+      p.kind == GedClassKind::kGedx || p.kind == GedClassKind::kGed;
+
+  std::vector<Ged> out;
+  for (size_t i = 0; i < count; ++i) {
+    std::string name = "rand" + std::to_string(i);
+    if (p.kind == GedClassKind::kGkey) {
+      Pattern half = RandomPattern(rng, p, "x");
+      if (half.NumVars() == 0) continue;
+      std::uniform_int_distribution<VarId> var(
+          0, static_cast<VarId>(half.NumVars() - 1));
+      VarId x0 = var(rng);
+      size_t nx = p.num_x_literals;
+      std::uniform_int_distribution<size_t> attr(0, p.num_attrs - 1);
+      out.push_back(MakeGkey(
+          name, half, x0, [&](VarId offset) {
+            std::vector<Literal> x;
+            for (size_t j = 0; j < nx; ++j) {
+              VarId v = var(rng);
+              AttrId a = GenAttr(attr(rng));
+              x.push_back(Literal::Var(v, a, offset + v, a));
+            }
+            return x;
+          }));
+      continue;
+    }
+    Pattern q = RandomPattern(rng, p, "x");
+    std::vector<Literal> x, y;
+    for (size_t j = 0; j < p.num_x_literals; ++j) {
+      x.push_back(RandomLiteral(rng, p, q.NumVars(), allow_const, allow_id));
+    }
+    for (size_t j = 0; j < p.num_y_literals; ++j) {
+      y.push_back(RandomLiteral(rng, p, q.NumVars(), allow_const, allow_id));
+    }
+    out.emplace_back(name, std::move(q), std::move(x), std::move(y));
+  }
+  return out;
+}
+
+}  // namespace ged

@@ -1,0 +1,63 @@
+// Random property graphs and random GED sets (workload substrate for the
+// property tests and the Table 1 benchmark sweeps).
+
+#ifndef GEDLIB_GEN_RANDOM_GEN_H_
+#define GEDLIB_GEN_RANDOM_GEN_H_
+
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// Parameters of the random property-graph generator.
+struct RandomGraphParams {
+  size_t num_nodes = 100;
+  double avg_out_degree = 3.0;
+  size_t num_node_labels = 5;
+  size_t num_edge_labels = 3;
+  size_t num_attrs = 3;       ///< attribute names per universe
+  size_t num_values = 10;     ///< distinct values per attribute
+  double attr_density = 0.8;  ///< probability a node carries each attribute
+  unsigned seed = 1;
+};
+
+/// Generates a uniform random directed labeled property graph.
+Graph RandomPropertyGraph(const RandomGraphParams& params);
+
+/// Which dependency subclass to generate (Table 1 rows).
+enum class GedClassKind { kGfdx, kGfd, kGedx, kGed, kGkey };
+
+/// Parameters of the random GED generator.
+struct RandomGedParams {
+  GedClassKind kind = GedClassKind::kGed;
+  size_t pattern_vars = 3;
+  size_t pattern_edges = 3;
+  size_t num_x_literals = 1;
+  size_t num_y_literals = 1;
+  /// Label/attribute/value universes must match the graph generator's.
+  size_t num_node_labels = 5;
+  size_t num_edge_labels = 3;
+  size_t num_attrs = 3;
+  size_t num_values = 10;
+  double wildcard_rate = 0.2;
+  unsigned seed = 1;
+};
+
+/// Generates `count` random GEDs of the requested subclass. GKeys are built
+/// with MakeGkey from random half-patterns (their variable/edge counts refer
+/// to the half).
+std::vector<Ged> RandomGeds(size_t count, const RandomGedParams& params);
+
+/// Node label used by the generators for index `i` ("L<i>"), shared between
+/// graph and rule generation so patterns can match.
+Label GenNodeLabel(size_t i);
+/// Edge label "e<i>".
+Label GenEdgeLabel(size_t i);
+/// Attribute "a<i>".
+AttrId GenAttr(size_t i);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GEN_RANDOM_GEN_H_

@@ -1,0 +1,320 @@
+#include "gen/scenarios.h"
+
+#include <random>
+
+namespace ged {
+
+// ----- Example 1 (1): knowledge base ----------------------------------------
+
+std::vector<Ged> Example1Geds() {
+  std::vector<Ged> out;
+  // φ1 over Q1 (Fig. 1): a person creates a product; a video game can only
+  // be created by programmers. x = product, y = person (paper's naming).
+  {
+    Pattern q1;
+    VarId x = q1.AddVar("x", "product");
+    VarId y = q1.AddVar("y", "person");
+    q1.AddEdge(y, "create", x);
+    out.emplace_back(
+        "phi1", std::move(q1),
+        std::vector<Literal>{Literal::Const(x, Sym("type"), "video game")},
+        std::vector<Literal>{Literal::Const(y, Sym("type"), "programmer")});
+  }
+  // φ2 over Q2: a country with two capitals y, z forces equal names.
+  {
+    Pattern q2;
+    VarId x = q2.AddVar("x", "country");
+    VarId y = q2.AddVar("y", "city");
+    VarId z = q2.AddVar("z", "city");
+    q2.AddEdge(x, "capital", y);
+    q2.AddEdge(x, "capital", z);
+    out.emplace_back(
+        "phi2", std::move(q2), std::vector<Literal>{},
+        std::vector<Literal>{Literal::Var(y, Sym("name"), z, Sym("name"))});
+  }
+  // φ3 over Q3: generic inheritance through is_a, wildcard labels.
+  {
+    Pattern q3;
+    VarId x = q3.AddVar("x", kWildcard);
+    VarId y = q3.AddVar("y", kWildcard);
+    q3.AddEdge(y, "is_a", x);
+    AttrId a = Sym("can_fly");
+    out.emplace_back("phi3", std::move(q3),
+                     std::vector<Literal>{Literal::Var(x, a, x, a)},
+                     std::vector<Literal>{Literal::Var(y, a, x, a)});
+  }
+  // φ4 over Q4: nobody is both a child and a parent of the same person.
+  {
+    Pattern q4;
+    VarId x = q4.AddVar("x", "person");
+    VarId y = q4.AddVar("y", "person");
+    q4.AddEdge(x, "child", y);
+    q4.AddEdge(x, "parent", y);
+    out.emplace_back("phi4", std::move(q4), std::vector<Literal>{},
+                     std::vector<Literal>{}, /*y_is_false=*/true);
+  }
+  return out;
+}
+
+KbInstance GenKnowledgeBase(const KbParams& p) {
+  std::mt19937 rng(p.seed);
+  KbInstance out;
+  Graph& g = out.graph;
+
+  // Products with creators; a seeded prefix is inconsistent.
+  for (size_t i = 0; i < p.num_products; ++i) {
+    bool game = (i % 2 == 0);
+    NodeId product = g.AddNode("product");
+    g.SetAttr(product, "type", game ? Value("video game") : Value("book"));
+    g.SetAttr(product, "title", Value("product_" + std::to_string(i)));
+    NodeId person = g.AddNode("person");
+    bool bad = game && out.expected_wrong_creator < p.wrong_creator;
+    if (bad) ++out.expected_wrong_creator;
+    g.SetAttr(person, "type",
+              bad ? Value("psychologist")
+                  : (game ? Value("programmer") : Value("writer")));
+    g.SetAttr(person, "name", Value("creator_" + std::to_string(i)));
+    g.AddEdge(person, "create", product);
+  }
+
+  // Countries with capitals; seeded ones get a second, differently-named
+  // capital (2 ordered violating pairs each).
+  for (size_t i = 0; i < p.num_countries; ++i) {
+    NodeId country = g.AddNode("country");
+    g.SetAttr(country, "name", Value("country_" + std::to_string(i)));
+    NodeId cap = g.AddNode("city");
+    g.SetAttr(cap, "name", Value("capital_" + std::to_string(i)));
+    g.AddEdge(country, "capital", cap);
+    if (i < p.double_capital) {
+      NodeId cap2 = g.AddNode("city");
+      g.SetAttr(cap2, "name", Value("capital_alt_" + std::to_string(i)));
+      g.AddEdge(country, "capital", cap2);
+      out.expected_double_capital += 2;  // (y,z) and (z,y)
+    }
+  }
+
+  // Species: parent class with can_fly; children inherit unless seeded.
+  for (size_t i = 0; i < p.num_species; ++i) {
+    NodeId parent = g.AddNode("species");
+    g.SetAttr(parent, "name", Value("genus_" + std::to_string(i)));
+    g.SetAttr(parent, "can_fly", Value("yes"));
+    NodeId child = g.AddNode("species");
+    g.SetAttr(child, "name", Value("species_" + std::to_string(i)));
+    bool bad = i < p.flightless;
+    g.SetAttr(child, "can_fly", bad ? Value("no") : Value("yes"));
+    if (bad) ++out.expected_flightless;
+    g.AddEdge(child, "is_a", parent);
+  }
+
+  // Families; seeded pairs carry both child and parent edges.
+  for (size_t i = 0; i < p.num_families; ++i) {
+    NodeId a = g.AddNode("person");
+    g.SetAttr(a, "name", Value("member_a_" + std::to_string(i)));
+    NodeId b = g.AddNode("person");
+    g.SetAttr(b, "name", Value("member_b_" + std::to_string(i)));
+    g.AddEdge(a, "child", b);
+    if (i < p.child_parent) {
+      g.AddEdge(a, "parent", b);
+      ++out.expected_child_parent;
+    }
+  }
+  (void)rng;
+  return out;
+}
+
+// ----- Example 1 (2): social network ----------------------------------------
+
+Ged SpamGed(size_t k, const Value& keyword) {
+  Pattern q5;
+  VarId x = q5.AddVar("x", "account");
+  VarId xp = q5.AddVar("x'", "account");
+  VarId z1 = q5.AddVar("z1", "blog");
+  VarId z2 = q5.AddVar("z2", "blog");
+  q5.AddEdge(x, "post", z1);
+  q5.AddEdge(xp, "post", z2);
+  for (size_t j = 0; j < k; ++j) {
+    VarId y = q5.AddVar("y" + std::to_string(j + 1), "blog");
+    q5.AddEdge(x, "like", y);
+    q5.AddEdge(xp, "like", y);
+  }
+  std::vector<Literal> x_lits = {
+      Literal::Const(xp, Sym("is_fake"), Value(int64_t{1})),
+      Literal::Const(z1, Sym("keyword"), keyword),
+      Literal::Const(z2, Sym("keyword"), keyword)};
+  std::vector<Literal> y_lits = {
+      Literal::Const(x, Sym("is_fake"), Value(int64_t{1}))};
+  return Ged("phi5", std::move(q5), std::move(x_lits), std::move(y_lits));
+}
+
+SocialInstance GenSocialNetwork(const SocialParams& p) {
+  std::mt19937 rng(p.seed);
+  SocialInstance out;
+  Graph& g = out.graph;
+  std::vector<NodeId> accounts, blogs;
+  for (size_t i = 0; i < p.num_accounts; ++i) {
+    NodeId a = g.AddNode("account");
+    g.SetAttr(a, "name", Value("user_" + std::to_string(i)));
+    g.SetAttr(a, "is_fake", Value(int64_t{0}));
+    accounts.push_back(a);
+  }
+  for (size_t i = 0; i < p.num_blogs; ++i) {
+    NodeId b = g.AddNode("blog");
+    g.SetAttr(b, "keyword", Value("normal"));
+    blogs.push_back(b);
+  }
+  // Background activity.
+  std::uniform_int_distribution<size_t> acc(0, accounts.size() - 1);
+  std::uniform_int_distribution<size_t> blog(0, blogs.size() - 1);
+  for (size_t e = 0; e < p.num_accounts * 3; ++e) {
+    g.AddEdge(accounts[acc(rng)], "like", blogs[blog(rng)]);
+  }
+  // Seeded spam pairs: x unflagged, x' confirmed fake, k shared likes,
+  // both posting peculiar-keyword blogs.
+  size_t next_blog = 0;
+  auto fresh_blog = [&](const Value& kw) {
+    NodeId b = g.AddNode("blog");
+    g.SetAttr(b, "keyword", kw);
+    (void)next_blog;
+    return b;
+  };
+  for (size_t s = 0; s < p.spam_pairs; ++s) {
+    NodeId x = g.AddNode("account");
+    g.SetAttr(x, "name", Value("spam_x_" + std::to_string(s)));
+    if (!p.unknown_flags) {
+      g.SetAttr(x, "is_fake", Value(int64_t{0}));  // not yet caught
+    }
+    NodeId xp = g.AddNode("account");
+    g.SetAttr(xp, "name", Value("spam_xp_" + std::to_string(s)));
+    g.SetAttr(xp, "is_fake", Value(int64_t{1}));
+    for (size_t j = 0; j < p.k; ++j) {
+      NodeId y = fresh_blog(Value("normal"));
+      g.AddEdge(x, "like", y);
+      g.AddEdge(xp, "like", y);
+    }
+    NodeId z1 = fresh_blog(Value("peculiar"));
+    NodeId z2 = fresh_blog(Value("peculiar"));
+    g.AddEdge(x, "post", z1);
+    g.AddEdge(xp, "post", z2);
+    out.expected_spam.push_back(x);
+  }
+  // Decoys: same topology but ordinary keywords — φ5 must not fire.
+  for (size_t s = 0; s < p.decoy_pairs; ++s) {
+    NodeId x = g.AddNode("account");
+    g.SetAttr(x, "name", Value("decoy_x_" + std::to_string(s)));
+    g.SetAttr(x, "is_fake", Value(int64_t{0}));
+    NodeId xp = g.AddNode("account");
+    g.SetAttr(xp, "name", Value("decoy_xp_" + std::to_string(s)));
+    g.SetAttr(xp, "is_fake", Value(int64_t{1}));
+    for (size_t j = 0; j < p.k; ++j) {
+      NodeId y = fresh_blog(Value("normal"));
+      g.AddEdge(x, "like", y);
+      g.AddEdge(xp, "like", y);
+    }
+    NodeId z1 = fresh_blog(Value("normal"));
+    NodeId z2 = fresh_blog(Value("normal"));
+    g.AddEdge(x, "post", z1);
+    g.AddEdge(xp, "post", z2);
+  }
+  return out;
+}
+
+// ----- Example 1 (3): music base ---------------------------------------------
+
+std::vector<Ged> MusicKeys() {
+  // Shared half of Q6: an album recorded by an artist.
+  Pattern half6;
+  VarId x = half6.AddVar("x", "album");
+  VarId xp = half6.AddVar("x'", "artist");
+  half6.AddEdge(x, "by", xp);
+
+  std::vector<Ged> out;
+  // ψ1: album key — same title + same (identified) artist.
+  out.push_back(MakeGkey("psi1", half6, x, [&](VarId f) {
+    return std::vector<Literal>{
+        Literal::Var(x, Sym("title"), f + x, Sym("title")),
+        Literal::Id(xp, f + xp)};
+  }));
+  // ψ2: album key — same title + same initial release.
+  Pattern half7;
+  VarId a = half7.AddVar("x", "album");
+  out.push_back(MakeGkey("psi2", half7, a, [&](VarId f) {
+    return std::vector<Literal>{
+        Literal::Var(a, Sym("title"), f + a, Sym("title")),
+        Literal::Var(a, Sym("release"), f + a, Sym("release"))};
+  }));
+  // ψ3: artist key — same name + a common (identified) album.
+  out.push_back(MakeGkey("psi3", half6, xp, [&](VarId f) {
+    return std::vector<Literal>{
+        Literal::Var(xp, Sym("name"), f + xp, Sym("name")),
+        Literal::Id(x, f + x)};
+  }));
+  return out;
+}
+
+MusicInstance GenMusicBase(const MusicParams& p) {
+  std::mt19937 rng(p.seed);
+  MusicInstance out;
+  Graph& g = out.graph;
+  std::vector<NodeId> artists;
+  std::vector<NodeId> albums;
+  std::vector<NodeId> album_artist;
+  for (size_t i = 0; i < p.num_artists; ++i) {
+    NodeId artist = g.AddNode("artist");
+    g.SetAttr(artist, "name", Value("artist_" + std::to_string(i)));
+    artists.push_back(artist);
+    for (size_t j = 0; j < p.albums_per_artist; ++j) {
+      NodeId album = g.AddNode("album");
+      g.SetAttr(album, "title",
+                Value("album_" + std::to_string(i) + "_" +
+                      std::to_string(j)));
+      g.SetAttr(album, "release",
+                Value(static_cast<int64_t>(1970 + (i * 7 + j * 3) % 50)));
+      g.AddEdge(album, "by", artist);
+      albums.push_back(album);
+      album_artist.push_back(artist);
+    }
+  }
+  size_t clean_nodes = g.NumNodes();
+
+  // Duplicate albums: same title, same artist node (ψ1) — even-indexed ones
+  // also share the release year so ψ2 alone catches them.
+  std::uniform_int_distribution<size_t> pick(0, albums.size() - 1);
+  for (size_t d = 0; d < p.dup_albums; ++d) {
+    size_t i = pick(rng);
+    NodeId orig = albums[i];
+    NodeId dup = g.AddNode("album");
+    g.SetAttr(dup, "title", *g.attr(orig, Sym("title")));
+    if (d % 2 == 0) {
+      g.SetAttr(dup, "release", *g.attr(orig, Sym("release")));
+    }
+    g.AddEdge(dup, "by", album_artist[i]);
+    ++out.dup_album_nodes;
+  }
+  // Duplicate artists: same name, sharing one album node (ψ3); their own
+  // second album duplicates an original (recursive ψ3 → ψ1 case).
+  std::uniform_int_distribution<size_t> apick(0, artists.size() - 1);
+  for (size_t d = 0; d < p.dup_artists; ++d) {
+    size_t i = apick(rng);
+    NodeId orig_artist = artists[i];
+    NodeId dup_artist = g.AddNode("artist");
+    g.SetAttr(dup_artist, "name", *g.attr(orig_artist, Sym("name")));
+    ++out.dup_artist_nodes;
+    // Shared album: an original album of this artist also credits the copy.
+    NodeId shared = albums[i * p.albums_per_artist];
+    g.AddEdge(shared, "by", dup_artist);
+    // Recursive duplicate album: same title as another original of this
+    // artist, release *unknown* (schemaless — ψ2 cannot catch it), recorded
+    // by the *copy* — only resolvable after ψ3 identifies the artists.
+    if (p.albums_per_artist > 1) {
+      NodeId orig_album = albums[i * p.albums_per_artist + 1];
+      NodeId dup_album = g.AddNode("album");
+      g.SetAttr(dup_album, "title", *g.attr(orig_album, Sym("title")));
+      g.AddEdge(dup_album, "by", dup_artist);
+      ++out.dup_album_nodes;
+    }
+  }
+  out.true_entities = clean_nodes;
+  return out;
+}
+
+}  // namespace ged

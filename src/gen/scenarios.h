@@ -1,0 +1,107 @@
+// The paper's three motivating scenarios (Example 1), as seeded synthetic
+// generators with ground truth. These substitute for Yago3 / DBPedia /
+// production social graphs (DESIGN.md §4): the GEDs of Example 3 are
+// sensitive only to the local violation shapes, which are reproduced
+// exactly; the scale knobs drive the benchmark sweeps.
+
+#ifndef GEDLIB_GEN_SCENARIOS_H_
+#define GEDLIB_GEN_SCENARIOS_H_
+
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+// ----- (1) knowledge base: consistency checking (φ1–φ4) ---------------------
+
+/// Knobs for the knowledge-base generator.
+struct KbParams {
+  size_t num_products = 40;   ///< video games / books with creators
+  size_t num_countries = 10;  ///< countries with capital cities
+  size_t num_species = 10;    ///< is_a chains with inherited attributes
+  size_t num_families = 10;   ///< parent/child pairs
+  /// Seeded inconsistencies (the Example 1 shapes).
+  size_t wrong_creator = 2;   ///< video game created by a non-programmer
+  size_t double_capital = 1;  ///< two capitals with different names
+  size_t flightless = 1;      ///< moa-style inheritance violation
+  size_t child_parent = 1;    ///< child-and-parent-of cycles
+  unsigned seed = 7;
+};
+
+/// Generated knowledge base plus ground-truth violation counts per rule.
+struct KbInstance {
+  Graph graph;
+  size_t expected_wrong_creator = 0;
+  size_t expected_double_capital = 0;
+  size_t expected_flightless = 0;
+  size_t expected_child_parent = 0;
+};
+
+/// Builds the knowledge base.
+KbInstance GenKnowledgeBase(const KbParams& params);
+
+/// GEDs φ1–φ4 of Example 3 (over the Fig. 1 patterns Q1–Q4).
+/// Order: [φ1 wrong-creator, φ2 capitals, φ3 inheritance, φ4 forbidding].
+std::vector<Ged> Example1Geds();
+
+// ----- (2) social network: spam detection (φ5) ------------------------------
+
+/// Knobs for the social-network generator.
+struct SocialParams {
+  size_t num_accounts = 60;
+  size_t num_blogs = 120;
+  size_t k = 2;               ///< shared liked blogs in Q5
+  size_t spam_pairs = 3;      ///< seeded (x, x') fake pairs with x unflagged
+  size_t decoy_pairs = 3;     ///< structurally similar pairs without keyword
+  /// When true, seeded spam accounts carry *no* is_fake attribute (the
+  /// schemaless case): validation still catches them, and the chase can
+  /// generate is_fake = 1 without conflicting with a stored 0.
+  bool unknown_flags = false;
+  unsigned seed = 11;
+};
+
+/// Generated social graph plus ground-truth spam accounts.
+struct SocialInstance {
+  Graph graph;
+  std::vector<NodeId> expected_spam;  ///< accounts catchable by φ5
+};
+
+/// Builds the social network.
+SocialInstance GenSocialNetwork(const SocialParams& params);
+
+/// φ5 of Example 3 over Q5 with `k` shared blogs and peculiar keyword `c`.
+Ged SpamGed(size_t k, const Value& keyword);
+
+// ----- (3) music base: entity resolution (ψ1–ψ3) ----------------------------
+
+/// Knobs for the album/artist generator.
+struct MusicParams {
+  size_t num_artists = 15;
+  size_t albums_per_artist = 2;
+  size_t dup_albums = 4;   ///< duplicate album nodes (same title + artist)
+  size_t dup_artists = 2;  ///< duplicate artist nodes (same name + album)
+  unsigned seed = 13;
+};
+
+/// Generated music base with ground-truth duplicate counts.
+struct MusicInstance {
+  Graph graph;
+  size_t dup_album_nodes = 0;
+  size_t dup_artist_nodes = 0;
+  /// Number of distinct entities after perfect resolution.
+  size_t true_entities = 0;
+};
+
+/// Builds the music base. Duplicate albums agree with their originals on
+/// title and (for ψ2 duplicates) release; duplicate artists agree on name
+/// and share a recorded album.
+MusicInstance GenMusicBase(const MusicParams& params);
+
+/// Recursive keys ψ1, ψ2, ψ3 of Example 3 (GKeys over Q6/Q7).
+std::vector<Ged> MusicKeys();
+
+}  // namespace ged
+
+#endif  // GEDLIB_GEN_SCENARIOS_H_

@@ -1,0 +1,140 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+namespace ged {
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, keeping quoted strings
+// (including their quotes) as single tokens.
+Result<std::vector<std::string>> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // comment to end of line
+    std::string tok;
+    bool in_quote = false;
+    while (i < line.size()) {
+      char c = line[i];
+      if (in_quote) {
+        tok.push_back(c);
+        if (c == '\\' && i + 1 < line.size()) {
+          tok.push_back(line[++i]);
+        } else if (c == '"') {
+          in_quote = false;
+        }
+        ++i;
+      } else if (c == '"') {
+        in_quote = true;
+        tok.push_back(c);
+        ++i;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        break;
+      } else {
+        tok.push_back(c);
+        ++i;
+      }
+    }
+    if (in_quote) {
+      return Status::InvalidArgument("unterminated string in: " +
+                                     std::string(line));
+    }
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Value> ParseValue(std::string_view token) {
+  if (token.empty()) return Status::InvalidArgument("empty value");
+  if (token == "true") return Value(true);
+  if (token == "false") return Value(false);
+  if (token.front() == '"') {
+    if (token.size() < 2 || token.back() != '"') {
+      return Status::InvalidArgument("bad string literal: " +
+                                     std::string(token));
+    }
+    std::string s;
+    for (size_t i = 1; i + 1 < token.size(); ++i) {
+      if (token[i] == '\\' && i + 2 < token.size()) ++i;
+      s.push_back(token[i]);
+    }
+    return Value(std::move(s));
+  }
+  // Number: int unless it contains . e E.
+  bool is_double = token.find_first_of(".eE") != std::string_view::npos;
+  std::string str(token);
+  char* end = nullptr;
+  if (is_double) {
+    double d = std::strtod(str.c_str(), &end);
+    if (end != str.c_str() + str.size()) {
+      return Status::InvalidArgument("bad number: " + str);
+    }
+    return Value(d);
+  }
+  long long i = std::strtoll(str.c_str(), &end, 10);
+  if (end != str.c_str() + str.size()) {
+    return Status::InvalidArgument("bad value token: " + str);
+  }
+  return Value(static_cast<int64_t>(i));
+}
+
+Result<Graph> ParseGraph(std::string_view text) {
+  Graph g;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto toks_r = Tokenize(line);
+    if (!toks_r.ok()) return toks_r.status();
+    const auto& toks = toks_r.value();
+    if (toks.empty()) continue;
+    auto err = [&](const std::string& msg) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": " + msg);
+    };
+    if (toks[0] == "node") {
+      if (toks.size() < 3) return err("node needs: node <id> <label> ...");
+      NodeId want = static_cast<NodeId>(std::strtoul(toks[1].c_str(),
+                                                     nullptr, 10));
+      if (want != g.NumNodes()) {
+        return err("node ids must be dense and increasing, got " + toks[1]);
+      }
+      NodeId v = g.AddNode(Sym(toks[2]));
+      for (size_t i = 3; i < toks.size(); ++i) {
+        size_t eq = toks[i].find('=');
+        if (eq == std::string::npos) return err("bad attr: " + toks[i]);
+        auto val = ParseValue(std::string_view(toks[i]).substr(eq + 1));
+        if (!val.ok()) return val.status();
+        g.SetAttr(v, Sym(toks[i].substr(0, eq)), val.Take());
+      }
+    } else if (toks[0] == "edge") {
+      if (toks.size() != 4) return err("edge needs: edge <src> <label> <dst>");
+      NodeId s = static_cast<NodeId>(std::strtoul(toks[1].c_str(), nullptr,
+                                                  10));
+      NodeId d = static_cast<NodeId>(std::strtoul(toks[3].c_str(), nullptr,
+                                                  10));
+      if (s >= g.NumNodes() || d >= g.NumNodes()) {
+        return err("edge endpoint out of range");
+      }
+      g.AddEdge(s, Sym(toks[2]), d);
+    } else {
+      return err("unknown directive: " + toks[0]);
+    }
+  }
+  return g;
+}
+
+std::string SerializeGraph(const Graph& g) { return g.ToString(); }
+
+}  // namespace ged

@@ -1,0 +1,35 @@
+// Text serialization for property graphs.
+//
+// Line-oriented format (written by Graph::ToString, read by ParseGraph):
+//
+//   # comment
+//   node <id> <label> [<attr>=<value> ...]
+//   edge <src> <label> <dst>
+//
+// Values are integers (42), doubles (3.5), booleans (true/false) or quoted
+// strings ("Bleach", with \" and \\ escapes). Node ids must be declared
+// densely in increasing order starting at 0, which is what the writer emits.
+
+#ifndef GEDLIB_GRAPH_IO_H_
+#define GEDLIB_GRAPH_IO_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// Parses a graph from the text format described above.
+Result<Graph> ParseGraph(std::string_view text);
+
+/// Serializes `g` in the text format (same as g.ToString()).
+std::string SerializeGraph(const Graph& g);
+
+/// Parses a single value token: 42, 3.5, true, false, or "str".
+Result<Value> ParseValue(std::string_view token);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GRAPH_IO_H_

@@ -1,0 +1,108 @@
+#include "graph/pattern.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/union_find.h"
+
+namespace ged {
+
+VarId Pattern::AddVar(std::string name, Label label) {
+  VarId id = static_cast<VarId>(labels_.size());
+  labels_.push_back(label);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+void Pattern::AddEdge(VarId u, Label label, VarId v) {
+  edges_.push_back(PEdge{u, label, v});
+}
+
+VarId Pattern::FindVar(std::string_view name) const {
+  for (VarId i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return i;
+  }
+  return kNoVar;
+}
+
+Graph Pattern::ToGraph() const {
+  Graph g;
+  for (VarId x = 0; x < NumVars(); ++x) g.AddNode(labels_[x]);
+  for (const PEdge& e : edges_) g.AddEdge(e.src, e.label, e.dst);
+  return g;
+}
+
+VarId Pattern::DisjointUnion(const Pattern& other,
+                             const std::string& rename_suffix) {
+  VarId offset = static_cast<VarId>(NumVars());
+  for (VarId x = 0; x < other.NumVars(); ++x) {
+    AddVar(other.var_name(x) + rename_suffix, other.label(x));
+  }
+  for (const PEdge& e : other.edges()) {
+    AddEdge(offset + e.src, e.label, offset + e.dst);
+  }
+  return offset;
+}
+
+std::vector<uint32_t> Pattern::ComponentIds() const {
+  UnionFind uf(NumVars());
+  for (const PEdge& e : edges_) uf.Union(e.src, e.dst);
+  std::vector<uint32_t> ids(NumVars());
+  for (VarId x = 0; x < NumVars(); ++x) ids[x] = uf.Find(x);
+  return ids;
+}
+
+bool Pattern::SameComponent(VarId u, VarId v) const {
+  auto ids = ComponentIds();
+  return ids[u] == ids[v];
+}
+
+bool Pattern::IsTwoCopyLayout() const {
+  size_t n = NumVars();
+  if (n == 0 || n % 2 != 0) return false;
+  VarId mid = static_cast<VarId>(n / 2);
+  for (VarId x = 0; x < mid; ++x) {
+    if (labels_[x] != labels_[mid + x]) return false;
+  }
+  // Edge sets must correspond under x -> x + mid, with no cross edges.
+  std::vector<PEdge> first, second;
+  for (const PEdge& e : edges_) {
+    bool src_lo = e.src < mid, dst_lo = e.dst < mid;
+    if (src_lo != dst_lo) return false;
+    if (src_lo) {
+      first.push_back(e);
+    } else {
+      second.push_back(PEdge{e.src - mid, e.label, e.dst - mid});
+    }
+  }
+  auto key = [](const PEdge& e) {
+    return std::tie(e.src, e.label, e.dst);
+  };
+  auto lt = [&](const PEdge& a, const PEdge& b) { return key(a) < key(b); };
+  std::sort(first.begin(), first.end(), lt);
+  std::sort(second.begin(), second.end(), lt);
+  return first == second;
+}
+
+std::string Pattern::ToString() const {
+  std::ostringstream os;
+  std::vector<bool> mentioned(NumVars(), false);
+  bool sep = false;
+  for (const PEdge& e : edges_) {
+    if (sep) os << ", ";
+    sep = true;
+    os << "(" << names_[e.src] << ":" << SymName(labels_[e.src]) << ")-["
+       << SymName(e.label) << "]->(" << names_[e.dst] << ":"
+       << SymName(labels_[e.dst]) << ")";
+    mentioned[e.src] = mentioned[e.dst] = true;
+  }
+  for (VarId x = 0; x < NumVars(); ++x) {
+    if (mentioned[x]) continue;
+    if (sep) os << ", ";
+    sep = true;
+    os << "(" << names_[x] << ":" << SymName(labels_[x]) << ")";
+  }
+  return os.str();
+}
+
+}  // namespace ged

@@ -1,0 +1,101 @@
+// Graph patterns Q[x̄] = (V_Q, E_Q, L_Q) of the paper (§2).
+//
+// Pattern nodes are variables x̄; labels are drawn from Γ plus the wildcard
+// '_' (kWildcard), on both nodes and edges. Patterns are matched in graphs
+// by homomorphisms h with L_Q(u) ≼ L(h(u)) (match/matcher.h); the subgraph-
+// isomorphism semantics of [19,23] is kept as a baseline option there.
+
+#ifndef GEDLIB_GRAPH_PATTERN_H_
+#define GEDLIB_GRAPH_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// Index of a pattern variable in x̄.
+using VarId = uint32_t;
+
+/// A directed labeled pattern with named variables.
+class Pattern {
+ public:
+  Pattern() = default;
+
+  /// Adds variable `name` with label `label` ('_' = wildcard); returns its id.
+  VarId AddVar(std::string name, Label label);
+  /// Adds variable with a label name (interned; "_" = wildcard).
+  VarId AddVar(std::string name, std::string_view label) {
+    return AddVar(std::move(name), Sym(label));
+  }
+
+  /// Adds pattern edge (u, label, v); label may be wildcard.
+  void AddEdge(VarId u, Label label, VarId v);
+  /// Adds pattern edge with a label name.
+  void AddEdge(VarId u, std::string_view label, VarId v) {
+    AddEdge(u, Sym(label), v);
+  }
+
+  /// Number of variables |x̄|.
+  size_t NumVars() const { return labels_.size(); }
+  /// Number of pattern edges.
+  size_t NumEdges() const { return edges_.size(); }
+  /// |V_Q| + |E_Q|.
+  size_t Size() const { return NumVars() + NumEdges(); }
+
+  /// Label of variable x.
+  Label label(VarId x) const { return labels_[x]; }
+  /// Name of variable x.
+  const std::string& var_name(VarId x) const { return names_[x]; }
+  /// Id of the variable called `name`, or kNoVar.
+  VarId FindVar(std::string_view name) const;
+  static constexpr VarId kNoVar = UINT32_MAX;
+
+  /// A pattern edge (u, label, v).
+  struct PEdge {
+    VarId src;
+    Label label;
+    VarId dst;
+    bool operator==(const PEdge&) const = default;
+  };
+  /// All pattern edges.
+  const std::vector<PEdge>& edges() const { return edges_; }
+
+  /// The canonical graph G_Q of this pattern (§5.2): same nodes/edges/labels
+  /// ('_' kept as a special label), empty attribute function F_A.
+  Graph ToGraph() const;
+
+  /// Appends a disjoint copy of `other`, returning the variable offset.
+  /// Copied variables are renamed with the given suffix (Q2 is "a copy of
+  /// Q1 via a bijection f", §2); the bijection is x -> offset + x.
+  VarId DisjointUnion(const Pattern& other, const std::string& rename_suffix);
+
+  /// True iff variables u and v are in the same weakly connected component.
+  bool SameComponent(VarId u, VarId v) const;
+  /// Component id (dense, by smallest member) for each variable.
+  std::vector<uint32_t> ComponentIds() const;
+
+  /// Structural check used by GKey classification: does this pattern consist
+  /// of two disjoint halves {0..mid-1} and {mid..n-1} such that the second is
+  /// a copy of the first via x -> x + mid? (The GKey builder in ged/ lays
+  /// patterns out this way.)
+  bool IsTwoCopyLayout() const;
+
+  /// Human-readable form: (x:person)-[create]->(y:product), ...
+  std::string ToString() const;
+
+  bool operator==(const Pattern& other) const {
+    return labels_ == other.labels_ && edges_ == other.edges_;
+  }
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::string> names_;
+  std::vector<PEdge> edges_;
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_GRAPH_PATTERN_H_

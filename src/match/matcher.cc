@@ -1,0 +1,344 @@
+#include "match/matcher.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace ged {
+
+namespace {
+
+constexpr NodeId kUnbound = UINT32_MAX;
+
+// Per-variable view of the pattern edges, split by bound/unbound use.
+struct VarInfo {
+  // Edges (x, label, y): outgoing from this var.
+  std::vector<std::pair<Label, VarId>> out;
+  // Edges (y, label, x): incoming to this var.
+  std::vector<std::pair<Label, VarId>> in;
+  // Distinct concrete out/in labels for degree filtering.
+  std::vector<Label> out_labels;
+  std::vector<Label> in_labels;
+  bool has_wild_out = false;
+  bool has_wild_in = false;
+};
+
+class Search {
+ public:
+  Search(const Pattern& q, const Graph& g, const MatchOptions& opts,
+         const MatchCallback& cb)
+      : q_(q), g_(g), opts_(opts), cb_(cb) {}
+
+  MatchStats Run() {
+    size_t n = q_.NumVars();
+    if (n == 0) {
+      // One empty homomorphism.
+      stats_.matches = 1;
+      cb_(Match{});
+      return stats_;
+    }
+    BuildVarInfo();
+    assignment_.assign(n, kUnbound);
+    if (opts_.semantics == MatchSemantics::kIsomorphism) {
+      used_.assign(g_.NumNodes(), false);
+    }
+    // Apply pinned bindings; they must be mutually consistent.
+    for (const auto& [x, v] : opts_.pinned) {
+      if (x >= n || v >= g_.NumNodes()) return stats_;
+      if (assignment_[x] != kUnbound) {
+        if (assignment_[x] != v) return stats_;
+        continue;
+      }
+      if (!NodeOk(x, v)) return stats_;
+      assignment_[x] = v;
+      if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = true;
+    }
+    BuildOrder();
+    Extend(0);
+    return stats_;
+  }
+
+ private:
+  void BuildVarInfo() {
+    info_.assign(q_.NumVars(), VarInfo{});
+    for (const Pattern::PEdge& e : q_.edges()) {
+      info_[e.src].out.emplace_back(e.label, e.dst);
+      info_[e.dst].in.emplace_back(e.label, e.src);
+      if (e.label == kWildcard) {
+        info_[e.src].has_wild_out = true;
+        info_[e.dst].has_wild_in = true;
+      } else {
+        info_[e.src].out_labels.push_back(e.label);
+        info_[e.dst].in_labels.push_back(e.label);
+      }
+    }
+    for (VarInfo& vi : info_) {
+      auto dedup = [](std::vector<Label>& v) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+      };
+      dedup(vi.out_labels);
+      dedup(vi.in_labels);
+    }
+  }
+
+  // Candidate-count estimate for ordering decisions only.
+  size_t Estimate(VarId x) const {
+    Label l = q_.label(x);
+    return l == kWildcard ? g_.NumNodes() : g_.NodesWithLabel(l).size();
+  }
+
+  void BuildOrder() {
+    size_t n = q_.NumVars();
+    order_.clear();
+    order_.reserve(n);
+    std::vector<bool> placed(n, false);
+    std::vector<int> adj_count(n, 0);
+    auto mark_neighbors = [&](VarId x) {
+      for (const auto& [l, y] : info_[x].out) {
+        (void)l;
+        if (!placed[y]) ++adj_count[y];
+      }
+      for (const auto& [l, y] : info_[x].in) {
+        (void)l;
+        if (!placed[y]) ++adj_count[y];
+      }
+    };
+    size_t remaining = 0;
+    for (VarId x = 0; x < n; ++x) {
+      if (assignment_[x] != kUnbound) {
+        placed[x] = true;  // pinned: not part of the search order
+      } else {
+        ++remaining;
+      }
+    }
+    for (VarId x = 0; x < n; ++x) {
+      if (placed[x]) mark_neighbors(x);
+    }
+    if (!opts_.smart_order) {
+      for (VarId x = 0; x < n; ++x) {
+        if (!placed[x]) order_.push_back(x);
+      }
+      return;
+    }
+    // Greedy: most-constrained first, then prefer variables adjacent to the
+    // already-ordered prefix (so candidates propagate through adjacency).
+    auto place = [&](VarId x) {
+      order_.push_back(x);
+      placed[x] = true;
+      mark_neighbors(x);
+    };
+    for (size_t step = 0; step < remaining; ++step) {
+      VarId best = Pattern::kNoVar;
+      // Rank: (connected-to-prefix, degree in pattern, -estimate).
+      auto better = [&](VarId a, VarId b) {
+        if (b == Pattern::kNoVar) return true;
+        bool ca = adj_count[a] > 0, cb = adj_count[b] > 0;
+        if (ca != cb) return ca;
+        size_t ea = Estimate(a), eb = Estimate(b);
+        if (ea != eb) return ea < eb;
+        size_t da = info_[a].out.size() + info_[a].in.size();
+        size_t db = info_[b].out.size() + info_[b].in.size();
+        if (da != db) return da > db;
+        return a < b;
+      };
+      for (VarId x = 0; x < n; ++x) {
+        if (!placed[x] && better(x, best)) best = x;
+      }
+      place(best);
+    }
+  }
+
+  bool NodeOk(VarId x, NodeId v) const {
+    if (!LabelMatches(q_.label(x), g_.label(v))) return false;
+    if (opts_.semantics == MatchSemantics::kIsomorphism && used_[v]) {
+      return false;
+    }
+    if (opts_.degree_filter) {
+      const VarInfo& vi = info_[x];
+      if (vi.has_wild_out && g_.OutDegree(v) == 0) return false;
+      if (vi.has_wild_in && g_.InDegree(v) == 0) return false;
+      for (Label l : vi.out_labels) {
+        bool found = false;
+        for (const Edge& e : g_.out(v)) {
+          if (e.label == l) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      for (Label l : vi.in_labels) {
+        bool found = false;
+        for (const Edge& e : g_.in(v)) {
+          if (e.label == l) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+    // Check all pattern edges between x and already-bound variables.
+    for (const auto& [l, y] : info_[x].out) {
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound && y != x) continue;
+      NodeId dst = (y == x) ? v : hv;
+      if (!HasMatchingEdge(v, l, dst)) return false;
+    }
+    for (const auto& [l, y] : info_[x].in) {
+      if (y == x) continue;  // self-loop handled above
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound) continue;
+      if (!HasMatchingEdge(hv, l, v)) return false;
+    }
+    return true;
+  }
+
+  bool HasMatchingEdge(NodeId src, Label l, NodeId dst) const {
+    return g_.HasEdge(src, l, dst);  // HasEdge handles wildcard l
+  }
+
+  // Candidate list for variable x at the current depth: prefer adjacency of
+  // a bound neighbor, else label index.
+  void Candidates(VarId x, std::vector<NodeId>* out) const {
+    out->clear();
+    // Find the bound neighbor whose adjacency list is smallest.
+    const VarInfo& vi = info_[x];
+    const std::vector<Edge>* best_list = nullptr;
+    Label best_label = kWildcard;
+    bool from_out = false;  // true: candidates from out(h(y)) ... (y->x)
+    size_t best_size = SIZE_MAX;
+    for (const auto& [l, y] : vi.in) {  // edges y -> x
+      NodeId hv = (y == x) ? kUnbound : assignment_[y];
+      if (hv == kUnbound) continue;
+      const auto& lst = g_.out(hv);
+      if (lst.size() < best_size) {
+        best_size = lst.size();
+        best_list = &lst;
+        best_label = l;
+        from_out = true;
+      }
+    }
+    for (const auto& [l, y] : vi.out) {  // edges x -> y
+      NodeId hv = (y == x) ? kUnbound : assignment_[y];
+      if (hv == kUnbound) continue;
+      const auto& lst = g_.in(hv);
+      if (lst.size() < best_size) {
+        best_size = lst.size();
+        best_list = &lst;
+        best_label = l;
+        from_out = false;
+      }
+    }
+    if (best_list != nullptr) {
+      for (const Edge& e : *best_list) {
+        if (!LabelMatches(best_label, e.label)) continue;
+        out->push_back(e.other);
+      }
+      (void)from_out;
+      std::sort(out->begin(), out->end());
+      out->erase(std::unique(out->begin(), out->end()), out->end());
+      return;
+    }
+    Label l = q_.label(x);
+    if (l == kWildcard) {
+      out->reserve(g_.NumNodes());
+      for (NodeId v = 0; v < g_.NumNodes(); ++v) out->push_back(v);
+    } else {
+      *out = g_.NodesWithLabel(l);
+    }
+  }
+
+  bool Extend(size_t depth) {
+    if (opts_.max_steps != 0 && stats_.steps >= opts_.max_steps) {
+      stats_.aborted = true;
+      return false;
+    }
+    ++stats_.steps;
+    if (depth == order_.size()) {
+      ++stats_.matches;
+      bool keep_going = cb_(assignment_);
+      if (opts_.max_matches != 0 && stats_.matches >= opts_.max_matches) {
+        return false;
+      }
+      return keep_going;
+    }
+    VarId x = order_[depth];
+    std::vector<NodeId> cands;
+    Candidates(x, &cands);
+    for (NodeId v : cands) {
+      if (!NodeOk(x, v)) continue;
+      assignment_[x] = v;
+      if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = true;
+      bool keep_going = Extend(depth + 1);
+      assignment_[x] = kUnbound;
+      if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Pattern& q_;
+  const Graph& g_;
+  const MatchOptions& opts_;
+  const MatchCallback& cb_;
+  std::vector<VarInfo> info_;
+  std::vector<VarId> order_;
+  Match assignment_;
+  std::vector<bool> used_;
+  MatchStats stats_;
+};
+
+}  // namespace
+
+MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb) {
+  Search search(q, g, options, cb);
+  return search.Run();
+}
+
+bool HasMatch(const Pattern& q, const Graph& g, const MatchOptions& options) {
+  MatchOptions opts = options;
+  opts.max_matches = 1;
+  bool found = false;
+  EnumerateMatches(q, g, opts, [&](const Match&) {
+    found = true;
+    return false;
+  });
+  return found;
+}
+
+uint64_t CountMatches(const Pattern& q, const Graph& g,
+                      const MatchOptions& options) {
+  uint64_t n = 0;
+  EnumerateMatches(q, g, options, [&](const Match&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
+                              const MatchOptions& options) {
+  std::vector<Match> out;
+  EnumerateMatches(q, g, options, [&](const Match& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h) {
+  if (h.size() != q.NumVars()) return false;
+  for (VarId x = 0; x < q.NumVars(); ++x) {
+    if (h[x] >= g.NumNodes()) return false;
+    if (!LabelMatches(q.label(x), g.label(h[x]))) return false;
+  }
+  for (const Pattern::PEdge& e : q.edges()) {
+    if (!g.HasEdge(h[e.src], e.label, h[e.dst])) return false;
+  }
+  return true;
+}
+
+}  // namespace ged

@@ -1,0 +1,90 @@
+// Graph pattern matching (paper §2, "Matches").
+//
+// A match of Q[x̄] in G is a *homomorphism* h from Q to G with
+// L_Q(u) ≼ L(h(u)) on nodes and ι ≼ ι' on each pattern edge. Homomorphism
+// is the semantics GEDs are defined with; the subgraph-isomorphism semantics
+// of GFDs [23] and keys [19] (injective h) is kept as a baseline option —
+// §3 of the paper shows why isomorphism is too strict for GKeys.
+//
+// The matcher is a backtracking search with
+//   * label-index candidate generation,
+//   * neighbor-driven candidate propagation (bound-adjacency first),
+//   * connectivity-first, most-constrained-first variable ordering,
+//   * per-label degree filtering,
+// each of which can be toggled off for the ablation benchmark.
+
+#ifndef GEDLIB_MATCH_MATCHER_H_
+#define GEDLIB_MATCH_MATCHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+
+namespace ged {
+
+/// Which mapping class counts as a match.
+enum class MatchSemantics {
+  kHomomorphism,  ///< the paper's GED semantics (default)
+  kIsomorphism,   ///< injective mapping; the [19]/[23] baseline
+};
+
+/// A full assignment h(x̄): match[x] is the graph node bound to variable x.
+using Match = std::vector<NodeId>;
+
+/// Invoked per match; return false to stop the enumeration early.
+using MatchCallback = std::function<bool(const Match&)>;
+
+/// Knobs for EnumerateMatches.
+struct MatchOptions {
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+  /// Prune candidates whose per-label degrees cannot cover the variable's
+  /// pattern edges.
+  bool degree_filter = true;
+  /// Order variables connectivity-first / most-constrained-first instead of
+  /// x̄ order.
+  bool smart_order = true;
+  /// Stop after this many matches (0 = unlimited).
+  uint64_t max_matches = 0;
+  /// Abort after this many search-tree nodes (0 = unlimited).
+  uint64_t max_steps = 0;
+  /// Pre-bound variables (var, node). The enumeration is restricted to
+  /// matches with h(var) = node; used to partition work across threads.
+  std::vector<std::pair<VarId, NodeId>> pinned;
+};
+
+/// Outcome counters of an enumeration.
+struct MatchStats {
+  uint64_t matches = 0;  ///< matches delivered to the callback
+  uint64_t steps = 0;    ///< search-tree nodes explored
+  bool aborted = false;  ///< true iff max_steps was hit
+};
+
+/// Enumerates matches of `q` in `g`, calling `cb` for each.
+/// An empty pattern (no variables) yields exactly one empty match.
+MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb);
+
+/// True iff at least one match exists.
+bool HasMatch(const Pattern& q, const Graph& g,
+              const MatchOptions& options = {});
+
+/// Number of matches (subject to options caps).
+uint64_t CountMatches(const Pattern& q, const Graph& g,
+                      const MatchOptions& options = {});
+
+/// Collects all matches (subject to options caps).
+std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
+                              const MatchOptions& options = {});
+
+/// Verifies that an explicit assignment is a homomorphic match of `q` in
+/// `g`: every variable bound to an in-range node with L_Q(x) ≼ L(h(x)), and
+/// every pattern edge present with a matching label.
+bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h);
+
+}  // namespace ged
+
+#endif  // GEDLIB_MATCH_MATCHER_H_

@@ -1,0 +1,56 @@
+#include "reason/implication.h"
+
+namespace ged {
+
+ImplicationResult CheckImplication(const std::vector<Ged>& sigma,
+                                   const Ged& phi,
+                                   const ChaseOptions& options) {
+  Graph gq = phi.pattern().ToGraph();
+  EqRel eqx = BuildEqX(gq, phi.X());
+  ChaseResult chase = Chase(gq, sigma, &eqx, options);
+
+  ImplicationResult out{.implied = false,
+                        .via_inconsistency = false,
+                        .missing = {},
+                        .chase = std::move(chase)};
+  if (!out.chase.consistent) {
+    // Condition (1): no G ⊨ Σ has a match of Q satisfying X, or enforcing
+    // X under Σ conflicts — φ holds vacuously.
+    out.implied = true;
+    out.via_inconsistency = true;
+    return out;
+  }
+  if (phi.is_forbidding()) {
+    // Y = false is deducible only from an inconsistent chase.
+    out.implied = false;
+    return out;
+  }
+  // Condition (2): every literal of Y must be deduced from the result.
+  for (const Literal& l : phi.Y()) {
+    if (!Deducible(out.chase.eq, l)) out.missing.push_back(l);
+  }
+  out.implied = out.missing.empty();
+  return out;
+}
+
+bool Implies(const std::vector<Ged>& sigma, const Ged& phi) {
+  return CheckImplication(sigma, phi).implied;
+}
+
+std::vector<size_t> MinimizeCover(const std::vector<Ged>& sigma) {
+  std::vector<bool> kept(sigma.size(), true);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    std::vector<Ged> rest;
+    for (size_t j = 0; j < sigma.size(); ++j) {
+      if (j != i && kept[j]) rest.push_back(sigma[j]);
+    }
+    if (Implies(rest, sigma[i])) kept[i] = false;
+  }
+  std::vector<size_t> out;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    if (kept[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ged

@@ -1,0 +1,48 @@
+// Implication of GEDs (paper §5.2).
+//
+// Σ ⊨ φ iff every finite graph satisfying Σ satisfies φ = Q[x̄](X → Y).
+// Theorem 4: Σ ⊨ φ iff either (1) chase(G_Q, Eq_X, Σ) is inconsistent, or
+// (2) it is consistent and Y can be deduced from its result. The problem is
+// NP-complete for GEDs, GFDs, GKeys, GFDxs and GEDxs (Theorem 5) — NP-hard
+// already for a single GFDx, because deciding whether Y is deduced requires
+// examining homomorphic embeddings of Σ's patterns into G_Q.
+
+#ifndef GEDLIB_REASON_IMPLICATION_H_
+#define GEDLIB_REASON_IMPLICATION_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "ged/ged.h"
+
+namespace ged {
+
+/// Outcome of the implication check, with the chase certificate.
+struct ImplicationResult {
+  bool implied = false;
+  /// True iff condition (1) of Theorem 4 fired (inconsistent chase).
+  bool via_inconsistency = false;
+  /// Literals of Y that could not be deduced (nonempty iff !implied, unless
+  /// φ is forbidding — then `implied` alone tells the story).
+  std::vector<Literal> missing;
+  /// chase(G_Q, Eq_X, Σ).
+  ChaseResult chase;
+};
+
+/// Decides Σ ⊨ φ per Theorem 4.
+ImplicationResult CheckImplication(const std::vector<Ged>& sigma,
+                                   const Ged& phi,
+                                   const ChaseOptions& options = {});
+
+/// True iff Σ ⊨ φ.
+bool Implies(const std::vector<Ged>& sigma, const Ged& phi);
+
+/// Removes GEDs implied by the rest of the set (a data-quality-rule
+/// optimization, §5.2 "the implication analysis helps us ... get rid of
+/// redundant rules"). Returns the indexes kept, in input order; `sigma` is
+/// scanned front to back, so earlier rules win ties between equivalents.
+std::vector<size_t> MinimizeCover(const std::vector<Ged>& sigma);
+
+}  // namespace ged
+
+#endif  // GEDLIB_REASON_IMPLICATION_H_

@@ -1,0 +1,37 @@
+#include "reason/satisfiability.h"
+
+namespace ged {
+
+SatisfiabilityResult CheckSatisfiability(const std::vector<Ged>& sigma,
+                                         const ChaseOptions& options) {
+  CanonicalGraph canonical = BuildCanonicalGraph(sigma);
+  ChaseResult chase = Chase(canonical.graph, sigma, nullptr, options);
+  SatisfiabilityResult out{.satisfiable = chase.consistent,
+                           .reason = chase.conflict_reason,
+                           .chase = std::move(chase),
+                           .canonical = std::move(canonical)};
+  return out;
+}
+
+bool IsSatisfiable(const std::vector<Ged>& sigma) {
+  return CheckSatisfiability(sigma).satisfiable;
+}
+
+Result<Graph> BuildModel(const std::vector<Ged>& sigma) {
+  if (sigma.empty()) {
+    // Any nonempty graph is a model of the empty set.
+    Graph g;
+    g.AddNode(Sym("node"));
+    return g;
+  }
+  SatisfiabilityResult sat = CheckSatisfiability(sigma);
+  if (!sat.satisfiable) {
+    return Status::InvalidArgument("Σ is unsatisfiable: " + sat.reason);
+  }
+  // The instantiated coercion is a model: fresh labels only match wildcard
+  // pattern nodes and fresh values introduce no unintended equalities, so
+  // the match set is exactly the coercion's (Theorem 2's construction).
+  return InstantiateModel(sat.chase.eq);
+}
+
+}  // namespace ged

@@ -1,0 +1,50 @@
+// Satisfiability of GED sets (paper §5.1).
+//
+// Σ is satisfiable iff it has a *model*: a nonempty finite graph G with
+// G ⊨ Σ in which every pattern of Σ has a match (the strong notion, so the
+// GEDs make sense together). Theorem 2: Σ is satisfiable iff chase(G_Σ, Σ)
+// is consistent, where G_Σ is the canonical graph (disjoint union of the
+// patterns). The problem is coNP-complete for GEDs, GFDs, GKeys and GEDxs;
+// it is O(1) for GFDxs — without constant or id literals no chase step can
+// conflict (Theorem 3).
+
+#ifndef GEDLIB_REASON_SATISFIABILITY_H_
+#define GEDLIB_REASON_SATISFIABILITY_H_
+
+#include <vector>
+
+#include "chase/chase.h"
+#include "ged/canonical.h"
+#include "ged/ged.h"
+
+namespace ged {
+
+/// Outcome of the satisfiability check.
+struct SatisfiabilityResult {
+  bool satisfiable = false;
+  /// Conflict explanation when unsatisfiable.
+  std::string reason;
+  /// The chase of G_Σ by Σ (certificate either way).
+  ChaseResult chase;
+  /// G_Σ itself with per-GED variable offsets.
+  CanonicalGraph canonical;
+};
+
+/// Decides satisfiability of Σ by chasing G_Σ (Theorem 2).
+SatisfiabilityResult CheckSatisfiability(const std::vector<Ged>& sigma,
+                                         const ChaseOptions& options = {});
+
+/// True iff Σ has a model.
+bool IsSatisfiable(const std::vector<Ged>& sigma);
+
+/// Builds a concrete model of Σ (Theorem 2's construction): the coercion of
+/// the chase result with wildcard labels replaced by a fresh label and
+/// constant-free attribute classes instantiated with fresh distinct values.
+/// Fails with InvalidArgument when Σ is unsatisfiable.
+/// The returned graph satisfies Σ and matches every pattern of Σ — the
+/// test-suite verifies this with the validator.
+Result<Graph> BuildModel(const std::vector<Ged>& sigma);
+
+}  // namespace ged
+
+#endif  // GEDLIB_REASON_SATISFIABILITY_H_

@@ -1,0 +1,156 @@
+#include "reason/validation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace ged {
+
+namespace {
+
+void SortViolations(std::vector<Violation>* violations) {
+  std::sort(violations->begin(), violations->end(),
+            [](const Violation& a, const Violation& b) {
+              if (a.ged_index != b.ged_index) return a.ged_index < b.ged_index;
+              return a.match < b.match;
+            });
+}
+
+// Serial scan of one GED, optionally restricted by a pinned first variable.
+void ScanGed(const Graph& g, const Ged& phi, size_t ged_index,
+             const ValidationOptions& vopts,
+             const std::vector<std::pair<VarId, NodeId>>& pinned,
+             std::vector<Violation>* out, uint64_t* checked) {
+  MatchOptions mopts;
+  mopts.semantics = vopts.semantics;
+  mopts.degree_filter = vopts.degree_filter;
+  mopts.smart_order = vopts.smart_order;
+  mopts.pinned = pinned;
+  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
+    ++*checked;
+    if (!SatisfiesAll(g, h, phi.X())) return true;
+    bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
+    if (!y_ok) {
+      out->push_back(Violation{ged_index, h});
+      if (vopts.max_violations_per_ged != 0 &&
+          out->size() >= vopts.max_violations_per_ged) {
+        return false;
+      }
+    }
+    return true;
+  });
+}
+
+ValidationReport ValidateSerial(const Graph& g, const std::vector<Ged>& sigma,
+                                const ValidationOptions& options) {
+  ValidationReport report;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    std::vector<Violation> v;
+    ScanGed(g, sigma[i], i, options, {}, &v, &report.matches_checked);
+    report.violations.insert(report.violations.end(), v.begin(), v.end());
+  }
+  report.satisfied = report.violations.empty();
+  SortViolations(&report.violations);
+  return report;
+}
+
+ValidationReport ValidateParallel(const Graph& g,
+                                  const std::vector<Ged>& sigma,
+                                  const ValidationOptions& options) {
+  // Work items: (ged, chunk of candidate nodes for variable 0). Pinning
+  // variable 0 partitions the match space exactly; chunking keeps the
+  // per-item matcher setup overhead amortized.
+  struct WorkItem {
+    size_t ged_index;
+    std::vector<NodeId> pins;  // empty = single run without pinning
+  };
+  std::vector<WorkItem> items;
+  size_t chunks_per_ged = std::max<size_t>(1, 8 * options.num_threads);
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const Pattern& q = sigma[i].pattern();
+    if (q.NumVars() == 0) {
+      items.push_back(WorkItem{i, {}});  // single empty match
+      continue;
+    }
+    Label l = q.label(0);
+    std::vector<NodeId> candidates;
+    if (l == kWildcard) {
+      candidates.resize(g.NumNodes());
+      for (NodeId v = 0; v < g.NumNodes(); ++v) candidates[v] = v;
+    } else {
+      candidates = g.NodesWithLabel(l);
+    }
+    size_t chunk = std::max<size_t>(1, candidates.size() / chunks_per_ged);
+    for (size_t begin = 0; begin < candidates.size(); begin += chunk) {
+      size_t end = std::min(candidates.size(), begin + chunk);
+      items.push_back(
+          WorkItem{i, std::vector<NodeId>(candidates.begin() + begin,
+                                          candidates.begin() + end)});
+    }
+    if (candidates.empty()) {
+      // No candidate for variable 0: zero matches, nothing to scan.
+    }
+  }
+
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  ValidationReport report;
+  std::vector<uint64_t> per_ged_violations(sigma.size(), 0);
+
+  auto worker = [&]() {
+    std::vector<Violation> local;
+    uint64_t checked = 0;
+    while (true) {
+      size_t k = next.fetch_add(1);
+      if (k >= items.size()) break;
+      const WorkItem& item = items[k];
+      if (options.max_violations_per_ged != 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (per_ged_violations[item.ged_index] >=
+            options.max_violations_per_ged) {
+          continue;
+        }
+      }
+      std::vector<Violation> v;
+      if (item.pins.empty()) {
+        ScanGed(g, sigma[item.ged_index], item.ged_index, options, {}, &v,
+                &checked);
+      } else {
+        for (NodeId pin : item.pins) {
+          ScanGed(g, sigma[item.ged_index], item.ged_index, options,
+                  {{0, pin}}, &v, &checked);
+        }
+      }
+      if (!v.empty()) {
+        std::lock_guard<std::mutex> lock(mu);
+        per_ged_violations[item.ged_index] += v.size();
+        local.insert(local.end(), v.begin(), v.end());
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    report.violations.insert(report.violations.end(), local.begin(),
+                             local.end());
+    report.matches_checked += checked;
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (auto& t : threads) t.join();
+
+  report.satisfied = report.violations.empty();
+  SortViolations(&report.violations);
+  return report;
+}
+
+}  // namespace
+
+ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options) {
+  if (options.num_threads <= 1) return ValidateSerial(g, sigma, options);
+  return ValidateParallel(g, sigma, options);
+}
+
+}  // namespace ged

@@ -1,0 +1,64 @@
+// Validation G ⊨ Σ (paper §5.3).
+//
+// The basis of inconsistency detection, spam detection and entity checks:
+// find violations of GEDs in a graph. coNP-complete in combined complexity
+// (Theorem 6, NP-hard to refute already for one GFDx), but PTIME for
+// patterns of bounded size k (§5.3 "Tractable cases") — which covers
+// real-life patterns (98% of SPARQL patterns have ≤ 4 nodes / 5 edges).
+//
+// Validate() enumerates homomorphic matches per GED and checks X → Y. The
+// paper's future-work item "parallel scalable algorithms" is implemented as
+// a thread pool partitioning the candidate bindings of one pattern variable.
+
+#ifndef GEDLIB_REASON_VALIDATION_H_
+#define GEDLIB_REASON_VALIDATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+#include "match/matcher.h"
+
+namespace ged {
+
+/// A violating match: h ⊨ X but h ⊭ Y for sigma[ged_index].
+struct Violation {
+  size_t ged_index;
+  Match match;
+  bool operator==(const Violation&) const = default;
+};
+
+/// Knobs for Validate().
+struct ValidationOptions {
+  /// Stop collecting after this many violations per GED (0 = all).
+  uint64_t max_violations_per_ged = 0;
+  /// Homomorphism (paper semantics) or subgraph isomorphism ([19,23]
+  /// baseline).
+  MatchSemantics semantics = MatchSemantics::kHomomorphism;
+  /// Worker threads; 1 = serial. Results are identical and deterministic
+  /// (violations are sorted) regardless of thread count, except that with
+  /// max_violations_per_ged set, *which* violations are kept may differ.
+  unsigned num_threads = 1;
+  /// Matcher toggles (for the ablation bench).
+  bool degree_filter = true;
+  bool smart_order = true;
+};
+
+/// Validation outcome.
+struct ValidationReport {
+  /// True iff G ⊨ Σ.
+  bool satisfied = true;
+  /// All violations found (sorted by ged_index, then match).
+  std::vector<Violation> violations;
+  /// Total matches inspected across all GEDs.
+  uint64_t matches_checked = 0;
+};
+
+/// Checks G ⊨ Σ, reporting violations.
+ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options = {});
+
+}  // namespace ged
+
+#endif  // GEDLIB_REASON_VALIDATION_H_

@@ -1,0 +1,28 @@
+#include "rel/relation.h"
+
+namespace ged {
+
+Status Relation::AddTuple(std::vector<Value> tuple) {
+  if (tuple.size() != schema_.attrs.size()) {
+    return Status::InvalidArgument("tuple arity does not match schema " +
+                                   schema_.name);
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+Graph RelationsToGraph(const std::vector<Relation>& relations) {
+  Graph g;
+  for (const Relation& rel : relations) {
+    Label label = Sym(rel.schema().name);
+    for (const auto& tuple : rel.tuples()) {
+      NodeId v = g.AddNode(label);
+      for (size_t i = 0; i < tuple.size(); ++i) {
+        g.SetAttr(v, Sym(rel.schema().attrs[i]), tuple[i]);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace ged

@@ -1,0 +1,57 @@
+// Relations represented as graphs (paper §3, "Relational dependencies").
+//
+// A relation instance becomes a set of isolated nodes, one per tuple,
+// labeled with the relation name and carrying the tuple's attributes. Under
+// this encoding FDs, CFDs and EGDs become GEDs and denial constraints
+// become GDCs (translate.h), showing that GEDs subsume the relational
+// classes.
+
+#ifndef GEDLIB_REL_RELATION_H_
+#define GEDLIB_REL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "graph/graph.h"
+
+namespace ged {
+
+/// A relation schema R(A1, ..., An).
+struct RelationSchema {
+  std::string name;
+  std::vector<std::string> attrs;
+
+  /// Position of `attr` or SIZE_MAX.
+  size_t AttrIndex(const std::string& attr) const {
+    for (size_t i = 0; i < attrs.size(); ++i) {
+      if (attrs[i] == attr) return i;
+    }
+    return SIZE_MAX;
+  }
+};
+
+/// A relation instance: schema plus tuples of values.
+class Relation {
+ public:
+  explicit Relation(RelationSchema schema) : schema_(std::move(schema)) {}
+
+  const RelationSchema& schema() const { return schema_; }
+  const std::vector<std::vector<Value>>& tuples() const { return tuples_; }
+
+  /// Appends a tuple; arity must match the schema.
+  Status AddTuple(std::vector<Value> tuple);
+
+ private:
+  RelationSchema schema_;
+  std::vector<std::vector<Value>> tuples_;
+};
+
+/// Encodes relation instances as a graph: one node per tuple, labeled with
+/// the relation name, attributes as node attributes, no edges.
+Graph RelationsToGraph(const std::vector<Relation>& relations);
+
+}  // namespace ged
+
+#endif  // GEDLIB_REL_RELATION_H_

@@ -1,0 +1,185 @@
+#include "rel/translate.h"
+
+#include <map>
+
+namespace ged {
+
+namespace {
+
+Result<size_t> NeedAttr(const RelationSchema& schema,
+                        const std::string& attr) {
+  size_t i = schema.AttrIndex(attr);
+  if (i == SIZE_MAX) {
+    return Status::NotFound("attribute " + attr + " not in relation " +
+                            schema.name);
+  }
+  return i;
+}
+
+const RelationSchema* FindSchema(const std::vector<RelationSchema>& schemas,
+                                 const std::string& name) {
+  for (const RelationSchema& s : schemas) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+// Occurrences of every EGD/denial variable: (pattern var of the atom node,
+// attribute symbol).
+struct VarHome {
+  VarId node;
+  AttrId attr;
+};
+
+// Builds the edgeless pattern Q_E (one node per atom) and the map from
+// logical variables to their occurrences; emits equality literals for
+// repeated variables into `eq_literals`.
+Result<std::map<std::string, VarHome>> BuildAtomPattern(
+    const std::vector<RelationSchema>& schemas,
+    const std::vector<RelAtom>& atoms, Pattern* pattern,
+    std::vector<Literal>* eq_literals,
+    std::vector<std::pair<VarId, AttrId>>* positions) {
+  std::map<std::string, VarHome> homes;
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    const RelAtom& atom = atoms[i];
+    const RelationSchema* schema = FindSchema(schemas, atom.relation);
+    if (schema == nullptr) {
+      return Status::NotFound("unknown relation " + atom.relation);
+    }
+    if (atom.vars.size() != schema->attrs.size()) {
+      return Status::InvalidArgument("atom arity mismatch for " +
+                                     atom.relation);
+    }
+    VarId node = pattern->AddVar("t" + std::to_string(i), Sym(atom.relation));
+    for (size_t p = 0; p < atom.vars.size(); ++p) {
+      AttrId attr = Sym(schema->attrs[p]);
+      if (positions != nullptr) positions->push_back({node, attr});
+      auto [it, inserted] =
+          homes.emplace(atom.vars[p], VarHome{node, attr});
+      if (!inserted) {
+        // Repeated variable: equate with its home occurrence.
+        eq_literals->push_back(
+            Literal::Var(it->second.node, it->second.attr, node, attr));
+      }
+    }
+  }
+  return homes;
+}
+
+}  // namespace
+
+Result<Ged> TranslateFd(const RelationSchema& schema,
+                        const std::vector<std::string>& lhs,
+                        const std::vector<std::string>& rhs,
+                        const std::string& name) {
+  Pattern q;
+  VarId t1 = q.AddVar("t1", Sym(schema.name));
+  VarId t2 = q.AddVar("t2", Sym(schema.name));
+  std::vector<Literal> x, y;
+  for (const std::string& a : lhs) {
+    auto i = NeedAttr(schema, a);
+    if (!i.ok()) return i.status();
+    x.push_back(Literal::Var(t1, Sym(a), t2, Sym(a)));
+  }
+  for (const std::string& a : rhs) {
+    auto i = NeedAttr(schema, a);
+    if (!i.ok()) return i.status();
+    y.push_back(Literal::Var(t1, Sym(a), t2, Sym(a)));
+  }
+  return Ged(name, std::move(q), std::move(x), std::move(y));
+}
+
+Result<Ged> TranslateCfd(const RelationSchema& schema,
+                         const std::vector<CfdCell>& lhs, const CfdCell& rhs,
+                         const std::string& name) {
+  Pattern q;
+  VarId t1 = q.AddVar("t1", Sym(schema.name));
+  VarId t2 = q.AddVar("t2", Sym(schema.name));
+  std::vector<Literal> x, y;
+  for (const CfdCell& cell : lhs) {
+    auto i = NeedAttr(schema, cell.attr);
+    if (!i.ok()) return i.status();
+    AttrId a = Sym(cell.attr);
+    if (cell.constant.has_value()) {
+      // Constant pattern cell: both tuples must carry the constant.
+      x.push_back(Literal::Const(t1, a, *cell.constant));
+      x.push_back(Literal::Const(t2, a, *cell.constant));
+    } else {
+      x.push_back(Literal::Var(t1, a, t2, a));
+    }
+  }
+  auto i = NeedAttr(schema, rhs.attr);
+  if (!i.ok()) return i.status();
+  AttrId b = Sym(rhs.attr);
+  if (rhs.constant.has_value()) {
+    y.push_back(Literal::Const(t1, b, *rhs.constant));
+    y.push_back(Literal::Const(t2, b, *rhs.constant));
+  } else {
+    y.push_back(Literal::Var(t1, b, t2, b));
+  }
+  return Ged(name, std::move(q), std::move(x), std::move(y));
+}
+
+Result<std::pair<Ged, Ged>> TranslateEgd(
+    const std::vector<RelationSchema>& schemas, const Egd& egd,
+    const std::string& name) {
+  Pattern q;
+  std::vector<Literal> xe;
+  std::vector<std::pair<VarId, AttrId>> positions;
+  auto homes =
+      BuildAtomPattern(schemas, egd.atoms, &q, &xe, &positions);
+  if (!homes.ok()) return homes.status();
+  auto it1 = homes.value().find(egd.y1);
+  auto it2 = homes.value().find(egd.y2);
+  if (it1 == homes.value().end() || it2 == homes.value().end()) {
+    return Status::NotFound("EGD conclusion variable not in any atom");
+  }
+  // φ_R: attribute existence for every variable position.
+  std::vector<Literal> yr;
+  for (const auto& [node, attr] : positions) {
+    yr.push_back(Literal::Var(node, attr, node, attr));
+  }
+  Ged phi_r(name + "_R", q, {}, std::move(yr));
+  // φ_E: X_E (repeated-variable equalities) → y1 = y2.
+  std::vector<Literal> ye = {Literal::Var(it1->second.node, it1->second.attr,
+                                          it2->second.node,
+                                          it2->second.attr)};
+  Ged phi_e(name + "_E", q, std::move(xe), std::move(ye));
+  return std::make_pair(std::move(phi_r), std::move(phi_e));
+}
+
+Result<Gdc> TranslateDenial(const std::vector<RelationSchema>& schemas,
+                            const std::vector<RelAtom>& atoms,
+                            const std::vector<DenialPredicate>& predicates,
+                            const std::string& name) {
+  Pattern q;
+  std::vector<Literal> eqs;
+  auto homes = BuildAtomPattern(schemas, atoms, &q, &eqs, nullptr);
+  if (!homes.ok()) return homes.status();
+  std::vector<GdcLiteral> x;
+  for (const Literal& l : eqs) x.push_back(GdcLiteral::FromGed(l));
+  for (const DenialPredicate& p : predicates) {
+    auto it1 = homes.value().find(p.var1);
+    if (it1 == homes.value().end()) {
+      return Status::NotFound("denial variable " + p.var1 + " not in atoms");
+    }
+    if (p.constant.has_value()) {
+      x.push_back(GdcLiteral::ConstPred(it1->second.node, it1->second.attr,
+                                        p.op, *p.constant));
+    } else if (p.var2.has_value()) {
+      auto it2 = homes.value().find(*p.var2);
+      if (it2 == homes.value().end()) {
+        return Status::NotFound("denial variable " + *p.var2 +
+                                " not in atoms");
+      }
+      x.push_back(GdcLiteral::VarPred(it1->second.node, it1->second.attr,
+                                      p.op, it2->second.node,
+                                      it2->second.attr));
+    } else {
+      return Status::InvalidArgument("denial predicate needs var2 or const");
+    }
+  }
+  return Gdc(name, std::move(q), std::move(x), {}, /*y_is_false=*/true);
+}
+
+}  // namespace ged

@@ -1,0 +1,77 @@
+// Translating relational dependencies to graph dependencies (paper §3, §7.1).
+//
+//  * FD  R: A1..Ak → B1..Bm      — one GED over two R-nodes.
+//  * CFD (R, tableau with constants) — one GED with constant literals.
+//  * EGD ∀z̄ (φ(z̄) → y1 = y2)   — the paper's pair (φ_R, φ_E): an
+//    attribute-existence GED and an equality GED over one R-node per atom.
+//  * Denial constraint (atoms + built-in predicates, ¬∃) — a forbidding GDC.
+
+#ifndef GEDLIB_REL_TRANSLATE_H_
+#define GEDLIB_REL_TRANSLATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ext/gdc.h"
+#include "ged/ged.h"
+#include "rel/relation.h"
+
+namespace ged {
+
+/// Translates the FD R: lhs → rhs into a GED with two R-labeled variables.
+Result<Ged> TranslateFd(const RelationSchema& schema,
+                        const std::vector<std::string>& lhs,
+                        const std::vector<std::string>& rhs,
+                        const std::string& name);
+
+/// One CFD tableau cell: an attribute compared either to the other tuple
+/// (no constant) or to a constant, as in CFDs' pattern tableaux [21].
+struct CfdCell {
+  std::string attr;
+  std::optional<Value> constant;
+};
+
+/// Translates a CFD (R: lhs tableau → rhs cell).
+Result<Ged> TranslateCfd(const RelationSchema& schema,
+                         const std::vector<CfdCell>& lhs, const CfdCell& rhs,
+                         const std::string& name);
+
+/// A relation atom R(w1, ..., wl) with variable names per position.
+struct RelAtom {
+  std::string relation;
+  std::vector<std::string> vars;
+};
+
+/// An EGD ∀z̄ (φ(z̄) → y1 = y2): conjunction of atoms (repeated variables
+/// encode equality atoms) and a concluding variable pair.
+struct Egd {
+  std::vector<RelAtom> atoms;
+  std::string y1;
+  std::string y2;
+};
+
+/// Translates an EGD into the paper's pair (φ_R, φ_E):
+/// φ_R enforces attribute existence, φ_E enforces the equality.
+Result<std::pair<Ged, Ged>> TranslateEgd(
+    const std::vector<RelationSchema>& schemas, const Egd& egd,
+    const std::string& name);
+
+/// One comparison of a denial constraint: var.attr-position ⊕ (var | const).
+struct DenialPredicate {
+  std::string var1;  ///< variable occurring in some atom
+  Pred op = Pred::kEq;
+  std::optional<std::string> var2;  ///< second variable (when no constant)
+  std::optional<Value> constant;
+};
+
+/// Translates the denial constraint ¬∃z̄ (atoms ∧ predicates) into a
+/// forbidding GDC.
+Result<Gdc> TranslateDenial(const std::vector<RelationSchema>& schemas,
+                            const std::vector<RelAtom>& atoms,
+                            const std::vector<DenialPredicate>& predicates,
+                            const std::string& name);
+
+}  // namespace ged
+
+#endif  // GEDLIB_REL_TRANSLATE_H_

@@ -1,0 +1,489 @@
+// Tests for the axiom system A_GED (§6): rule-by-rule checker behaviour,
+// the derived rules of Example 8, and the executable soundness/completeness
+// loop "Σ ⊨ φ iff a generated proof checks".
+
+#include <gtest/gtest.h>
+
+#include "axiom/checker.h"
+#include "axiom/generator.h"
+#include "ged/parser.h"
+#include "gen/scenarios.h"
+#include "reason/implication.h"
+
+namespace ged {
+namespace {
+
+Ged SimpleKey() {
+  auto r = ParseGed(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  EXPECT_TRUE(r.ok());
+  return r.Take();
+}
+
+// ----- helpers ---------------------------------------------------------------
+
+TEST(ProofHelpers, DesugarExpandsFalse) {
+  Pattern q;
+  q.AddVar("x", "n");
+  Ged forbid("f", q, {}, {}, /*y_is_false=*/true);
+  Ged d = Desugar(forbid);
+  EXPECT_FALSE(d.is_forbidding());
+  ASSERT_EQ(d.Y().size(), 2u);
+  // The two sugar literals conflict on the same attribute.
+  EqRel eq = JudgmentEq(d);
+  EXPECT_TRUE(eq.inconsistent());
+}
+
+TEST(ProofHelpers, FlipAndCompose) {
+  Literal v = Literal::Var(0, Sym("a"), 1, Sym("b"));
+  EXPECT_EQ(FlipLiteral(v), Literal::Var(1, Sym("b"), 0, Sym("a")));
+  EXPECT_EQ(FlipLiteral(FlipLiteral(v)), v);
+  // Transitivity table.
+  auto vv = ComposeLiterals(Literal::Var(0, Sym("a"), 1, Sym("b")),
+                            Literal::Var(1, Sym("b"), 2, Sym("c")));
+  ASSERT_TRUE(vv.ok());
+  EXPECT_EQ(vv.value(), Literal::Var(0, Sym("a"), 2, Sym("c")));
+  auto vc = ComposeLiterals(Literal::Var(0, Sym("a"), 1, Sym("b")),
+                            Literal::Const(1, Sym("b"), Value(5)));
+  ASSERT_TRUE(vc.ok());
+  EXPECT_EQ(vc.value(), Literal::Const(0, Sym("a"), Value(5)));
+  auto cc = ComposeLiterals(Literal::Const(0, Sym("a"), Value(5)),
+                            Literal::Const(1, Sym("b"), Value(5)));
+  ASSERT_TRUE(cc.ok());
+  EXPECT_EQ(cc.value(), Literal::Var(0, Sym("a"), 1, Sym("b")));
+  auto ii = ComposeLiterals(Literal::Id(0, 1), Literal::Id(1, 2));
+  ASSERT_TRUE(ii.ok());
+  EXPECT_EQ(ii.value(), Literal::Id(0, 2));
+  // Mismatched middles fail.
+  EXPECT_FALSE(ComposeLiterals(Literal::Var(0, Sym("a"), 1, Sym("b")),
+                               Literal::Var(2, Sym("c"), 3, Sym("d")))
+                   .ok());
+}
+
+// ----- checker: rule shapes ----------------------------------------------------
+
+TEST(Checker, Ged1Shape) {
+  Ged key = SimpleKey();
+  Proof p;
+  ProofStep s;
+  s.rule = RuleId::kGed1;
+  s.conclusion = Ged("j", key.pattern(), key.X(),
+                     UnionLiterals(key.X(), XidLiterals(2)));
+  p.Append(s);
+  EXPECT_TRUE(CheckProof({key}, p).ok());
+  // Wrong Y is rejected.
+  Proof bad;
+  s.conclusion = Ged("j", key.pattern(), key.X(), key.X());
+  bad.Append(s);
+  EXPECT_FALSE(CheckProof({key}, bad).ok());
+}
+
+TEST(Checker, InSigmaMustMatch) {
+  Ged key = SimpleKey();
+  Proof p;
+  ProofStep s;
+  s.rule = RuleId::kInSigma;
+  s.sigma_index = 0;
+  s.conclusion = key;
+  p.Append(s);
+  EXPECT_TRUE(CheckProof({key}, p).ok());
+  Proof bad;
+  s.conclusion = Ged("other", key.pattern(), {}, key.Y());
+  bad.Append(s);
+  EXPECT_FALSE(CheckProof({key}, bad).ok());
+}
+
+TEST(Checker, Ged5RequiresInconsistency) {
+  // X = {x.a = 1, x.a = 2} is inconsistent: anything follows (Example from
+  // the independence proof of Theorem 7).
+  auto phi = ParseGed(R"(
+    ged contradiction {
+      match (x:n)
+      where x.a = 1, x.a = 2
+      then  x.a = 3
+    })");
+  ASSERT_TRUE(phi.ok());
+  auto proof = GenerateImplicationProof({}, phi.value());
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_TRUE(VerifyProofOf({}, phi.value(), proof.value()).ok());
+  // GED5 on a consistent judgment must be rejected.
+  Ged key = SimpleKey();
+  Proof bad;
+  ProofStep s1;
+  s1.rule = RuleId::kGed1;
+  s1.conclusion = Ged("j", key.pattern(), key.X(),
+                      UnionLiterals(key.X(), XidLiterals(2)));
+  bad.Append(s1);
+  ProofStep s2;
+  s2.rule = RuleId::kGed5;
+  s2.prev = 0;
+  s2.conclusion = key;
+  bad.Append(s2);
+  EXPECT_FALSE(CheckProof({key}, bad).ok());
+}
+
+// ----- generator + checker round trips ------------------------------------------
+
+void ExpectProvable(const std::vector<Ged>& sigma, const Ged& phi) {
+  ASSERT_TRUE(Implies(sigma, phi)) << phi.ToString();
+  auto proof = GenerateImplicationProof(sigma, phi);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  Status check = VerifyProofOf(sigma, phi, proof.value());
+  EXPECT_TRUE(check.ok()) << check.ToString() << "\n"
+                          << proof.value().ToString();
+}
+
+TEST(Generator, SimpleDeduction) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged weaker {
+      match (x:n), (y:n)
+      where x.a = y.a, x.b = y.b
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, AttributePropagationThroughIds) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(sigma.ok());
+  // Needs GED2: x.id = y.id plus occurrences of c forces x.c = y.c.
+  auto phi = ParseGed(R"(
+    ged attr_eq {
+      match (x:n), (y:n)
+      where x.a = y.a, x.c = x.c, y.c = y.c
+      then  x.c = y.c
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, ConstantChains) {
+  auto sigma = ParseGeds(R"(
+    ged set_b {
+      match (x:n)
+      where x.a = 1
+      then  x.b = 2
+    }
+    ged b_to_c {
+      match (x:n)
+      where x.b = 2
+      then  x.c = x.b
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged chain {
+      match (x:n)
+      where x.a = 1
+      then  x.c = 2, x.b = x.c
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, InconsistencyCaseWithConstants) {
+  auto sigma = ParseGeds(R"(
+    ged one {
+      match (x:n)
+      then x.a = 1
+    }
+    ged two {
+      match (x:n)
+      where x.a = 1
+      then x.b = 2
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged boom {
+      match (x:n)
+      where x.b = 3
+      then  x.zzz = 42
+    })");
+  ASSERT_TRUE(phi.ok());
+  // x.b = 3 conflicts with the forced x.b = 2: implied via inconsistency.
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, ForbiddingSigmaFires) {
+  auto sigma = ParseGeds(R"(
+    ged forbid {
+      match (x:n)
+      where x.k = 1
+      then false
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged anything {
+      match (x:n)
+      where x.k = 1
+      then  x.m = 9
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, ForbiddingPhiViaInconsistency) {
+  auto sigma = ParseGeds(R"(
+    ged forbid {
+      match (x:n)
+      where x.k = 1
+      then false
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged phi {
+      match (x:n)-[e]->(y:n)
+      where x.k = 1
+      then false
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, IdChainsAcrossSeveralNodes) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged chain {
+      match (x:n), (y:n), (z:n)
+      where x.a = y.a, y.a = z.a
+      then  x.id = z.id
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, AttributeExistenceTarget) {
+  // Target literal x.b = x.b (TGD-flavoured attribute existence).
+  auto sigma = ParseGeds(R"(
+    ged gen {
+      match (x:n)
+      then x.b = 5
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged exists {
+      match (x:n)
+      then x.b = x.b
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(Generator, EmptyYUsesDerivedSubsetRule) {
+  auto phi = ParseGed(R"(
+    ged empty {
+      match (x:n)
+      where x.a = 1
+      then x.a = 1
+    })");
+  ASSERT_TRUE(phi.ok());
+  Ged empty_y("empty", phi.value().pattern(), phi.value().X(), {});
+  auto proof = GenerateImplicationProof({}, empty_y);
+  ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+  EXPECT_TRUE(VerifyProofOf({}, empty_y, proof.value()).ok());
+}
+
+TEST(Generator, RefusesUnimplied) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged unrelated {
+      match (x:n), (y:n)
+      where x.b = y.b
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(phi.ok());
+  EXPECT_FALSE(GenerateImplicationProof(sigma.value(), phi.value()).ok());
+}
+
+TEST(Generator, MusicKeyImplication) {
+  // ψ1 + ψ3 imply the "same title, same name, shared album and artist" key.
+  auto keys = MusicKeys();
+  auto phi = ParseGed(R"(
+    ged derived {
+      match (x:album)-[by]->(x':artist), (y:album)-[by]->(y':artist)
+      where x.title = y.title, x'.id = y'.id
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(keys, phi.value());
+}
+
+TEST(Generator, CorruptedProofIsRejected) {
+  auto sigma = ParseGeds(R"(
+    ged key {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged weaker {
+      match (x:n), (y:n)
+      where x.a = y.a, x.b = y.b
+      then  x.id = y.id
+    })");
+  ASSERT_TRUE(phi.ok());
+  auto proof = GenerateImplicationProof(sigma.value(), phi.value());
+  ASSERT_TRUE(proof.ok());
+  // Tamper with every step in turn; the checker must reject each mutant.
+  const auto& steps = proof.value().steps();
+  size_t rejected = 0;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    Proof mutant;
+    for (size_t j = 0; j < steps.size(); ++j) {
+      ProofStep s = steps[j];
+      if (j == i) {
+        // Swap the conclusion for an unrelated judgment.
+        Pattern q;
+        q.AddVar("z", "n");
+        s.conclusion = Ged("bogus", q, {}, {Literal::Const(0, Sym("zz"),
+                                                           Value(99))});
+      }
+      mutant.Append(s);
+    }
+    if (!CheckProof(sigma.value(), mutant).ok()) ++rejected;
+  }
+  EXPECT_EQ(rejected, steps.size());
+}
+
+// ----- Example 8: derived rules --------------------------------------------------
+
+TEST(DerivedRules, AugmentationViaProofs) {
+  // Example 8(b): from Q(X → Y) derive Q(XZ → YZ).
+  auto base = ParseGed(R"(
+    ged base {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.b = y.b
+    })");
+  ASSERT_TRUE(base.ok());
+  auto augmented = ParseGed(R"(
+    ged augmented {
+      match (x:n), (y:n)
+      where x.a = y.a, x.c = y.c
+      then  x.b = y.b, x.c = y.c
+    })");
+  ASSERT_TRUE(augmented.ok());
+  ExpectProvable({base.value()}, augmented.value());
+}
+
+TEST(DerivedRules, TransitivityViaProofs) {
+  // Example 8(c): X → Y and Y → Z give X → Z.
+  auto sigma = ParseGeds(R"(
+    ged xy {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.b = y.b
+    }
+    ged yz {
+      match (x:n), (y:n)
+      where x.b = y.b
+      then  x.c = y.c
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged xz {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.c = y.c
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+TEST(DerivedRules, SubsetExtraction) {
+  // Example 8(a) / GED7: Q(X → Y) proves Q(X → Y1) for Y1 ⊆ Y.
+  auto sigma = ParseGeds(R"(
+    ged full {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.b = y.b, x.c = y.c
+    })");
+  ASSERT_TRUE(sigma.ok());
+  auto phi = ParseGed(R"(
+    ged subset {
+      match (x:n), (y:n)
+      where x.a = y.a
+      then  x.c = y.c
+    })");
+  ASSERT_TRUE(phi.ok());
+  ExpectProvable(sigma.value(), phi.value());
+}
+
+// ----- randomized soundness/completeness loop -----------------------------------
+
+TEST(Axioms, RandomizedSoundnessCompleteness) {
+  // For random small Σ/φ: Implies(Σ, φ) == "generated proof verifies".
+  // (Soundness: no proof exists for non-implications — generator refuses;
+  // completeness: implications always yield checkable proofs.)
+  const char* rule_pool[] = {
+      R"(ged r0 { match (x:n), (y:n) where x.a = y.a then x.id = y.id })",
+      R"(ged r1 { match (x:n) where x.a = 1 then x.b = 2 })",
+      R"(ged r2 { match (x:n), (y:n) where x.b = y.b then x.c = y.c })",
+      R"(ged r3 { match (x:n)-[e]->(y:n) then x.a = y.a })",
+      R"(ged r4 { match (x:n) where x.c = 3 then false })",
+  };
+  const char* phi_pool[] = {
+      R"(ged p0 { match (x:n), (y:n) where x.a = y.a, x.c = x.c, y.c = y.c
+                 then x.c = y.c })",
+      R"(ged p1 { match (x:n) where x.a = 1 then x.b = 2 })",
+      R"(ged p2 { match (x:n)-[e]->(y:n) where x.a = 1 then y.a = 1 })",
+      R"(ged p3 { match (x:n), (y:n) where x.b = y.b then x.id = y.id })",
+      R"(ged p4 { match (x:n) where x.a = 1, x.b = 3 then x.zz = 9 })",
+  };
+  int implications = 0;
+  for (unsigned mask = 1; mask < 32; mask += 2) {
+    std::vector<Ged> sigma;
+    for (int i = 0; i < 5; ++i) {
+      if (mask & (1u << i)) {
+        auto r = ParseGed(rule_pool[i]);
+        ASSERT_TRUE(r.ok());
+        sigma.push_back(r.Take());
+      }
+    }
+    for (const char* ptext : phi_pool) {
+      auto phi = ParseGed(ptext);
+      ASSERT_TRUE(phi.ok());
+      bool implied = Implies(sigma, phi.value());
+      auto proof = GenerateImplicationProof(sigma, phi.value());
+      EXPECT_EQ(proof.ok(), implied) << phi.value().ToString();
+      if (implied) {
+        ++implications;
+        EXPECT_TRUE(VerifyProofOf(sigma, phi.value(), proof.value()).ok())
+            << proof.value().ToString();
+      }
+    }
+  }
+  EXPECT_GT(implications, 5) << "the pool should produce real implications";
+}
+
+}  // namespace
+}  // namespace ged

@@ -1,0 +1,133 @@
+// Unit tests for the common kernel: Status/Result, Value semantics,
+// interning and union-find.
+
+#include <gtest/gtest.h>
+
+#include "common/interner.h"
+#include "common/status.h"
+#include "common/union_find.h"
+#include "common/value.h"
+
+namespace ged {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad literal");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad literal");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad literal");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = r.Take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Value, IntDoubleEquality) {
+  EXPECT_EQ(Value(1), Value(1.0));
+  EXPECT_NE(Value(1), Value(1.5));
+  EXPECT_EQ(Value(1).Hash(), Value(1.0).Hash());
+}
+
+TEST(Value, KindsAreDistinct) {
+  EXPECT_NE(Value("1"), Value(1));
+  EXPECT_NE(Value(true), Value(1));
+  EXPECT_NE(Value(false), Value("false"));
+}
+
+TEST(Value, TotalOrderWithinNumbers) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_GT(Value(3), Value(2.5));
+  EXPECT_LE(Value(2), Value(2.0));
+}
+
+TEST(Value, TotalOrderAcrossKinds) {
+  // bool < number < string (documented implementation order).
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(1000000), Value("a"));
+  EXPECT_LT(Value(false), Value(true));
+}
+
+TEST(Value, StringOrderIsLexicographic) {
+  EXPECT_LT(Value("alpha"), Value("beta"));
+  EXPECT_LT(Value("a"), Value(std::string("a\x01")));
+}
+
+TEST(Value, ToStringQuotesStrings) {
+  EXPECT_EQ(Value("x\"y").ToString(), "\"x\\\"y\"");
+  EXPECT_EQ(Value(7).ToString(), "7");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(Interner, WildcardIsSymbolZero) {
+  EXPECT_EQ(Sym("_"), kWildcard);
+  EXPECT_EQ(SymName(kWildcard), "_");
+}
+
+TEST(Interner, RoundTrips) {
+  Symbol a = Sym("person");
+  Symbol b = Sym("product");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(Sym("person"), a);
+  EXPECT_EQ(SymName(a), "person");
+}
+
+TEST(Interner, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_EQ(interner.Find("ghost"), Interner::kNotInterned);
+  Symbol s = interner.Intern("ghost");
+  EXPECT_EQ(interner.Find("ghost"), s);
+}
+
+TEST(UnionFind, SingletonsAtStart) {
+  UnionFind uf(4);
+  EXPECT_EQ(uf.num_classes(), 4u);
+  EXPECT_FALSE(uf.Same(0, 1));
+}
+
+TEST(UnionFind, UnionMergesTransitively) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Same(0, 2));
+  EXPECT_EQ(uf.num_classes(), 3u);
+  EXPECT_EQ(uf.ClassSize(2), 3u);
+}
+
+TEST(UnionFind, UnionReturnsSentinelWhenAlreadyMerged) {
+  UnionFind uf(2);
+  EXPECT_NE(uf.Union(0, 1), UINT32_MAX);
+  EXPECT_EQ(uf.Union(0, 1), UINT32_MAX);
+}
+
+TEST(UnionFind, AddGrows) {
+  UnionFind uf(1);
+  uint32_t x = uf.Add();
+  EXPECT_EQ(x, 1u);
+  EXPECT_EQ(uf.num_classes(), 2u);
+}
+
+}  // namespace
+}  // namespace ged

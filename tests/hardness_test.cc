@@ -1,0 +1,101 @@
+// Tests for the hardness-reduction families (Theorems 3, 5, 6): each
+// reduction is verified against the brute-force 3-colorability oracle on
+// random small instances.
+
+#include <gtest/gtest.h>
+
+#include "gen/hardness.h"
+#include "reason/implication.h"
+#include "reason/satisfiability.h"
+#include "reason/validation.h"
+
+namespace ged {
+namespace {
+
+UGraph Triangle() {
+  return UGraph{3, {{0, 1}, {1, 2}, {0, 2}}};
+}
+
+UGraph K4() {
+  return UGraph{4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}};
+}
+
+TEST(Oracle, KnownInstances) {
+  EXPECT_TRUE(IsKColorable(Triangle(), 3));
+  EXPECT_FALSE(IsKColorable(Triangle(), 2));
+  EXPECT_FALSE(IsKColorable(K4(), 3));
+  UGraph empty{3, {}};
+  EXPECT_TRUE(IsKColorable(empty, 1));
+}
+
+TEST(ValidationHardness, TriangleAndK4) {
+  // G = K3 violates Q_H(∅ → false) iff H is 3-colorable (Thm 6 flavor).
+  Graph k3 = TriangleGraph();
+  ValidationReport tri = Validate(k3, {ColoringForbiddingGed(Triangle())});
+  EXPECT_FALSE(tri.satisfied);  // triangle is 3-colorable
+  ValidationReport quad = Validate(k3, {ColoringForbiddingGed(K4())});
+  EXPECT_TRUE(quad.satisfied);  // K4 is not
+}
+
+TEST(ValidationHardness, AgreesWithOracleOnRandomGraphs) {
+  for (unsigned seed = 1; seed <= 10; ++seed) {
+    UGraph h = RandomUGraph(6, 0.5, seed);
+    bool colorable = IsKColorable(h, 3);
+    ValidationReport report =
+        Validate(TriangleGraph(), {ColoringForbiddingGed(h)});
+    EXPECT_EQ(!report.satisfied, colorable) << "seed " << seed;
+  }
+}
+
+TEST(ImplicationHardness, GfdxFamilyAgreesWithOracle) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    UGraph h = RandomUGraph(5, 0.55, seed);
+    bool colorable = IsKColorable(h, 3);
+    ImplicationInstance inst = ColoringImplicationGfdx(h);
+    EXPECT_TRUE(inst.sigma[0].IsGfdx());
+    EXPECT_EQ(Implies(inst.sigma, inst.phi), colorable) << "seed " << seed;
+  }
+}
+
+TEST(ImplicationHardness, GkeyStyleFamilyAgreesWithOracle) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    UGraph h = RandomUGraph(5, 0.55, seed);
+    bool colorable = IsKColorable(h, 3);
+    ImplicationInstance inst = ColoringImplicationGkey(h);
+    EXPECT_TRUE(inst.sigma[0].IsGedx());
+    EXPECT_EQ(Implies(inst.sigma, inst.phi), colorable) << "seed " << seed;
+  }
+}
+
+TEST(SatisfiabilityHardness, GfdFamilyAgreesWithOracle) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    UGraph h = RandomUGraph(5, 0.55, seed);
+    bool colorable = IsKColorable(h, 3);
+    std::vector<Ged> sigma = ColoringSatisfiabilityGfds(h);
+    for (const Ged& g : sigma) EXPECT_TRUE(g.IsGfd());
+    // Satisfiable iff H is NOT 3-colorable.
+    EXPECT_EQ(IsSatisfiable(sigma), !colorable) << "seed " << seed;
+  }
+}
+
+TEST(SatisfiabilityHardness, GedxFamilyAgreesWithOracle) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    UGraph h = RandomUGraph(5, 0.55, seed);
+    bool colorable = IsKColorable(h, 3);
+    std::vector<Ged> sigma = ColoringSatisfiabilityGedx(h);
+    for (const Ged& g : sigma) EXPECT_TRUE(g.IsGedx()) << g.ToString();
+    EXPECT_EQ(IsSatisfiable(sigma), !colorable) << "seed " << seed;
+  }
+}
+
+TEST(SatisfiabilityHardness, ModelExistsWhenSatisfiable) {
+  // When the GFD family is satisfiable, BuildModel yields a verified model.
+  UGraph h = K4();  // not 3-colorable -> satisfiable
+  std::vector<Ged> sigma = ColoringSatisfiabilityGfds(h);
+  auto model = BuildModel(sigma);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_TRUE(Validate(model.value(), sigma).satisfied);
+}
+
+}  // namespace
+}  // namespace ged

@@ -1,0 +1,302 @@
+// Unit tests for the homomorphism / isomorphism matcher, including the
+// paper's §3 argument that isomorphism is too strict for GKeys.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <random>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "match/matcher.h"
+
+namespace ged {
+namespace {
+
+Graph PathGraph(int n, const char* label, const char* edge) {
+  Graph g;
+  for (int i = 0; i < n; ++i) g.AddNode(label);
+  for (int i = 0; i + 1 < n; ++i) g.AddEdge(i, edge, i + 1);
+  return g;
+}
+
+TEST(Matcher, EmptyPatternHasOneEmptyMatch) {
+  Pattern q;
+  Graph g = PathGraph(3, "n", "e");
+  EXPECT_EQ(CountMatches(q, g), 1u);
+}
+
+TEST(Matcher, SingleNodeByLabel) {
+  Pattern q;
+  q.AddVar("x", "a");
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  g.AddNode("a");
+  EXPECT_EQ(CountMatches(q, g), 2u);
+}
+
+TEST(Matcher, WildcardMatchesAllLabels) {
+  Pattern q;
+  q.AddVar("x", kWildcard);
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_EQ(CountMatches(q, g), 2u);
+}
+
+TEST(Matcher, ConcreteLabelDoesNotMatchWildcardNode) {
+  // ≼ is asymmetric: pattern label τ does not match a '_'-labeled node
+  // (which appears in canonical graphs).
+  Pattern q;
+  q.AddVar("x", "tau");
+  Graph g;
+  g.AddNode(kWildcard);
+  EXPECT_EQ(CountMatches(q, g), 0u);
+}
+
+TEST(Matcher, EdgeLabelsRespected) {
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, "e", y);
+  Graph g = PathGraph(3, "n", "e");
+  g.AddEdge(0, "f", 2);
+  EXPECT_EQ(CountMatches(q, g), 2u);  // (0,1), (1,2); not the f edge
+}
+
+TEST(Matcher, WildcardEdgeLabel) {
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, kWildcard, y);
+  Graph g = PathGraph(2, "n", "e");
+  g.AddEdge(0, "f", 1);
+  EXPECT_EQ(CountMatches(q, g), 1u);  // one (x,y) pair even with two edges
+}
+
+TEST(Matcher, HomomorphismMayCollapseVariables) {
+  // Two pattern nodes may map to one graph node under homomorphism.
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, "e", y);
+  q.AddEdge(y, "e", x);
+  Graph g;
+  NodeId v = g.AddNode("n");
+  g.AddEdge(v, "e", v);  // self loop
+  EXPECT_EQ(CountMatches(q, g), 1u);
+  MatchOptions iso;
+  iso.semantics = MatchSemantics::kIsomorphism;
+  EXPECT_EQ(CountMatches(q, g, iso), 0u);
+}
+
+TEST(Matcher, IsomorphismIsInjective) {
+  Pattern q;
+  q.AddVar("x", "n");
+  q.AddVar("y", "n");
+  Graph g;
+  g.AddNode("n");
+  g.AddNode("n");
+  EXPECT_EQ(CountMatches(q, g), 4u);  // hom: all pairs
+  MatchOptions iso;
+  iso.semantics = MatchSemantics::kIsomorphism;
+  EXPECT_EQ(CountMatches(q, g, iso), 2u);  // injective pairs only
+}
+
+TEST(Matcher, TriangleIntoTriangle) {
+  Pattern q;
+  VarId a = q.AddVar("a", "n"), b = q.AddVar("b", "n"), c = q.AddVar("c", "n");
+  q.AddEdge(a, "e", b);
+  q.AddEdge(b, "e", c);
+  q.AddEdge(c, "e", a);
+  Graph g;
+  for (int i = 0; i < 3; ++i) g.AddNode("n");
+  g.AddEdge(0, "e", 1);
+  g.AddEdge(1, "e", 2);
+  g.AddEdge(2, "e", 0);
+  EXPECT_EQ(CountMatches(q, g), 3u);  // the three rotations
+}
+
+TEST(Matcher, SelfLoopInPattern) {
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  q.AddEdge(x, "e", x);
+  Graph g = PathGraph(3, "n", "e");
+  EXPECT_EQ(CountMatches(q, g), 0u);
+  g.AddEdge(1, "e", 1);
+  EXPECT_EQ(CountMatches(q, g), 1u);
+}
+
+TEST(Matcher, DisconnectedPatternIsCrossProduct) {
+  Pattern q;
+  q.AddVar("x", "a");
+  q.AddVar("y", "b");
+  Graph g;
+  g.AddNode("a");
+  g.AddNode("a");
+  g.AddNode("b");
+  EXPECT_EQ(CountMatches(q, g), 2u);
+}
+
+TEST(Matcher, MaxMatchesStopsEarly) {
+  Pattern q;
+  q.AddVar("x", "n");
+  Graph g = PathGraph(10, "n", "e");
+  MatchOptions opts;
+  opts.max_matches = 3;
+  EXPECT_EQ(CountMatches(q, g, opts), 3u);
+}
+
+TEST(Matcher, MaxStepsAborts) {
+  Pattern q;
+  q.AddVar("x", "n");
+  q.AddVar("y", "n");
+  q.AddVar("z", "n");
+  Graph g = PathGraph(50, "n", "e");
+  MatchOptions opts;
+  opts.max_steps = 5;
+  MatchStats stats = EnumerateMatches(q, g, opts, [](const Match&) {
+    return true;
+  });
+  EXPECT_TRUE(stats.aborted);
+}
+
+TEST(Matcher, PinnedVariableRestrictsMatches) {
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, "e", y);
+  Graph g = PathGraph(4, "n", "e");
+  MatchOptions opts;
+  opts.pinned = {{x, 1}};
+  auto ms = AllMatches(q, g, opts);
+  ASSERT_EQ(ms.size(), 1u);
+  EXPECT_EQ(ms[0][x], 1u);
+  EXPECT_EQ(ms[0][y], 2u);
+}
+
+TEST(Matcher, PinsPartitionTheMatchSpace) {
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, "e", y);
+  Graph g = PathGraph(6, "n", "e");
+  uint64_t total = CountMatches(q, g);
+  uint64_t sum = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    MatchOptions opts;
+    opts.pinned = {{x, v}};
+    sum += CountMatches(q, g, opts);
+  }
+  EXPECT_EQ(sum, total);
+}
+
+TEST(Matcher, InvalidPinYieldsNothing) {
+  Pattern q;
+  VarId x = q.AddVar("x", "a");
+  Graph g;
+  g.AddNode("b");
+  MatchOptions opts;
+  opts.pinned = {{x, 0}};  // label mismatch
+  EXPECT_EQ(CountMatches(q, g, opts), 0u);
+}
+
+// Brute-force reference enumerator for cross-checking.
+uint64_t BruteForceCount(const Pattern& q, const Graph& g, bool injective) {
+  size_t n = q.NumVars();
+  std::vector<NodeId> assign(n, 0);
+  uint64_t count = 0;
+  std::function<void(size_t)> go = [&](size_t d) {
+    if (d == n) {
+      if (injective) {
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = i + 1; j < n; ++j) {
+            if (assign[i] == assign[j]) return;
+          }
+        }
+      }
+      Match m(assign.begin(), assign.end());
+      if (IsValidMatch(q, g, m)) ++count;
+      return;
+    }
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      assign[d] = v;
+      go(d + 1);
+    }
+  };
+  go(0);
+  return count;
+}
+
+TEST(Matcher, AgreesWithBruteForceOnRandomInputs) {
+  for (unsigned seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(seed);
+    Graph g;
+    std::uniform_int_distribution<int> lab(0, 1);
+    for (int i = 0; i < 6; ++i) {
+      g.AddNode(lab(rng) ? "a" : "b");
+    }
+    std::uniform_int_distribution<NodeId> node(0, 5);
+    for (int e = 0; e < 9; ++e) {
+      g.AddEdge(node(rng), lab(rng) ? "e" : "f", node(rng));
+    }
+    Pattern q;
+    std::uniform_int_distribution<int> plab(0, 2);
+    for (int i = 0; i < 3; ++i) {
+      int l = plab(rng);
+      q.AddVar("x" + std::to_string(i),
+               l == 2 ? kWildcard : Sym(l ? "a" : "b"));
+    }
+    std::uniform_int_distribution<VarId> var(0, 2);
+    for (int e = 0; e < 2; ++e) {
+      q.AddEdge(var(rng), lab(rng) ? Sym("e") : kWildcard, var(rng));
+    }
+    EXPECT_EQ(CountMatches(q, g), BruteForceCount(q, g, false))
+        << "hom mismatch at seed " << seed;
+    MatchOptions iso;
+    iso.semantics = MatchSemantics::kIsomorphism;
+    EXPECT_EQ(CountMatches(q, g, iso), BruteForceCount(q, g, true))
+        << "iso mismatch at seed " << seed;
+  }
+}
+
+TEST(Matcher, OptimizationTogglesPreserveResults) {
+  Graph g = PathGraph(8, "n", "e");
+  g.AddEdge(0, "e", 5);
+  g.AddEdge(5, "e", 2);
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  VarId z = q.AddVar("z", "n");
+  q.AddEdge(x, "e", y);
+  q.AddEdge(y, "e", z);
+  uint64_t base = CountMatches(q, g);
+  for (bool degree : {false, true}) {
+    for (bool smart : {false, true}) {
+      MatchOptions opts;
+      opts.degree_filter = degree;
+      opts.smart_order = smart;
+      EXPECT_EQ(CountMatches(q, g, opts), base);
+    }
+  }
+}
+
+TEST(Matcher, IsValidMatchChecksEverything) {
+  Pattern q;
+  VarId x = q.AddVar("x", "a");
+  VarId y = q.AddVar("y", "b");
+  q.AddEdge(x, "e", y);
+  Graph g;
+  NodeId a = g.AddNode("a");
+  NodeId b = g.AddNode("b");
+  g.AddEdge(a, "e", b);
+  EXPECT_TRUE(IsValidMatch(q, g, {a, b}));
+  EXPECT_FALSE(IsValidMatch(q, g, {b, a}));     // labels wrong
+  EXPECT_FALSE(IsValidMatch(q, g, {a}));        // arity wrong
+  EXPECT_FALSE(IsValidMatch(q, g, {a, 99}));    // out of range
+}
+
+}  // namespace
+}  // namespace ged

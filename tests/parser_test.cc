@@ -1,0 +1,169 @@
+// Unit tests for the rule DSL parser.
+
+#include <gtest/gtest.h>
+
+#include "ged/parser.h"
+
+namespace ged {
+namespace {
+
+TEST(Parser, ParsesMinimalGed) {
+  auto r = ParseGed(R"(
+    ged simple {
+      match (x:person)
+      then x.age = 1
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Ged& g = r.value();
+  EXPECT_EQ(g.name(), "simple");
+  EXPECT_EQ(g.pattern().NumVars(), 1u);
+  EXPECT_TRUE(g.X().empty());
+  ASSERT_EQ(g.Y().size(), 1u);
+  EXPECT_EQ(g.Y()[0], Literal::Const(0, Sym("age"), Value(1)));
+}
+
+TEST(Parser, ParsesPathsAndSharedVariables) {
+  auto r = ParseGed(R"(
+    ged path {
+      match (x:a)-[e]->(y:b)-[f]->(z), (x)-[g]->(z)
+      then x.k = y.k
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Pattern& q = r.value().pattern();
+  EXPECT_EQ(q.NumVars(), 3u);
+  EXPECT_EQ(q.NumEdges(), 3u);
+  EXPECT_EQ(q.label(q.FindVar("z")), kWildcard);  // default label
+}
+
+TEST(Parser, ParsesPaperPhi1) {
+  auto r = ParseGed(R"(
+    ged phi1 {
+      match (y:person)-[create]->(x:product)
+      where x.type = "video game"
+      then  y.type = "programmer"
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().IsGfd());
+  EXPECT_FALSE(r.value().IsGedx());  // constant literals present
+}
+
+TEST(Parser, ParsesIdLiteralsAndFalse) {
+  auto r = ParseGeds(R"(
+    ged key {
+      match (x:album), (y:album)
+      where x.title = y.title
+      then  x.id = y.id
+    }
+    ged forbid {
+      match (x:person)-[child]->(y:person), (x)-[parent]->(y)
+      then false
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value()[0].Y()[0], Literal::Id(0, 1));
+  EXPECT_TRUE(r.value()[1].is_forbidding());
+}
+
+TEST(Parser, ParsesValuesOfAllKinds) {
+  auto r = ParseGed(R"(
+    ged vals {
+      match (x:n)
+      where x.i = -5, x.d = 2.5, x.b = true, x.s = "hi there"
+      then x.ok = 1
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& x = r.value().X();
+  ASSERT_EQ(x.size(), 4u);
+  EXPECT_EQ(x[0].c, Value(-5));
+  EXPECT_EQ(x[1].c, Value(2.5));
+  EXPECT_EQ(x[2].c, Value(true));
+  EXPECT_EQ(x[3].c, Value("hi there"));
+}
+
+TEST(Parser, VariableRedeclarationWithDifferentLabelFails) {
+  auto r = ParseGeds(R"(
+    ged bad {
+      match (x:a), (x:b)
+      then x.k = 1
+    })");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, UnknownVariableInLiteralFails) {
+  auto r = ParseGeds(R"(
+    ged bad {
+      match (x:a)
+      then ghost.k = 1
+    })");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, MixedIdAndAttrFails) {
+  auto r = ParseGeds(R"(
+    ged bad {
+      match (x:a), (y:a)
+      then x.id = y.name
+    })");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, GdcOperatorRejectedForPlainGeds) {
+  auto r = ParseGeds(R"(
+    ged bad {
+      match (x:a)
+      where x.v != 0
+      then false
+    })");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, DisjunctionRejectedForPlainGeds) {
+  auto r = ParseGeds(R"(
+    ged bad {
+      match (x:a)
+      then x.v = 0 or x.v = 1
+    })");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  auto r = ParseGed(
+      "# leading comment\n"
+      "ged c { # open\n"
+      "  match (x:n)  # the node\n"
+      "  then x.k = 1\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(Parser, PrimedVariableNames) {
+  auto r = ParseGed(R"(
+    ged primed {
+      match (x:album)-[by]->(x':artist)
+      then x'.seen = 1
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r.value().pattern().FindVar("x'"), Pattern::kNoVar);
+}
+
+TEST(Parser, ErrorsMentionLineNumbers) {
+  auto r = ParseGeds("ged x {\nmatch (a:n)\nthen a.k @ 1\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(Parser, RuleAstExposesDisjunction) {
+  auto r = ParseRules(R"(
+    ged dom {
+      match (x:t)
+      then x.v = 0 or x.v = 1
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_TRUE(r.value()[0].then_disjunction);
+  EXPECT_EQ(r.value()[0].then_literals.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ged

@@ -1,0 +1,82 @@
+// Tests for the scenario generators (Example 1 substitutes) — ground truth
+// sanity and scaling knobs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/scenarios.h"
+#include "reason/validation.h"
+
+namespace ged {
+namespace {
+
+TEST(KbGen, ScalesWithParams) {
+  KbParams small;
+  small.num_products = 10;
+  KbParams big;
+  big.num_products = 50;
+  EXPECT_GT(GenKnowledgeBase(big).graph.NumNodes(),
+            GenKnowledgeBase(small).graph.NumNodes());
+}
+
+TEST(KbGen, Deterministic) {
+  KbParams p;
+  EXPECT_EQ(GenKnowledgeBase(p).graph, GenKnowledgeBase(p).graph);
+}
+
+TEST(KbGen, ViolationKnobs) {
+  KbParams p;
+  p.wrong_creator = 4;
+  p.double_capital = 3;
+  p.flightless = 2;
+  p.child_parent = 5;
+  KbInstance kb = GenKnowledgeBase(p);
+  EXPECT_EQ(kb.expected_wrong_creator, 4u);
+  EXPECT_EQ(kb.expected_double_capital, 6u);  // 2 ordered pairs per country
+  EXPECT_EQ(kb.expected_flightless, 2u);
+  EXPECT_EQ(kb.expected_child_parent, 5u);
+}
+
+TEST(SocialGen, DecoysDoNotTrigger) {
+  SocialParams p;
+  p.spam_pairs = 0;
+  p.decoy_pairs = 5;
+  SocialInstance net = GenSocialNetwork(p);
+  Ged phi5 = SpamGed(p.k, Value("peculiar"));
+  EXPECT_TRUE(Validate(net.graph, {phi5}).satisfied);
+}
+
+TEST(SocialGen, LargerKStillCatchesSeededPairs) {
+  SocialParams p;
+  p.k = 4;
+  p.spam_pairs = 2;
+  SocialInstance net = GenSocialNetwork(p);
+  Ged phi5 = SpamGed(p.k, Value("peculiar"));
+  ValidationReport report = Validate(net.graph, {phi5});
+  std::set<NodeId> caught;
+  for (const Violation& v : report.violations) caught.insert(v.match[0]);
+  EXPECT_EQ(caught.size(), 2u);
+}
+
+TEST(MusicGen, DuplicateCountsTracked) {
+  MusicParams p;
+  p.dup_albums = 3;
+  p.dup_artists = 2;
+  MusicInstance m = GenMusicBase(p);
+  EXPECT_EQ(m.dup_artist_nodes, 2u);
+  EXPECT_EQ(m.dup_album_nodes, 3u + 2u);  // +1 recursive album per artist
+  EXPECT_EQ(m.graph.NumNodes(), m.true_entities + m.dup_album_nodes +
+                                    m.dup_artist_nodes);
+}
+
+TEST(MusicGen, CleanBaseSatisfiesKeys) {
+  MusicParams p;
+  p.dup_albums = 0;
+  p.dup_artists = 0;
+  MusicInstance m = GenMusicBase(p);
+  EXPECT_TRUE(Validate(m.graph, MusicKeys()).satisfied);
+}
+
+}  // namespace
+}  // namespace ged
