@@ -2,8 +2,65 @@
 
 #include <algorithm>
 #include <sstream>
+#include <utility>
 
 namespace ged {
+
+Graph::Graph(const Graph& other)
+    : labels_(other.labels_),
+      attrs_(other.attrs_),
+      out_(other.out_),
+      in_(other.in_),
+      edge_set_(other.edge_set_),
+      num_edges_(other.num_edges_),
+      label_index_(other.label_index_) {}
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  labels_ = other.labels_;
+  attrs_ = other.attrs_;
+  out_ = other.out_;
+  in_ = other.in_;
+  edge_set_ = other.edge_set_;
+  num_edges_ = other.num_edges_;
+  label_index_ = other.label_index_;
+  // listeners_ intentionally untouched: they observe this instance.
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : labels_(std::move(other.labels_)),
+      attrs_(std::move(other.attrs_)),
+      out_(std::move(other.out_)),
+      in_(std::move(other.in_)),
+      edge_set_(std::move(other.edge_set_)),
+      num_edges_(other.num_edges_),
+      label_index_(std::move(other.label_index_)) {
+  // listeners_ not transferred: they were registered on `other`.
+  other.num_edges_ = 0;
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  labels_ = std::move(other.labels_);
+  attrs_ = std::move(other.attrs_);
+  out_ = std::move(other.out_);
+  in_ = std::move(other.in_);
+  edge_set_ = std::move(other.edge_set_);
+  num_edges_ = other.num_edges_;
+  label_index_ = std::move(other.label_index_);
+  other.num_edges_ = 0;
+  // listeners_ intentionally untouched: they observe this instance.
+  return *this;
+}
+
+void Graph::Reserve(size_t num_nodes, size_t num_edges) {
+  labels_.reserve(num_nodes);
+  attrs_.reserve(num_nodes);
+  out_.reserve(num_nodes);
+  in_.reserve(num_nodes);
+  edge_set_.reserve(num_edges);
+}
 
 NodeId Graph::AddNode(Label label) {
   NodeId id = static_cast<NodeId>(labels_.size());
@@ -11,20 +68,29 @@ NodeId Graph::AddNode(Label label) {
   attrs_.emplace_back();
   out_.emplace_back();
   in_.emplace_back();
-  label_index_valid_ = false;
+  label_index_[label].push_back(id);
+  // Index-based loop: a listener may unregister (itself or others) from
+  // inside the callback; bounds are re-checked each step so mutation of the
+  // registry never invalidates the traversal.
+  for (size_t i = 0; i < listeners_.size(); ++i) listeners_[i]->OnNodeAdded(id);
   return id;
 }
 
-void Graph::SetAttr(NodeId v, AttrId attr, Value value) {
+bool Graph::SetAttr(NodeId v, AttrId attr, Value value) {
   auto& tuple = attrs_[v];
   auto it = std::lower_bound(
       tuple.begin(), tuple.end(), attr,
       [](const auto& p, AttrId a) { return p.first < a; });
   if (it != tuple.end() && it->first == attr) {
+    if (it->second == value) return false;
     it->second = std::move(value);
   } else {
     tuple.insert(it, {attr, std::move(value)});
   }
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    listeners_[i]->OnAttrSet(v, attr);
+  }
+  return true;
 }
 
 bool Graph::AddEdge(NodeId src, Label label, NodeId dst) {
@@ -32,6 +98,9 @@ bool Graph::AddEdge(NodeId src, Label label, NodeId dst) {
   out_[src].push_back(Edge{label, dst});
   in_[dst].push_back(Edge{label, src});
   ++num_edges_;
+  for (size_t i = 0; i < listeners_.size(); ++i) {
+    listeners_[i]->OnEdgeAdded(src, label, dst);
+  }
   return true;
 }
 
@@ -55,18 +124,23 @@ bool Graph::HasEdge(NodeId src, Label label, NodeId dst) const {
 }
 
 const std::vector<NodeId>& Graph::NodesWithLabel(Label label) const {
-  if (!label_index_valid_) RebuildLabelIndex();
   static const std::vector<NodeId> kEmpty;
   auto it = label_index_.find(label);
   return it == label_index_.end() ? kEmpty : it->second;
 }
 
-void Graph::RebuildLabelIndex() const {
-  label_index_.clear();
-  for (NodeId v = 0; v < labels_.size(); ++v) {
-    label_index_[labels_[v]].push_back(v);
+void Graph::AddListener(GraphListener* listener) {
+  if (listener == nullptr) return;
+  if (std::find(listeners_.begin(), listeners_.end(), listener) !=
+      listeners_.end()) {
+    return;
   }
-  label_index_valid_ = true;
+  listeners_.push_back(listener);
+}
+
+void Graph::RemoveListener(GraphListener* listener) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), listener),
+                   listeners_.end());
 }
 
 NodeId Graph::DisjointUnion(const Graph& other) {

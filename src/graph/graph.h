@@ -49,12 +49,52 @@ struct Edge {
   bool operator==(const Edge&) const = default;
 };
 
+/// A full (src, label, dst) edge triple, as reported by deltas and used to
+/// seed incremental re-enumeration.
+struct EdgeTriple {
+  NodeId src;
+  Label label;
+  NodeId dst;
+  bool operator==(const EdgeTriple&) const = default;
+};
+
+/// Observer of graph mutations. Register with Graph::AddListener; callbacks
+/// fire synchronously from the mutating call, after the graph state has been
+/// updated. OnAttrSet only fires when the stored value actually changed.
+/// Listeners are bound to one graph instance: they are not carried over by
+/// copies or moves, and wholesale assignment does not emit notifications.
+/// A callback may unregister listeners (including itself); listeners added
+/// from inside a callback may or may not observe the current event.
+class GraphListener {
+ public:
+  virtual ~GraphListener() = default;
+  virtual void OnNodeAdded(NodeId /*v*/) {}
+  virtual void OnEdgeAdded(NodeId /*src*/, Label /*label*/, NodeId /*dst*/) {}
+  virtual void OnAttrSet(NodeId /*v*/, AttrId /*attr*/) {}
+};
+
 /// A mutable property graph with adjacency and label indexes.
 class Graph {
  public:
   Graph() = default;
 
+  // Copies and moves replicate/transfer the graph data but never the
+  // listener registry: a listener observes one particular instance.
+  // Construction starts with no listeners; assignment keeps the
+  // destination's own listeners (no notifications are emitted for the
+  // wholesale change).
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
+
   // ----- construction -------------------------------------------------
+
+  /// Pre-allocates storage for the given totals (existing + expected). Use
+  /// before streaming deltas into a freshly copied graph: copies have
+  /// capacity == size, so the first growth wave would otherwise reallocate
+  /// every container at once.
+  void Reserve(size_t num_nodes, size_t num_edges);
 
   /// Adds a node with the given label; returns its id.
   NodeId AddNode(Label label);
@@ -62,10 +102,12 @@ class Graph {
   NodeId AddNode(std::string_view label) { return AddNode(Sym(label)); }
 
   /// Sets attribute `attr` of `v` to `value` (overwrites).
-  void SetAttr(NodeId v, AttrId attr, Value value);
+  /// Returns true iff the stored value changed (new attribute or different
+  /// value); a no-op rewrite returns false and fires no notification.
+  bool SetAttr(NodeId v, AttrId attr, Value value);
   /// Sets attribute by name.
-  void SetAttr(NodeId v, std::string_view attr, Value value) {
-    SetAttr(v, Sym(attr), std::move(value));
+  bool SetAttr(NodeId v, std::string_view attr, Value value) {
+    return SetAttr(v, Sym(attr), std::move(value));
   }
 
   /// Adds edge (src, label, dst); duplicates are ignored (E is a set).
@@ -104,11 +146,24 @@ class Graph {
   /// test for any label.
   bool HasEdge(NodeId src, Label label, NodeId dst) const;
 
-  /// All nodes whose label is exactly `label`.
+  /// All nodes whose label is exactly `label`, in insertion order. For a
+  /// label with no nodes, returns a reference to a stable shared empty
+  /// vector; the call never mutates the index (safe to race with other
+  /// readers). The index is maintained eagerly by AddNode, so references
+  /// returned for a *present* label stay valid across AddEdge/SetAttr and
+  /// grow in place across AddNode.
   const std::vector<NodeId>& NodesWithLabel(Label label) const;
   /// Out-degree / in-degree of v.
   size_t OutDegree(NodeId v) const { return out_[v].size(); }
   size_t InDegree(NodeId v) const { return in_[v].size(); }
+
+  // ----- change notification -------------------------------------------
+
+  /// Registers a mutation observer (not owned; must outlive the graph or be
+  /// removed first). Duplicate registrations are ignored.
+  void AddListener(GraphListener* listener);
+  /// Unregisters a previously added observer (no-op if absent).
+  void RemoveListener(GraphListener* listener);
 
   // ----- whole-graph operations ----------------------------------------
 
@@ -144,11 +199,12 @@ class Graph {
   // Dedup set for edges (E is a set of triples).
   std::unordered_set<EdgeKey, EdgeKeyHash> edge_set_;
   size_t num_edges_ = 0;
-  // Label index, built lazily.
-  mutable std::unordered_map<Label, std::vector<NodeId>> label_index_;
-  mutable bool label_index_valid_ = false;
-
-  void RebuildLabelIndex() const;
+  // Label index, maintained eagerly by AddNode so const accessors never
+  // mutate it (lazy rebuilds from NodesWithLabel raced under the parallel
+  // validator and could dangle references across mutations).
+  std::unordered_map<Label, std::vector<NodeId>> label_index_;
+  // Mutation observers (never copied with the graph).
+  std::vector<GraphListener*> listeners_;
 };
 
 }  // namespace ged

@@ -1,0 +1,74 @@
+#include "incr/incremental.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace ged {
+
+IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
+                                           ValidationOptions options)
+    : graph_(std::move(g)), sigma_(std::move(sigma)), options_(options) {
+  // A capped report drops violations nondeterministically; maintaining it
+  // incrementally would drift from the full-validation oracle.
+  options_.max_violations_per_ged = 0;
+  report_ = Validate(graph_, sigma_, options_);
+}
+
+Result<GraphDelta::Applied> IncrementalValidator::Commit(
+    const GraphDelta& delta) {
+  Result<GraphDelta::Applied> applied = delta.Apply(&graph_);
+  if (!applied.ok()) return applied;
+  const GraphDelta::Applied& ap = applied.value();
+
+  // 1. Retract violations whose X→Y status may have flipped: an attribute
+  //    change on a bound pre-existing node is the only cure mechanism under
+  //    append-only deltas.
+  stats_.retracted =
+      EraseViolationsTouching(&report_.violations, ap.changed_nodes);
+
+  // 2. Re-scan the match regions a delta can create or alter:
+  //    (a) matches binding a changed or new node;
+  std::vector<NodeId> rescan;
+  rescan.reserve(ap.changed_nodes.size() + ap.new_nodes.size());
+  std::merge(ap.changed_nodes.begin(), ap.changed_nodes.end(),
+             ap.new_nodes.begin(), ap.new_nodes.end(),
+             std::back_inserter(rescan));
+  ValidationReport fresh = ValidateTouching(graph_, sigma_, rescan, options_);
+  uint64_t checked = fresh.matches_checked;
+  std::vector<Violation> fresh_v = std::move(fresh.violations);
+
+  //    (b) matches created by a new edge between two pre-existing nodes,
+  //        found by pinning both endpoints onto each pattern edge. These
+  //        may overlap (a) or re-find still-listed old violations
+  //        (parallel edges), so reconcile by set-difference.
+  if (!ap.cross_edges.empty()) {
+    std::vector<Violation> seeded = FindViolationsSeededByEdges(
+        graph_, sigma_, ap.cross_edges, options_, &checked);
+    fresh_v.insert(fresh_v.end(), std::make_move_iterator(seeded.begin()),
+                   std::make_move_iterator(seeded.end()));
+    SortViolationList(&fresh_v);
+    fresh_v.erase(std::unique(fresh_v.begin(), fresh_v.end()), fresh_v.end());
+    std::vector<Violation> novel;
+    std::set_difference(fresh_v.begin(), fresh_v.end(),
+                        report_.violations.begin(), report_.violations.end(),
+                        std::back_inserter(novel), ViolationLess);
+    fresh_v = std::move(novel);
+  }
+
+  stats_.added = fresh_v.size();
+  MergeViolations(&report_.violations, std::move(fresh_v));
+  report_.satisfied = report_.violations.empty();
+  report_.matches_checked += checked;
+
+  ++stats_.commits;
+  stats_.touched = ap.touched.size();
+  stats_.matches_checked = checked;
+  return applied;
+}
+
+ValidationReport IncrementalValidator::RevalidateFull() const {
+  return Validate(graph_, sigma_, options_);
+}
+
+}  // namespace ged

@@ -1,0 +1,88 @@
+// Incremental GED validation: delta-driven violation maintenance (the
+// paper's §8 open problem "incremental algorithms", on top of the parallel
+// half in reason/validation.h).
+//
+// An IncrementalValidator owns a graph G and a GED set Σ and keeps the
+// ValidationReport of G ⊨ Σ live as G grows through GraphDelta commits.
+// Instead of re-running Validate() over all of G (cost ~ |G|^|Q|), a commit
+// re-enumerates only the matches that bind a delta-touched node, by seeding
+// the matcher's `pinned` bindings — one pattern variable pinned to each
+// touched candidate — partitioned across the thread pool
+// (reason/validation.h ValidateTouching).
+//
+// Exactness argument (append-only deltas):
+//  * topology only grows, so every match of Q in the old graph is still a
+//    match in the new one — no violation disappears for topological reasons;
+//  * a match that exists now but not before must use a new node or a new
+//    edge, hence binds at least one touched node;
+//  * the X→Y status of an old match changes only if an attribute of a bound
+//    node changed, and those nodes are touched.
+// Retracting violations that bind a touched node and re-scanning exactly
+// the touched region therefore reproduces Validate() from scratch, which
+// the property tests assert after every commit.
+
+#ifndef GEDLIB_INCR_INCREMENTAL_H_
+#define GEDLIB_INCR_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ged/ged.h"
+#include "graph/graph.h"
+#include "incr/delta.h"
+#include "reason/validation.h"
+
+namespace ged {
+
+/// Maintains G ⊨ Σ under append-only deltas.
+class IncrementalValidator {
+ public:
+  /// Takes ownership of `g` and Σ and runs one full Validate() to seed the
+  /// report. `options.max_violations_per_ged` is forced to 0 (a truncated
+  /// report cannot be maintained exactly); the other knobs (threads,
+  /// semantics, matcher toggles) apply to the initial pass and every commit.
+  IncrementalValidator(Graph g, std::vector<Ged> sigma,
+                       ValidationOptions options = {});
+
+  /// The maintained graph (mutate it only through Commit).
+  const Graph& graph() const { return graph_; }
+  /// The GED set Σ.
+  const std::vector<Ged>& sigma() const { return sigma_; }
+  /// The live report: always equal to Validate(graph(), sigma()) with the
+  /// same options. `matches_checked` is cumulative across the initial pass
+  /// and all commits (it counts incremental work, not from-scratch work).
+  const ValidationReport& report() const { return report_; }
+
+  /// A fresh delta based on the current graph.
+  GraphDelta NewDelta() const { return GraphDelta(graph_); }
+
+  /// Telemetry for the most recent commit.
+  struct CommitStats {
+    uint64_t commits = 0;          ///< total successful commits so far
+    size_t touched = 0;            ///< delta-touched nodes (last commit)
+    size_t retracted = 0;          ///< violations retracted (last commit)
+    size_t added = 0;              ///< violations added back (last commit)
+    uint64_t matches_checked = 0;  ///< matches inspected (last commit)
+  };
+  const CommitStats& last_commit() const { return stats_; }
+
+  /// Applies `delta` atomically and maintains the report incrementally.
+  /// On error (stale base, id out of range) neither graph nor report change.
+  Result<GraphDelta::Applied> Commit(const GraphDelta& delta);
+
+  /// From-scratch Validate() with the same options — the oracle the
+  /// property tests compare report() against. (Violation lists must match
+  /// exactly; matches_checked differs by design.)
+  ValidationReport RevalidateFull() const;
+
+ private:
+  Graph graph_;
+  std::vector<Ged> sigma_;
+  ValidationOptions options_;
+  ValidationReport report_;
+  CommitStats stats_;
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_INCR_INCREMENTAL_H_

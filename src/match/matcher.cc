@@ -1,6 +1,7 @@
 #include "match/matcher.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_map>
 
 namespace ged {
@@ -22,11 +23,62 @@ struct VarInfo {
   bool has_wild_in = false;
 };
 
+// Reusable per-thread search buffers. Incremental validation issues many
+// small pinned/restricted enumerations per commit; without reuse, every run
+// (and every search-tree node, for candidate lists) pays heap allocations
+// that dominate small-delta commits. The in_use flag guards re-entrancy
+// (a match callback starting another enumeration falls back to the heap).
+struct SearchScratch {
+  std::vector<VarInfo> info;
+  std::vector<VarId> order;
+  Match assignment;
+  std::vector<bool> used;
+  std::vector<std::vector<const std::vector<NodeId>*>> restrictions;
+  std::vector<std::vector<NodeId>> restriction_storage;
+  std::vector<std::vector<NodeId>> cand_bufs;  // per-depth candidate lists
+  bool in_use = false;
+};
+
+SearchScratch& TlsScratch() {
+  static thread_local SearchScratch scratch;
+  return scratch;
+}
+
 class Search {
  public:
   Search(const Pattern& q, const Graph& g, const MatchOptions& opts,
          const MatchCallback& cb)
-      : q_(q), g_(g), opts_(opts), cb_(cb) {}
+      : q_(q),
+        g_(g),
+        opts_(opts),
+        cb_(cb),
+        scratch_(Acquire(&fallback_, &owns_tls_)),
+        info_(scratch_->info),
+        order_(scratch_->order),
+        assignment_(scratch_->assignment),
+        used_(scratch_->used),
+        restrictions_(scratch_->restrictions),
+        restriction_storage_(scratch_->restriction_storage),
+        cand_bufs_(scratch_->cand_bufs) {}
+
+  ~Search() {
+    if (!owns_tls_) return;
+    // Cap what the thread-local arena retains between runs: one huge
+    // enumeration (a full validation over a large graph) must not pin its
+    // high-water buffers for the thread's lifetime when every subsequent
+    // run (small-delta commits) needs only tiny ones.
+    constexpr size_t kMaxRetainedNodeIds = size_t{1} << 20;
+    size_t retained = scratch_->used.capacity();
+    for (const auto& buf : scratch_->cand_bufs) retained += buf.capacity();
+    if (retained > kMaxRetainedNodeIds) {
+      scratch_->cand_bufs = {};
+      scratch_->used = {};
+    }
+    scratch_->in_use = false;
+  }
+
+  Search(const Search&) = delete;
+  Search& operator=(const Search&) = delete;
 
   MatchStats Run() {
     size_t n = q_.NumVars();
@@ -41,6 +93,24 @@ class Search {
     if (opts_.semantics == MatchSemantics::kIsomorphism) {
       used_.assign(g_.NumNodes(), false);
     }
+    // Candidate restrictions: sorted copies, grouped per variable.
+    restrictions_.assign(n, {});
+    restriction_storage_.clear();
+    restriction_storage_.reserve(opts_.restricted.size());
+    for (const auto& [x, allowed] : opts_.restricted) {
+      if (x >= n) return stats_;  // restriction on a nonexistent variable
+      restriction_storage_.push_back(allowed);
+      auto& sorted = restriction_storage_.back();
+      std::sort(sorted.begin(), sorted.end());
+      sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    }
+    {
+      size_t k = 0;
+      for (const auto& [x, allowed] : opts_.restricted) {
+        (void)allowed;
+        restrictions_[x].push_back(&restriction_storage_[k++]);
+      }
+    }
     // Apply pinned bindings; they must be mutually consistent.
     for (const auto& [x, v] : opts_.pinned) {
       if (x >= n || v >= g_.NumNodes()) return stats_;
@@ -53,6 +123,7 @@ class Search {
       if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = true;
     }
     BuildOrder();
+    if (cand_bufs_.size() < order_.size()) cand_bufs_.resize(order_.size());
     Extend(0);
     return stats_;
   }
@@ -84,7 +155,11 @@ class Search {
   // Candidate-count estimate for ordering decisions only.
   size_t Estimate(VarId x) const {
     Label l = q_.label(x);
-    return l == kWildcard ? g_.NumNodes() : g_.NodesWithLabel(l).size();
+    size_t est = l == kWildcard ? g_.NumNodes() : g_.NodesWithLabel(l).size();
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      est = std::min(est, allowed->size());
+    }
+    return est;
   }
 
   void BuildOrder() {
@@ -151,6 +226,16 @@ class Search {
   bool NodeOk(VarId x, NodeId v) const {
     if (!LabelMatches(q_.label(x), g_.label(v))) return false;
     if (opts_.semantics == MatchSemantics::kIsomorphism && used_[v]) {
+      return false;
+    }
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      if (!std::binary_search(allowed->begin(), allowed->end(), v)) {
+        return false;
+      }
+    }
+    if (x < opts_.exclude_before_var && opts_.exclude_nodes != nullptr &&
+        std::binary_search(opts_.exclude_nodes->begin(),
+                           opts_.exclude_nodes->end(), v)) {
       return false;
     }
     if (opts_.degree_filter) {
@@ -230,6 +315,20 @@ class Search {
         from_out = false;
       }
     }
+    // A candidate restriction can beat every adjacency list (NodeOk checks
+    // membership in all restrictions and all bound-neighbor edges either
+    // way, so any source list is correct).
+    const std::vector<NodeId>* best_restriction = nullptr;
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      if (allowed->size() < best_size) {
+        best_size = allowed->size();
+        best_restriction = allowed;
+      }
+    }
+    if (best_restriction != nullptr) {
+      *out = *best_restriction;
+      return;
+    }
     if (best_list != nullptr) {
       for (const Edge& e : *best_list) {
         if (!LabelMatches(best_label, e.label)) continue;
@@ -264,7 +363,7 @@ class Search {
       return keep_going;
     }
     VarId x = order_[depth];
-    std::vector<NodeId> cands;
+    std::vector<NodeId>& cands = cand_bufs_[depth];
     Candidates(x, &cands);
     for (NodeId v : cands) {
       if (!NodeOk(x, v)) continue;
@@ -278,14 +377,35 @@ class Search {
     return true;
   }
 
+  static SearchScratch* Acquire(std::unique_ptr<SearchScratch>* fallback,
+                                bool* owns_tls) {
+    SearchScratch& tls = TlsScratch();
+    if (!tls.in_use) {
+      tls.in_use = true;
+      *owns_tls = true;
+      return &tls;
+    }
+    *fallback = std::make_unique<SearchScratch>();
+    return fallback->get();
+  }
+
   const Pattern& q_;
   const Graph& g_;
   const MatchOptions& opts_;
   const MatchCallback& cb_;
-  std::vector<VarInfo> info_;
-  std::vector<VarId> order_;
-  Match assignment_;
-  std::vector<bool> used_;
+  // Scratch acquisition (declared before the references bound to it).
+  std::unique_ptr<SearchScratch> fallback_;
+  bool owns_tls_ = false;
+  SearchScratch* scratch_;
+  // All search state lives in the scratch arena and is reused across runs.
+  std::vector<VarInfo>& info_;
+  std::vector<VarId>& order_;
+  Match& assignment_;
+  std::vector<bool>& used_;
+  // Per-variable views of opts_.restricted (sorted copies in storage).
+  std::vector<std::vector<const std::vector<NodeId>*>>& restrictions_;
+  std::vector<std::vector<NodeId>>& restriction_storage_;
+  std::vector<std::vector<NodeId>>& cand_bufs_;
   MatchStats stats_;
 };
 
@@ -296,6 +416,57 @@ MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
                             const MatchCallback& cb) {
   Search search(q, g, options, cb);
   return search.Run();
+}
+
+MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb) {
+  MatchStats total;
+  if (q.NumVars() == 0 || touched.empty()) return total;
+  bool stop = false;
+  for (VarId x = 0; x < q.NumVars() && !stop; ++x) {
+    // One restricted run per variable: h(x) ranges over the label-compatible
+    // touched nodes, batched into a single search. Canonical dedup — each
+    // match is owned by the run of its smallest touched variable — is
+    // enforced in-search by excluding touched nodes from variables before x
+    // (pruning whole subtrees, not just filtering deliveries).
+    std::vector<NodeId> allowed;
+    for (NodeId v : touched) {
+      if (LabelMatches(q.label(x), g.label(v))) allowed.push_back(v);
+    }
+    if (allowed.empty()) continue;
+    // The delivered-match cap is enforced here, across runs, so the inner
+    // search must not stop on its own; the step budget, in contrast, is a
+    // global work bound and must shrink by the steps already spent.
+    MatchOptions run_opts = options;
+    run_opts.max_matches = 0;
+    if (options.max_steps != 0) {
+      if (total.steps >= options.max_steps) {
+        total.aborted = true;
+        break;
+      }
+      run_opts.max_steps = options.max_steps - total.steps;
+    }
+    run_opts.restricted.emplace_back(x, std::move(allowed));
+    run_opts.exclude_before_var = x;
+    run_opts.exclude_nodes = &touched;
+    MatchStats run = EnumerateMatches(q, g, run_opts, [&](const Match& h) {
+      ++total.matches;
+      if (!cb(h)) {
+        stop = true;
+        return false;
+      }
+      if (options.max_matches != 0 && total.matches >= options.max_matches) {
+        stop = true;
+        return false;
+      }
+      return true;
+    });
+    total.steps += run.steps;
+    total.aborted |= run.aborted;
+  }
+  return total;
 }
 
 bool HasMatch(const Pattern& q, const Graph& g, const MatchOptions& options) {

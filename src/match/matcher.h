@@ -53,6 +53,22 @@ struct MatchOptions {
   /// Pre-bound variables (var, node). The enumeration is restricted to
   /// matches with h(var) = node; used to partition work across threads.
   std::vector<std::pair<VarId, NodeId>> pinned;
+  /// Candidate restrictions (var, allowed nodes): only matches with
+  /// h(var) ∈ allowed are enumerated. A restriction behaves like |allowed|
+  /// pins batched into one search (one setup, and the variable ordering
+  /// exploits the shrunken candidate set). Multiple entries for the same
+  /// variable intersect. Used to focus enumeration on delta-touched
+  /// regions in incremental validation.
+  std::vector<std::pair<VarId, std::vector<NodeId>>> restricted;
+  /// Canonical-dedup pruning used by EnumerateMatchesTouching: candidates
+  /// for variables with index < exclude_before_var are rejected when they
+  /// lie in *exclude_nodes (sorted, duplicate-free; must outlive the
+  /// enumeration — held by pointer so many small runs share one set
+  /// without copying). Equivalent to post-filtering "no earlier variable
+  /// binds an excluded node", but prunes whole search subtrees instead of
+  /// discarding finished matches.
+  VarId exclude_before_var = 0;
+  const std::vector<NodeId>* exclude_nodes = nullptr;
 };
 
 /// Outcome counters of an enumeration.
@@ -67,6 +83,26 @@ struct MatchStats {
 MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
                             const MatchOptions& options,
                             const MatchCallback& cb);
+
+/// Enumerates exactly the matches of `q` that bind at least one variable to
+/// a node in `touched` (which must be sorted and duplicate-free). Each such
+/// match is delivered exactly once: for the smallest variable index x with
+/// h(x) ∈ touched, it is found by the pinned run (x, h(x)) and suppressed in
+/// every other run. This is the multi-pin primitive of incremental
+/// validation — after an append-only delta, every *new* match of a pattern
+/// binds a delta-touched node, so seeding the matcher with one pin per
+/// (variable, touched node) pair re-enumerates precisely the match-space
+/// region a delta can have created or altered.
+///
+/// `options.pinned` composes: externally pinned variables are honored in
+/// every run (used to further partition work across threads).
+/// `options.max_matches` caps the *delivered* (deduplicated) matches.
+/// MatchStats aggregates across all pinned runs; `matches` counts delivered
+/// matches only.
+MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb);
 
 /// True iff at least one match exists.
 bool HasMatch(const Pattern& q, const Graph& g,

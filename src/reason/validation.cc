@@ -2,20 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <thread>
 
 namespace ged {
 
 namespace {
-
-void SortViolations(std::vector<Violation>* violations) {
-  std::sort(violations->begin(), violations->end(),
-            [](const Violation& a, const Violation& b) {
-              if (a.ged_index != b.ged_index) return a.ged_index < b.ged_index;
-              return a.match < b.match;
-            });
-}
 
 // Serial scan of one GED, optionally restricted by a pinned first variable.
 void ScanGed(const Graph& g, const Ged& phi, size_t ged_index,
@@ -51,7 +44,61 @@ ValidationReport ValidateSerial(const Graph& g, const std::vector<Ged>& sigma,
     report.violations.insert(report.violations.end(), v.begin(), v.end());
   }
   report.satisfied = report.violations.empty();
-  SortViolations(&report.violations);
+  SortViolationList(&report.violations);
+  return report;
+}
+
+// Drains `num_items` indexed work items across options.num_threads workers.
+// Each worker accumulates violations into a local buffer merged under one
+// mutex; the per-GED violation cap is enforced approximately (items are
+// skipped once their GED's count is reached; in-flight items still land).
+// `scan(item, out, checked)` performs one item's scan; `ged_of(item)` maps
+// an item to its GED for the cap accounting.
+ValidationReport RunParallelScan(
+    size_t num_items, size_t num_geds, const ValidationOptions& options,
+    const std::function<size_t(size_t)>& ged_of,
+    const std::function<void(size_t, std::vector<Violation>*, uint64_t*)>&
+        scan) {
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  ValidationReport report;
+  std::vector<uint64_t> per_ged_violations(num_geds, 0);
+
+  auto worker = [&]() {
+    std::vector<Violation> local;
+    uint64_t checked = 0;
+    while (true) {
+      size_t k = next.fetch_add(1);
+      if (k >= num_items) break;
+      size_t ged_index = ged_of(k);
+      if (options.max_violations_per_ged != 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (per_ged_violations[ged_index] >= options.max_violations_per_ged) {
+          continue;
+        }
+      }
+      std::vector<Violation> v;
+      scan(k, &v, &checked);
+      if (!v.empty()) {
+        std::lock_guard<std::mutex> lock(mu);
+        per_ged_violations[ged_index] += v.size();
+        local.insert(local.end(), v.begin(), v.end());
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    report.violations.insert(report.violations.end(), local.begin(),
+                             local.end());
+    report.matches_checked += checked;
+  };
+
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < options.num_threads; ++t) {
+    threads.emplace_back(worker);
+  }
+  for (auto& t : threads) t.join();
+
+  report.satisfied = report.violations.empty();
+  SortViolationList(&report.violations);
   return report;
 }
 
@@ -93,56 +140,60 @@ ValidationReport ValidateParallel(const Graph& g,
     }
   }
 
-  std::atomic<size_t> next{0};
-  std::mutex mu;
-  ValidationReport report;
-  std::vector<uint64_t> per_ged_violations(sigma.size(), 0);
+  return RunParallelScan(
+      items.size(), sigma.size(), options,
+      [&](size_t k) { return items[k].ged_index; },
+      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+        const WorkItem& item = items[k];
+        if (item.pins.empty()) {
+          ScanGed(g, sigma[item.ged_index], item.ged_index, options, {}, v,
+                  checked);
+        } else {
+          for (NodeId pin : item.pins) {
+            ScanGed(g, sigma[item.ged_index], item.ged_index, options,
+                    {{0, pin}}, v, checked);
+          }
+        }
+      });
+}
 
-  auto worker = [&]() {
-    std::vector<Violation> local;
-    uint64_t checked = 0;
-    while (true) {
-      size_t k = next.fetch_add(1);
-      if (k >= items.size()) break;
-      const WorkItem& item = items[k];
-      if (options.max_violations_per_ged != 0) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (per_ged_violations[item.ged_index] >=
-            options.max_violations_per_ged) {
-          continue;
-        }
-      }
-      std::vector<Violation> v;
-      if (item.pins.empty()) {
-        ScanGed(g, sigma[item.ged_index], item.ged_index, options, {}, &v,
-                &checked);
-      } else {
-        for (NodeId pin : item.pins) {
-          ScanGed(g, sigma[item.ged_index], item.ged_index, options,
-                  {{0, pin}}, &v, &checked);
-        }
-      }
-      if (!v.empty()) {
-        std::lock_guard<std::mutex> lock(mu);
-        per_ged_violations[item.ged_index] += v.size();
-        local.insert(local.end(), v.begin(), v.end());
+// Scans matches of `phi` with variable x restricted to the nodes of `pins`
+// (one batched search), keeping only matches for which x is the smallest
+// variable bound to a touched node (the canonical-run dedup of
+// EnumerateMatchesTouching, enforced in-search via exclusion pruning), and
+// records the violating ones.
+void ScanGedTouching(const Graph& g, const Ged& phi, size_t ged_index,
+                     const ValidationOptions& vopts, VarId x,
+                     const std::vector<NodeId>& pins,
+                     const std::vector<NodeId>& touched,
+                     std::vector<Violation>* out, uint64_t* checked) {
+  std::vector<NodeId> allowed;
+  for (NodeId pin : pins) {
+    if (LabelMatches(phi.pattern().label(x), g.label(pin))) {
+      allowed.push_back(pin);
+    }
+  }
+  if (allowed.empty()) return;
+  MatchOptions mopts;
+  mopts.semantics = vopts.semantics;
+  mopts.degree_filter = vopts.degree_filter;
+  mopts.smart_order = vopts.smart_order;
+  mopts.restricted.emplace_back(x, std::move(allowed));
+  mopts.exclude_before_var = x;
+  mopts.exclude_nodes = &touched;
+  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
+    ++*checked;
+    if (!SatisfiesAll(g, h, phi.X())) return true;
+    bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
+    if (!y_ok) {
+      out->push_back(Violation{ged_index, h});
+      if (vopts.max_violations_per_ged != 0 &&
+          out->size() >= vopts.max_violations_per_ged) {
+        return false;
       }
     }
-    std::lock_guard<std::mutex> lock(mu);
-    report.violations.insert(report.violations.end(), local.begin(),
-                             local.end());
-    report.matches_checked += checked;
-  };
-
-  std::vector<std::thread> threads;
-  for (unsigned t = 0; t < options.num_threads; ++t) {
-    threads.emplace_back(worker);
-  }
-  for (auto& t : threads) t.join();
-
-  report.satisfied = report.violations.empty();
-  SortViolations(&report.violations);
-  return report;
+    return true;
+  });
 }
 
 }  // namespace
@@ -151,6 +202,143 @@ ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options) {
   if (options.num_threads <= 1) return ValidateSerial(g, sigma, options);
   return ValidateParallel(g, sigma, options);
+}
+
+void SortViolationList(std::vector<Violation>* violations) {
+  std::sort(violations->begin(), violations->end(), ViolationLess);
+}
+
+size_t EraseViolationsTouching(std::vector<Violation>* violations,
+                               const std::vector<NodeId>& touched) {
+  auto binds_touched = [&](const Violation& v) {
+    for (NodeId n : v.match) {
+      if (std::binary_search(touched.begin(), touched.end(), n)) return true;
+    }
+    return false;
+  };
+  size_t before = violations->size();
+  violations->erase(
+      std::remove_if(violations->begin(), violations->end(), binds_touched),
+      violations->end());
+  return before - violations->size();
+}
+
+void MergeViolations(std::vector<Violation>* violations,
+                     std::vector<Violation> fresh) {
+  size_t mid = violations->size();
+  violations->insert(violations->end(),
+                     std::make_move_iterator(fresh.begin()),
+                     std::make_move_iterator(fresh.end()));
+  std::inplace_merge(violations->begin(), violations->begin() + mid,
+                     violations->end(), ViolationLess);
+}
+
+ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
+                                  const std::vector<NodeId>& touched,
+                                  const ValidationOptions& options) {
+  ValidationReport report;
+  if (touched.empty()) return report;
+
+  if (options.num_threads <= 1) {
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      const Pattern& q = sigma[i].pattern();
+      std::vector<Violation> v;
+      for (VarId x = 0; x < q.NumVars(); ++x) {
+        ScanGedTouching(g, sigma[i], i, options, x, touched, touched, &v,
+                        &report.matches_checked);
+        if (options.max_violations_per_ged != 0 &&
+            v.size() >= options.max_violations_per_ged) {
+          break;
+        }
+      }
+      report.violations.insert(report.violations.end(), v.begin(), v.end());
+    }
+    report.satisfied = report.violations.empty();
+    SortViolationList(&report.violations);
+    return report;
+  }
+
+  // Parallel: one work item per (GED, pin variable, touched-node chunk);
+  // pinned runs are independent, so any partition is race-free.
+  struct WorkItem {
+    size_t ged_index;
+    VarId var;
+    std::vector<NodeId> pins;
+  };
+  std::vector<WorkItem> items;
+  size_t chunk = std::max<size_t>(
+      1, touched.size() / std::max<size_t>(1, 4 * options.num_threads));
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const Pattern& q = sigma[i].pattern();
+    for (VarId x = 0; x < q.NumVars(); ++x) {
+      for (size_t begin = 0; begin < touched.size(); begin += chunk) {
+        size_t end = std::min(touched.size(), begin + chunk);
+        items.push_back(WorkItem{
+            i, x,
+            std::vector<NodeId>(touched.begin() + begin,
+                                touched.begin() + end)});
+      }
+    }
+  }
+
+  return RunParallelScan(
+      items.size(), sigma.size(), options,
+      [&](size_t k) { return items[k].ged_index; },
+      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+        const WorkItem& item = items[k];
+        ScanGedTouching(g, sigma[item.ged_index], item.ged_index, options,
+                        item.var, item.pins, touched, v, checked);
+      });
+}
+
+std::vector<Violation> FindViolationsSeededByEdges(
+    const Graph& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  std::vector<Violation> out;
+  MatchOptions mopts;
+  mopts.semantics = options.semantics;
+  mopts.degree_filter = options.degree_filter;
+  mopts.smart_order = options.smart_order;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const Ged& phi = sigma[i];
+    const Pattern& q = phi.pattern();
+    for (const Pattern::PEdge& pe : q.edges()) {
+      // One batched run per pattern edge: restrict its endpoints to the
+      // compatible seed endpoints. This over-approximates the per-seed
+      // pairing (h(src) and h(dst) may come from different seeds when a
+      // pre-existing edge connects them), which only widens the re-checked
+      // region — the caller's set-difference reconciliation absorbs it —
+      // while amortizing matcher setup across all seeds.
+      std::vector<NodeId> srcs, dsts;
+      for (const EdgeTriple& seed : seeds) {
+        if (!LabelMatches(pe.label, seed.label)) continue;
+        if (!LabelMatches(q.label(pe.src), g.label(seed.src))) continue;
+        if (!LabelMatches(q.label(pe.dst), g.label(seed.dst))) continue;
+        if (pe.src == pe.dst && seed.src != seed.dst) continue;
+        srcs.push_back(seed.src);
+        dsts.push_back(seed.dst);
+      }
+      if (srcs.empty()) continue;
+      auto sort_unique = [](std::vector<NodeId>* v) {
+        std::sort(v->begin(), v->end());
+        v->erase(std::unique(v->begin(), v->end()), v->end());
+      };
+      sort_unique(&srcs);
+      sort_unique(&dsts);
+      mopts.restricted = {{pe.src, std::move(srcs)}, {pe.dst, std::move(dsts)}};
+      EnumerateMatches(q, g, mopts, [&](const Match& h) {
+        ++*checked;
+        if (!SatisfiesAll(g, h, phi.X())) return true;
+        bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
+        if (!y_ok) out.push_back(Violation{i, h});
+        return true;
+      });
+    }
+  }
+  SortViolationList(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace ged

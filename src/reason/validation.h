@@ -29,6 +29,14 @@ struct Violation {
   bool operator==(const Violation&) const = default;
 };
 
+/// The strict weak order of violation reports — (ged_index, match). All
+/// sorted-violation invariants (SortViolationList, MergeViolations,
+/// set-difference reconciliation in incr/) share this single definition.
+inline bool ViolationLess(const Violation& a, const Violation& b) {
+  if (a.ged_index != b.ged_index) return a.ged_index < b.ged_index;
+  return a.match < b.match;
+}
+
 /// Knobs for Validate().
 struct ValidationOptions {
   /// Stop collecting after this many violations per GED (0 = all).
@@ -58,6 +66,58 @@ struct ValidationReport {
 /// Checks G ⊨ Σ, reporting violations.
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
+
+// ----- incremental building blocks (src/incr/ sits on these) ---------------
+//
+// Under append-only deltas (AddNode/AddEdge/SetAttr), matches never die —
+// the old graph is a subgraph of the new one — and a match's X→Y status only
+// changes if an attribute of a bound node changed. Every *new* match binds
+// at least one delta-touched node. Violation maintenance is therefore exact:
+// retract violations binding a touched node, re-scan only the touched region
+// of the match space, merge.
+
+/// Sorts by (ged_index, match) — the ValidationReport order invariant.
+void SortViolationList(std::vector<Violation>* violations);
+
+/// Removes every violation whose match binds a node in `touched` (sorted,
+/// duplicate-free), preserving order; returns the number removed.
+size_t EraseViolationsTouching(std::vector<Violation>* violations,
+                               const std::vector<NodeId>& touched);
+
+/// Merges sorted `fresh` into sorted `violations`, keeping the order
+/// invariant. The two lists must be disjoint (guaranteed when `violations`
+/// was filtered by EraseViolationsTouching and `fresh` comes from
+/// ValidateTouching over the same touched set).
+void MergeViolations(std::vector<Violation>* violations,
+                     std::vector<Violation> fresh);
+
+/// Validates only the matches that bind at least one node of `touched`
+/// (sorted, duplicate-free): the report lists exactly the violations among
+/// those matches, sorted. Work is partitioned across options.num_threads by
+/// (GED, pin variable, touched-candidate chunk), reusing the parallel
+/// scheme of Validate(). GEDs whose pattern has no variables contribute
+/// nothing (their single empty match binds no node).
+ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
+                                  const std::vector<NodeId>& touched,
+                                  const ValidationOptions& options = {});
+
+/// Violating matches that can map a pattern edge onto one of the `seeds`:
+/// for each (GED, pattern edge (u,ι,v)), one batched run restricts h(u) to
+/// the compatible seed sources and h(v) to the compatible seed targets
+/// (ι ≼ seed label, endpoint labels ≼-compatible). This covers every match
+/// an edge insert between pre-existing nodes can create, slightly
+/// over-approximated: h(u)/h(v) may pair endpoints of different seeds via a
+/// pre-existing edge, and parallel edges are indistinguishable from the
+/// seed — so the result (sorted, duplicate-free) may re-find matches that
+/// already existed, and callers holding a maintained report reconcile by
+/// set-difference. `checked` is incremented per match inspected (before
+/// deduplication). options.max_violations_per_ged is intentionally NOT
+/// honored here: truncating the seeded scan would break the set-difference
+/// reconciliation that keeps incremental maintenance exact.
+std::vector<Violation> FindViolationsSeededByEdges(
+    const Graph& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked);
 
 }  // namespace ged
 

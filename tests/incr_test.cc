@@ -1,0 +1,422 @@
+// Tests for the incremental validation engine (src/incr/): GraphDelta
+// commit semantics, the multi-pin enumeration helper, violation-set
+// maintenance, and the core exactness property — the incrementally
+// maintained report equals a from-scratch Validate() after every commit.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "gen/random_gen.h"
+#include "gen/scenarios.h"
+#include "incr/delta.h"
+#include "incr/incremental.h"
+#include "match/matcher.h"
+#include "reason/validation.h"
+
+namespace ged {
+namespace {
+
+void ExpectReportsEqual(const ValidationReport& incr,
+                        const ValidationReport& full) {
+  EXPECT_EQ(incr.satisfied, full.satisfied);
+  ASSERT_EQ(incr.violations.size(), full.violations.size());
+  EXPECT_EQ(incr.violations, full.violations);
+}
+
+// ----- GraphDelta -----------------------------------------------------------
+
+TEST(GraphDelta, ProvisionalIdsExtendTheBase) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  GraphDelta d(g);
+  NodeId b = d.AddNode("n");
+  NodeId c = d.AddNode("m");
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  d.AddEdge(a, "e", b);
+  d.AddEdge(b, "e", c);
+  auto applied = d.Apply(&g);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_TRUE(g.HasEdge(a, Sym("e"), b));
+  EXPECT_TRUE(g.HasEdge(b, Sym("e"), c));
+  EXPECT_EQ(applied.value().nodes_added, 2u);
+  EXPECT_EQ(applied.value().edges_added, 2u);
+  EXPECT_EQ(applied.value().touched, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(GraphDelta, RejectsStaleBase) {
+  Graph g;
+  g.AddNode("n");
+  GraphDelta d(g);
+  g.AddNode("n");  // out-of-band mutation: the delta's base is now stale
+  EXPECT_FALSE(d.Check(g).ok());
+  Graph before = g;
+  auto applied = d.Apply(&g);
+  EXPECT_FALSE(applied.ok());
+  EXPECT_EQ(g, before);
+}
+
+TEST(GraphDelta, RejectsOutOfRangeIdsWithoutApplyingAnything) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  GraphDelta d(g);
+  NodeId b = d.AddNode("n");
+  d.AddEdge(a, "e", b);
+  d.AddEdge(a, "e", 99);  // beyond base + provisional range
+  Graph before = g;
+  auto applied = d.Apply(&g);
+  EXPECT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(g, before);  // atomic: the valid ops did not land either
+}
+
+TEST(GraphDelta, TouchedExcludesNoOps) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  g.AddEdge(a, "e", b);
+  g.SetAttr(a, "k", Value(1));
+  GraphDelta d(g);
+  d.AddEdge(a, "e", b);           // already present: no-op
+  d.SetAttr(a, "k", Value(1));    // equal value: no-op
+  d.SetAttr(b, "k", Value(2));    // real change
+  auto applied = d.Apply(&g);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().edges_added, 0u);
+  EXPECT_EQ(applied.value().attrs_changed, 1u);
+  EXPECT_EQ(applied.value().touched, (std::vector<NodeId>{b}));
+}
+
+TEST(GraphDelta, ClassifiesChangesForIncrementalRescan) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  g.SetAttr(a, "k", Value(1));
+  GraphDelta d(g);
+  NodeId c = d.AddNode("n");
+  d.AddEdge(a, "e", b);       // new edge between pre-existing nodes
+  d.AddEdge(b, "e", c);       // new edge into a new node: not a cross edge
+  d.SetAttr(a, "k", Value(2));  // changed pre-existing node
+  d.SetAttr(c, "k", Value(3));  // attr on a new node: covered by new_nodes
+  auto applied = d.Apply(&g);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied.value().new_nodes, (std::vector<NodeId>{c}));
+  EXPECT_EQ(applied.value().changed_nodes, (std::vector<NodeId>{a}));
+  ASSERT_EQ(applied.value().cross_edges.size(), 1u);
+  EXPECT_EQ(applied.value().cross_edges[0], (EdgeTriple{a, Sym("e"), b}));
+  EXPECT_EQ(applied.value().touched, (std::vector<NodeId>{a, b, c}));
+}
+
+TEST(IncrementalValidator, ParallelEdgeDoesNotDuplicateViolations) {
+  // A forbidding GED over a wildcard-labeled edge: the violation exists via
+  // the first edge; inserting a parallel edge with another label creates no
+  // new match, and the edge-seeded re-scan must not double-list it.
+  Graph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  g.AddEdge(a, "e", b);
+  Pattern q;
+  VarId x = q.AddVar("x", "n");
+  VarId y = q.AddVar("y", "n");
+  q.AddEdge(x, kWildcard, y);
+  std::vector<Ged> sigma;
+  sigma.emplace_back("forbid", std::move(q), std::vector<Literal>{},
+                     std::vector<Literal>{}, /*y_is_false=*/true);
+  IncrementalValidator v(g, sigma);
+  ASSERT_EQ(v.report().violations.size(), 1u);
+  GraphDelta d = v.NewDelta();
+  d.AddEdge(a, "f", b);  // parallel edge between the same old nodes
+  ASSERT_TRUE(v.Commit(d).ok());
+  EXPECT_EQ(v.report().violations.size(), 1u);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+}
+
+TEST(IncrementalValidator, CrossEdgeCreatesViolation) {
+  // φ4's shape: the forbidden child+parent cycle materializes only when the
+  // second (cross) edge between two old nodes arrives.
+  Graph g;
+  NodeId x = g.AddNode("person");
+  NodeId y = g.AddNode("person");
+  g.AddEdge(x, "child", y);
+  IncrementalValidator v(g, Example1Geds());
+  EXPECT_TRUE(v.report().satisfied);
+  GraphDelta d = v.NewDelta();
+  d.AddEdge(x, "parent", y);
+  ASSERT_TRUE(v.Commit(d).ok());
+  EXPECT_FALSE(v.report().satisfied);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+}
+
+TEST(GraphDelta, DeduplicatesEdgesWithinTheBatch) {
+  GraphDelta d(size_t{2});
+  EXPECT_TRUE(d.AddEdge(0, "e", 1));
+  EXPECT_FALSE(d.AddEdge(0, "e", 1));
+  EXPECT_EQ(d.NumNewEdges(), 1u);
+}
+
+TEST(GraphDelta, LastAttrWriteWins) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  GraphDelta d(g);
+  d.SetAttr(a, "k", Value(1));
+  d.SetAttr(a, "k", Value(2));
+  ASSERT_TRUE(d.Apply(&g).ok());
+  EXPECT_EQ(*g.attr(a, Sym("k")), Value(2));
+}
+
+// ----- EnumerateMatchesTouching ---------------------------------------------
+
+// Oracle: matches of q binding at least one touched node, via full
+// enumeration plus filter.
+std::vector<Match> TouchingOracle(const Pattern& q, const Graph& g,
+                                  const std::vector<NodeId>& touched) {
+  std::vector<Match> out;
+  for (const Match& h : AllMatches(q, g)) {
+    bool touches = false;
+    for (NodeId v : h) {
+      if (std::binary_search(touched.begin(), touched.end(), v)) {
+        touches = true;
+        break;
+      }
+    }
+    if (touches) out.push_back(h);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(EnumerateMatchesTouching, EqualsFilteredFullEnumeration) {
+  RandomGraphParams gp;
+  gp.num_nodes = 60;
+  gp.seed = 5;
+  Graph g = RandomPropertyGraph(gp);
+  Pattern q;
+  VarId x = q.AddVar("x", GenNodeLabel(0));
+  VarId y = q.AddVar("y", kWildcard);
+  VarId z = q.AddVar("z", GenNodeLabel(1));
+  q.AddEdge(x, GenEdgeLabel(0), y);
+  q.AddEdge(y, GenEdgeLabel(1), z);
+
+  std::mt19937 rng(17);
+  for (int round = 0; round < 10; ++round) {
+    std::vector<NodeId> touched;
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (rng() % 5 == 0) touched.push_back(v);
+    }
+    std::vector<Match> got;
+    EnumerateMatchesTouching(q, g, touched, {}, [&](const Match& h) {
+      got.push_back(h);
+      return true;
+    });
+    // Exactly-once delivery: no duplicates before sorting.
+    std::vector<Match> sorted = got;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+                sorted.end());
+    EXPECT_EQ(sorted, TouchingOracle(q, g, touched));
+  }
+}
+
+TEST(EnumerateMatchesTouching, EmptyTouchedOrPatternYieldsNothing) {
+  Graph g;
+  g.AddNode("n");
+  Pattern q;
+  q.AddVar("x", "n");
+  uint64_t calls = 0;
+  auto count = [&](const Match&) {
+    ++calls;
+    return true;
+  };
+  EnumerateMatchesTouching(q, g, {}, {}, count);
+  EXPECT_EQ(calls, 0u);
+  Pattern empty;
+  EnumerateMatchesTouching(empty, g, {0}, {}, count);
+  EXPECT_EQ(calls, 0u);
+}
+
+TEST(EnumerateMatchesTouching, HonorsMaxMatchesOnDeliveredMatches) {
+  Graph g;
+  for (int i = 0; i < 10; ++i) g.AddNode("n");
+  Pattern q;
+  q.AddVar("x", "n");
+  std::vector<NodeId> touched{0, 1, 2, 3, 4};
+  MatchOptions opts;
+  opts.max_matches = 3;
+  uint64_t calls = 0;
+  MatchStats stats = EnumerateMatchesTouching(q, g, touched, opts,
+                                              [&](const Match&) {
+                                                ++calls;
+                                                return true;
+                                              });
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(stats.matches, 3u);
+}
+
+// ----- violation-set maintenance helpers ------------------------------------
+
+TEST(ViolationMaintenance, EraseAndMergeKeepTheSortedInvariant) {
+  std::vector<Violation> base = {
+      {0, {1, 2}}, {0, {5, 6}}, {1, {2, 3}}, {2, {9, 9}}};
+  std::vector<NodeId> touched = {2, 9};
+  EXPECT_EQ(EraseViolationsTouching(&base, touched), 3u);
+  ASSERT_EQ(base.size(), 1u);
+  EXPECT_EQ(base[0], (Violation{0, {5, 6}}));
+  MergeViolations(&base, {{0, {2, 7}}, {1, {2, 3}}, {2, {9, 9}}});
+  std::vector<Violation> sorted = base;
+  SortViolationList(&sorted);
+  EXPECT_EQ(base, sorted);
+  EXPECT_EQ(base.size(), 4u);
+}
+
+// ----- IncrementalValidator: exactness property -----------------------------
+
+// Appends a random append-only batch shaped like the generator's universe.
+GraphDelta RandomDelta(const Graph& g, std::mt19937* rng, size_t num_ops,
+                       const RandomGraphParams& gp) {
+  GraphDelta d(g);
+  auto pick_node = [&](size_t extent) {
+    return static_cast<NodeId>((*rng)() % extent);
+  };
+  size_t extent = g.NumNodes();
+  for (size_t i = 0; i < num_ops; ++i) {
+    switch ((*rng)() % 10) {
+      case 0:
+      case 1:
+      case 2: {  // new node, sometimes with an attribute
+        NodeId v = d.AddNode(GenNodeLabel((*rng)() % gp.num_node_labels));
+        extent = v + 1;
+        if ((*rng)() % 2 == 0) {
+          d.SetAttr(v, GenAttr((*rng)() % gp.num_attrs),
+                    Value(static_cast<int64_t>((*rng)() % gp.num_values)));
+        }
+        break;
+      }
+      case 3:
+      case 4:
+      case 5:
+      case 6: {  // new edge among base + pending nodes
+        d.AddEdge(pick_node(extent),
+                  GenEdgeLabel((*rng)() % gp.num_edge_labels),
+                  pick_node(extent));
+        break;
+      }
+      default: {  // attribute write (sometimes a no-op rewrite)
+        d.SetAttr(pick_node(extent), GenAttr((*rng)() % gp.num_attrs),
+                  Value(static_cast<int64_t>((*rng)() % gp.num_values)));
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+void RunPropertyStream(unsigned num_threads, unsigned seed) {
+  RandomGraphParams gp;
+  gp.num_nodes = 50;
+  gp.avg_out_degree = 3.0;
+  gp.seed = seed;
+  RandomGedParams rp;
+  rp.kind = GedClassKind::kGed;
+  rp.pattern_vars = 3;
+  rp.pattern_edges = 2;
+  rp.seed = seed + 1;
+  ValidationOptions opts;
+  opts.num_threads = num_threads;
+  IncrementalValidator v(RandomPropertyGraph(gp), RandomGeds(4, rp), opts);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+
+  std::mt19937 rng(seed + 2);
+  for (int commit = 0; commit < 8; ++commit) {
+    GraphDelta d = RandomDelta(v.graph(), &rng, 12, gp);
+    auto applied = v.Commit(d);
+    ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+    ExpectReportsEqual(v.report(), v.RevalidateFull());
+  }
+}
+
+TEST(IncrementalValidator, MatchesFullValidationAfterEveryCommitSerial) {
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/21);
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/22);
+}
+
+TEST(IncrementalValidator, MatchesFullValidationAfterEveryCommitParallel) {
+  RunPropertyStream(/*num_threads=*/4, /*seed=*/23);
+}
+
+TEST(IncrementalValidator, MaintainsScenarioReports) {
+  // Knowledge base with seeded inconsistencies, then a stream of deltas that
+  // both cures a violation (attribute fix) and plants a new one.
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  IncrementalValidator v(kb.graph, Example1Geds());
+  EXPECT_FALSE(v.report().satisfied);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+
+  // Plant a fresh wrong-creator violation: a video game created by a
+  // psychologist (the Example 1 shape).
+  GraphDelta d = v.NewDelta();
+  NodeId game = d.AddNode("product");
+  d.SetAttr(game, "type", Value("video game"));
+  d.SetAttr(game, "title", Value("Another Blaster"));
+  NodeId person = d.AddNode("person");
+  d.SetAttr(person, "type", Value("psychologist"));
+  d.SetAttr(person, "name", Value("Not A Programmer"));
+  d.AddEdge(person, "create", game);
+  size_t before = v.report().violations.size();
+  ASSERT_TRUE(v.Commit(d).ok());
+  EXPECT_GT(v.report().violations.size(), before);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+
+  // Cure it: the creator turns out to be a programmer after all.
+  GraphDelta fix = v.NewDelta();
+  fix.SetAttr(person, "type", Value("programmer"));
+  ASSERT_TRUE(v.Commit(fix).ok());
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+  EXPECT_EQ(v.last_commit().retracted, 1u);
+}
+
+TEST(IncrementalValidator, RejectsStaleDeltaWithoutChangingReport) {
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  IncrementalValidator v(kb.graph, Example1Geds());
+  ValidationReport before = v.report();
+  GraphDelta stale(v.graph().NumNodes() + 5);
+  stale.AddNode("product");
+  EXPECT_FALSE(v.Commit(stale).ok());
+  ExpectReportsEqual(v.report(), before);
+  EXPECT_EQ(v.graph().NumNodes(), kb.graph.NumNodes());
+}
+
+TEST(IncrementalValidator, SpamScenarioCatchesStreamedSpammer) {
+  SocialParams sp;
+  sp.spam_pairs = 0;  // start clean
+  SocialInstance social = GenSocialNetwork(sp);
+  IncrementalValidator v(social.graph, {SpamGed(sp.k, Value("free money"))});
+  EXPECT_TRUE(v.report().satisfied);
+
+  // Stream in a fake-account pair sharing k blogs, both posting the
+  // telltale keyword; the unflagged half is the φ5 violation.
+  GraphDelta d = v.NewDelta();
+  NodeId spammer = d.AddNode("account");
+  d.SetAttr(spammer, "is_fake", Value(int64_t{0}));
+  NodeId shill = d.AddNode("account");
+  d.SetAttr(shill, "is_fake", Value(int64_t{1}));
+  NodeId z1 = d.AddNode("blog");
+  d.SetAttr(z1, "keyword", Value("free money"));
+  NodeId z2 = d.AddNode("blog");
+  d.SetAttr(z2, "keyword", Value("free money"));
+  d.AddEdge(spammer, "post", z1);
+  d.AddEdge(shill, "post", z2);
+  for (size_t i = 0; i < sp.k; ++i) {
+    NodeId blog = d.AddNode("blog");
+    d.AddEdge(spammer, "like", blog);
+    d.AddEdge(shill, "like", blog);
+  }
+  ASSERT_TRUE(v.Commit(d).ok());
+  EXPECT_FALSE(v.report().satisfied);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+}
+
+}  // namespace
+}  // namespace ged

@@ -283,6 +283,25 @@ TEST(Matcher, OptimizationTogglesPreserveResults) {
   }
 }
 
+TEST(Matcher, RestrictionLimitsCandidatesAndDeduplicates) {
+  Graph g;
+  NodeId a = g.AddNode("n");
+  NodeId b = g.AddNode("n");
+  g.AddNode("n");
+  Pattern q;
+  q.AddVar("x", "n");
+  MatchOptions opts;
+  opts.restricted = {{0, {b, a, a, b}}};  // unsorted, with duplicates
+  std::vector<Match> got;
+  EnumerateMatches(q, g, opts, [&](const Match& h) {
+    got.push_back(h);
+    return true;
+  });
+  // Each allowed node yields exactly one match despite duplicate entries.
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<Match>{{a}, {b}}));
+}
+
 TEST(Matcher, IsValidMatchChecksEverything) {
   Pattern q;
   VarId x = q.AddVar("x", "a");

@@ -1,0 +1,83 @@
+// Parallel-validation determinism: Validate() must produce the identical
+// sorted report for any thread count, on all three generator scenarios and
+// on random graph/rule workloads; ValidateTouching inherits the guarantee.
+
+#include <gtest/gtest.h>
+
+#include "gen/random_gen.h"
+#include "gen/scenarios.h"
+#include "reason/validation.h"
+
+namespace ged {
+namespace {
+
+void ExpectDeterministicAcrossThreads(const Graph& g,
+                                      const std::vector<Ged>& sigma) {
+  ValidationOptions opts;
+  opts.num_threads = 1;
+  ValidationReport serial = Validate(g, sigma, opts);
+  for (unsigned threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    ValidationReport parallel = Validate(g, sigma, opts);
+    EXPECT_EQ(parallel.satisfied, serial.satisfied) << threads << " threads";
+    EXPECT_EQ(parallel.violations, serial.violations) << threads << " threads";
+    EXPECT_EQ(parallel.matches_checked, serial.matches_checked)
+        << threads << " threads";
+  }
+}
+
+TEST(ValidationDeterminism, KnowledgeBaseScenario) {
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  ExpectDeterministicAcrossThreads(kb.graph, Example1Geds());
+}
+
+TEST(ValidationDeterminism, SocialNetworkScenario) {
+  SocialParams sp;
+  SocialInstance social = GenSocialNetwork(sp);
+  ExpectDeterministicAcrossThreads(social.graph,
+                                   {SpamGed(sp.k, Value("free money"))});
+}
+
+TEST(ValidationDeterminism, MusicBaseScenario) {
+  MusicInstance music = GenMusicBase(MusicParams{});
+  ExpectDeterministicAcrossThreads(music.graph, MusicKeys());
+}
+
+TEST(ValidationDeterminism, RandomWorkload) {
+  RandomGraphParams gp;
+  gp.num_nodes = 80;
+  gp.seed = 3;
+  RandomGedParams rp;
+  rp.pattern_vars = 3;
+  rp.pattern_edges = 2;
+  rp.seed = 4;
+  ExpectDeterministicAcrossThreads(RandomPropertyGraph(gp), RandomGeds(5, rp));
+}
+
+TEST(ValidationDeterminism, ValidateTouchingAcrossThreads) {
+  RandomGraphParams gp;
+  gp.num_nodes = 80;
+  gp.seed = 9;
+  Graph g = RandomPropertyGraph(gp);
+  RandomGedParams rp;
+  rp.pattern_vars = 3;
+  rp.pattern_edges = 2;
+  rp.seed = 10;
+  std::vector<Ged> sigma = RandomGeds(5, rp);
+  std::vector<NodeId> touched;
+  for (NodeId v = 0; v < g.NumNodes(); v += 7) touched.push_back(v);
+
+  ValidationOptions opts;
+  opts.num_threads = 1;
+  ValidationReport serial = ValidateTouching(g, sigma, touched, opts);
+  for (unsigned threads : {2u, 8u}) {
+    opts.num_threads = threads;
+    ValidationReport parallel = ValidateTouching(g, sigma, touched, opts);
+    EXPECT_EQ(parallel.violations, serial.violations) << threads << " threads";
+    EXPECT_EQ(parallel.matches_checked, serial.matches_checked)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace ged
