@@ -6,12 +6,20 @@
 //    regime: 98% of real patterns have ≤ 4 nodes / 5 edges);
 //  * pattern-size sweep at fixed |G| — exponential growth in k;
 //  * the Theorem 6 hardness core: hom(H → K3) via a forbidding GED;
-//  * serial vs parallel validation (the paper's future-work item).
+//  * serial vs parallel validation (the paper's future-work item);
+//  * shared-plan (plan/) vs legacy per-GED evaluation on multi-rule Σ —
+//    the ruleset-compiler speedup: one enumeration per pattern *shape*
+//    instead of one per rule.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "gen/hardness.h"
+#include "gen/random_gen.h"
 #include "gen/scenarios.h"
+#include "plan/plan.h"
 #include "reason/validation.h"
 
 namespace {
@@ -135,6 +143,110 @@ void BM_Validation_Semantics(benchmark::State& state, MatchSemantics sem) {
   state.counters["violations"] = static_cast<double>(violations);
 }
 
+// ----- shared-plan ruleset compiler vs legacy per-GED evaluation ------------
+
+// A multi-rule Σ over few pattern shapes, the workload the ruleset compiler
+// targets: `rules_per_shape` rules on each of 3 shapes (edge, 3-path, fork),
+// differing only in their X → Y literals and variable order. Every shape
+// compiles into one bucket, so the compiled path enumerates 3 match spaces
+// where the legacy path enumerates 3 * rules_per_shape.
+std::vector<Ged> SharedShapeSigma(size_t rules_per_shape) {
+  std::vector<Ged> sigma;
+  auto lit = [](VarId x, size_t a, VarId y, size_t b) {
+    return Literal::Var(x, GenAttr(a), y, GenAttr(b));
+  };
+  for (size_t r = 0; r < rules_per_shape; ++r) {
+    bool flip = r % 2 == 1;  // alternate variable order within a shape
+    {
+      Pattern q;  // shape 1: (x:L0)-[e0]->(y:L1), vars declared either way
+      VarId x, y;
+      if (flip) {
+        y = q.AddVar("y", GenNodeLabel(1));
+        x = q.AddVar("x", GenNodeLabel(0));
+      } else {
+        x = q.AddVar("x", GenNodeLabel(0));
+        y = q.AddVar("y", GenNodeLabel(1));
+      }
+      q.AddEdge(x, GenEdgeLabel(0), y);
+      sigma.emplace_back("edge" + std::to_string(r), q,
+                         std::vector<Literal>{lit(x, r % 3, y, (r + 1) % 3)},
+                         std::vector<Literal>{lit(x, (r + 2) % 3, y, r % 3)});
+    }
+    {
+      Pattern q;  // shape 2: 3-path through a wildcard midpoint
+      VarId x = q.AddVar("x", GenNodeLabel(0));
+      VarId y = q.AddVar("y", kWildcard);
+      VarId z = q.AddVar("z", GenNodeLabel(1));
+      q.AddEdge(x, GenEdgeLabel(0), y);
+      q.AddEdge(y, GenEdgeLabel(1), z);
+      sigma.emplace_back("path" + std::to_string(r), q,
+                         std::vector<Literal>{lit(x, r % 3, z, (r + 1) % 3)},
+                         std::vector<Literal>{lit(y, (r + 2) % 3, z, r % 3)});
+    }
+    {
+      Pattern q;  // shape 3: fork x -> y, x -> z
+      VarId x = q.AddVar("x", GenNodeLabel(2));
+      VarId y = q.AddVar("y", GenNodeLabel(0));
+      VarId z = q.AddVar("z", GenNodeLabel(0));
+      q.AddEdge(x, GenEdgeLabel(0), y);
+      q.AddEdge(x, GenEdgeLabel(2), z);
+      sigma.emplace_back("fork" + std::to_string(r), q,
+                         std::vector<Literal>{lit(y, r % 3, z, (r + 1) % 3)},
+                         std::vector<Literal>{lit(x, (r + 2) % 3, y, r % 3)});
+    }
+  }
+  return sigma;
+}
+
+void BM_Validation_SharedPlan(benchmark::State& state, bool compiled) {
+  RandomGraphParams gp;
+  gp.num_nodes = 2000;
+  gp.avg_out_degree = 4.0;
+  gp.seed = 97;
+  Graph g = RandomPropertyGraph(gp);
+  // state.range(0) total rules spread over 3 shapes.
+  std::vector<Ged> sigma =
+      SharedShapeSigma(static_cast<size_t>(state.range(0)) / 3);
+  ValidationOptions opts;
+  opts.use_compiled_plan = compiled;
+  size_t violations = 0;
+  for (auto _ : state) {
+    ValidationReport report = Validate(g, sigma, opts);
+    violations = report.violations.size();
+    benchmark::DoNotOptimize(report.satisfied);
+  }
+  RulesetPlan plan = RulesetPlan::Compile(sigma);
+  state.counters["rules"] = static_cast<double>(sigma.size());
+  state.counters["buckets"] = static_cast<double>(plan.buckets.size());
+  state.counters["violations"] = static_cast<double>(violations);
+}
+
+// Scenario rulesets through both paths (Example1Geds has 4 distinct shapes,
+// MusicKeys 2 — the realistic sharing regime). Mode 0 = legacy, 1 = compiled
+// per call (compilation cost included), 2 = pre-compiled plan (the amortized
+// regime of IncrementalValidator, which compiles Σ once per validator).
+void BM_Validation_ScenarioPlanVsLegacy(benchmark::State& state, int mode) {
+  KbParams params;
+  params.num_products = 200;
+  params.num_countries = 50;
+  params.num_species = 50;
+  params.num_families = 50;
+  KbInstance kb = GenKnowledgeBase(params);
+  std::vector<Ged> sigma = Example1Geds();
+  for (const Ged& phi : MusicKeys()) sigma.push_back(phi);
+  ValidationOptions opts;
+  opts.use_compiled_plan = mode != 0;
+  RulesetPlan plan = RulesetPlan::Compile(sigma);
+  for (auto _ : state) {
+    ValidationReport report = mode == 2
+                                  ? ValidateWithPlan(kb.graph, plan, opts)
+                                  : Validate(kb.graph, sigma, opts);
+    benchmark::DoNotOptimize(report.satisfied);
+  }
+  state.counters["rules"] = static_cast<double>(sigma.size());
+  state.counters["buckets"] = static_cast<double>(plan.buckets.size());
+}
+
 }  // namespace
 
 BENCHMARK(BM_Validation_GraphSize)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
@@ -147,3 +259,10 @@ BENCHMARK_CAPTURE(BM_Validation_Semantics, homomorphism,
 BENCHMARK_CAPTURE(BM_Validation_Semantics, isomorphism,
                   MatchSemantics::kIsomorphism)
     ->Arg(10)->Arg(20);
+BENCHMARK_CAPTURE(BM_Validation_SharedPlan, compiled, true)
+    ->Arg(9)->Arg(24)->Arg(48);
+BENCHMARK_CAPTURE(BM_Validation_SharedPlan, legacy, false)
+    ->Arg(9)->Arg(24)->Arg(48);
+BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, legacy, 0);
+BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, compiled, 1);
+BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, precompiled, 2);

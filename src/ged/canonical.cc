@@ -1,6 +1,42 @@
 #include "ged/canonical.h"
 
+#include <algorithm>
+#include <array>
+#include <numeric>
+
 namespace ged {
+
+namespace {
+
+// Encodes `q` under the renaming "original variable perm[i] becomes
+// canonical variable i": labels in canonical order, then the remapped edge
+// triples sorted. The encoding determines the pattern up to the renaming, so
+// the lexicographic minimum over permutations is a canonical form.
+std::vector<uint64_t> EncodeUnderPermutation(const Pattern& q,
+                                             const std::vector<VarId>& perm) {
+  size_t n = q.NumVars();
+  std::vector<VarId> pos(n);
+  for (size_t i = 0; i < n; ++i) pos[perm[i]] = static_cast<VarId>(i);
+  std::vector<uint64_t> key;
+  key.reserve(2 + n + 3 * q.NumEdges());
+  key.push_back(n);
+  for (size_t i = 0; i < n; ++i) key.push_back(q.label(perm[i]));
+  key.push_back(q.NumEdges());
+  std::vector<std::array<uint64_t, 3>> edges;
+  edges.reserve(q.NumEdges());
+  for (const Pattern::PEdge& e : q.edges()) {
+    edges.push_back({pos[e.src], e.label, pos[e.dst]});
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& e : edges) {
+    key.push_back(e[0]);
+    key.push_back(e[1]);
+    key.push_back(e[2]);
+  }
+  return key;
+}
+
+}  // namespace
 
 CanonicalGraph BuildCanonicalGraph(const std::vector<Ged>& sigma) {
   CanonicalGraph out;
@@ -8,6 +44,56 @@ CanonicalGraph BuildCanonicalGraph(const std::vector<Ged>& sigma) {
   for (const Ged& phi : sigma) {
     NodeId offset = out.graph.DisjointUnion(phi.pattern().ToGraph());
     out.offsets.push_back(offset);
+  }
+  return out;
+}
+
+PatternCanonicalForm CanonicalizePattern(const Pattern& q) {
+  PatternCanonicalForm out;
+  size_t n = q.NumVars();
+  std::vector<VarId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  if (n > kMaxCanonicalVars) {
+    out.key = EncodeUnderPermutation(q, perm);
+    out.to_canonical = perm;
+    out.exact = false;
+    return out;
+  }
+  // Exhaustive minimization. Permutations whose label sequence is not the
+  // sorted label multiset cannot be minimal (labels are the first key
+  // segment after n), so they are skipped before the edge encoding.
+  std::vector<uint64_t> sorted_labels;
+  sorted_labels.reserve(n);
+  for (VarId x = 0; x < n; ++x) sorted_labels.push_back(q.label(x));
+  std::sort(sorted_labels.begin(), sorted_labels.end());
+
+  std::vector<VarId> best_perm = perm;
+  std::vector<uint64_t> best_key;
+  std::sort(perm.begin(), perm.end());
+  do {
+    bool labels_minimal = true;
+    for (size_t i = 0; i < n; ++i) {
+      if (q.label(perm[i]) != sorted_labels[i]) {
+        labels_minimal = false;
+        break;
+      }
+    }
+    if (!labels_minimal) continue;
+    std::vector<uint64_t> key = EncodeUnderPermutation(q, perm);
+    if (best_key.empty() || key < best_key) {
+      best_key = std::move(key);
+      best_perm = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  if (best_key.empty()) {
+    // n == 0: the empty permutation loop above still ran once, but guard
+    // against an all-skipped pass for robustness.
+    best_key = EncodeUnderPermutation(q, best_perm);
+  }
+  out.key = std::move(best_key);
+  out.to_canonical.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    out.to_canonical[best_perm[i]] = static_cast<VarId>(i);
   }
   return out;
 }

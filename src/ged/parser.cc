@@ -1,7 +1,9 @@
 #include "ged/parser.h"
 
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 
 namespace ged {
 
@@ -193,6 +195,9 @@ class Parser {
     if (!AcceptIdent("then")) return Error("expected 'then'");
     if (AcceptIdent("false")) {
       rule.then_false = true;
+    } else if (AcceptIdent("true")) {
+      // Empty conclusion: trivially satisfied (the ToDsl round-trip form of
+      // a GED with empty non-false Y).
     } else {
       GEDLIB_RETURN_IF_ERROR(
           ParseLiteralList(&rule.then_literals, &rule.then_disjunction));
@@ -394,6 +399,116 @@ Result<std::vector<Ged>> ParseGeds(std::string_view text) {
     out.push_back(std::move(ged));
   }
   return out;
+}
+
+namespace {
+
+// Renders a constant so the lexer reads back the same Value: strings quoted
+// with `"` and `\` escaped, doubles at round-trip precision, bools as the
+// true/false keywords.
+std::string RenderDslValue(const Value& v) {
+  switch (v.kind()) {
+    case Value::Kind::kBool:
+      return v.AsBool() ? "true" : "false";
+    case Value::Kind::kInt:
+      return std::to_string(v.AsInt());
+    case Value::Kind::kDouble: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v.AsDouble());
+      std::string s(buf);
+      // Keep the double kind on re-parse: the lexer classifies a bare
+      // integer literal as int64.
+      if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+      return s;
+    }
+    case Value::Kind::kString: {
+      std::string out = "\"";
+      for (char ch : v.AsString()) {
+        if (ch == '"' || ch == '\\') out.push_back('\\');
+        out.push_back(ch);
+      }
+      out.push_back('"');
+      return out;
+    }
+  }
+  return "";
+}
+
+void RenderDslLiteral(const Pattern& q, const Literal& l, std::ostream& os) {
+  switch (l.kind) {
+    case LiteralKind::kConst:
+      os << q.var_name(l.x) << "." << SymName(l.a) << " = "
+         << RenderDslValue(l.c);
+      break;
+    case LiteralKind::kVar:
+      os << q.var_name(l.x) << "." << SymName(l.a) << " = " << q.var_name(l.y)
+         << "." << SymName(l.b);
+      break;
+    case LiteralKind::kId:
+      os << q.var_name(l.x) << ".id = " << q.var_name(l.y) << ".id";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string ToDsl(const Ged& ged) {
+  const Pattern& q = ged.pattern();
+  // Variables are addressed by name in the DSL, so names must be unique;
+  // patterns with clashing names (possible via DisjointUnion suffixing, e.g.
+  // a GKey whose half already uses primed names) fall back to positional
+  // names. Ids are preserved either way: declaration order is id order.
+  bool names_unique = true;
+  for (VarId x = 0; x < q.NumVars() && names_unique; ++x) {
+    for (VarId y = x + 1; y < q.NumVars(); ++y) {
+      if (q.var_name(x) == q.var_name(y)) {
+        names_unique = false;
+        break;
+      }
+    }
+  }
+  Pattern renamed;  // positional-name twin, used when names clash
+  if (!names_unique) {
+    for (VarId x = 0; x < q.NumVars(); ++x) {
+      renamed.AddVar("v" + std::to_string(x), q.label(x));
+    }
+    for (const Pattern::PEdge& e : q.edges()) {
+      renamed.AddEdge(e.src, e.label, e.dst);
+    }
+  }
+  const Pattern& p = names_unique ? q : renamed;
+  std::ostringstream os;
+  os << "ged " << ged.name() << " {\n  match ";
+  // Declare every variable first, in id order, so re-parsing assigns the
+  // same ids; then list each edge as its own chain element.
+  for (VarId x = 0; x < p.NumVars(); ++x) {
+    if (x) os << ", ";
+    os << "(" << p.var_name(x) << ":" << SymName(p.label(x)) << ")";
+  }
+  for (const Pattern::PEdge& e : p.edges()) {
+    os << ", (" << p.var_name(e.src) << ")-[" << SymName(e.label) << "]->("
+       << p.var_name(e.dst) << ")";
+  }
+  if (!ged.X().empty()) {
+    os << "\n  where ";
+    for (size_t i = 0; i < ged.X().size(); ++i) {
+      if (i) os << ", ";
+      RenderDslLiteral(p, ged.X()[i], os);
+    }
+  }
+  os << "\n  then ";
+  if (ged.is_forbidding()) {
+    os << "false";
+  } else if (ged.Y().empty()) {
+    os << "true";
+  } else {
+    for (size_t i = 0; i < ged.Y().size(); ++i) {
+      if (i) os << ", ";
+      RenderDslLiteral(p, ged.Y()[i], os);
+    }
+  }
+  os << "\n}\n";
+  return os.str();
 }
 
 Result<Ged> ParseGed(std::string_view text) {

@@ -10,8 +10,9 @@
 //
 //   * `match` declares the pattern. A variable's label is given at its first
 //     occurrence (default `_` = wildcard); edge labels may be `_` too.
-//   * `where` (optional) is the premise X; `then` is the conclusion Y, or
-//     the keyword `false` for a forbidding GED.
+//   * `where` (optional) is the premise X; `then` is the conclusion Y, the
+//     keyword `false` for a forbidding GED, or the keyword `true` for an
+//     empty (trivially satisfied) conclusion.
 //   * Literals: x.A = c | x.A = y.B | x.id = y.id. The extended classes use
 //     the same grammar with operators != < <= > >= (GDCs, see ext/gdc.h) and
 //     `or`-separated then-literals (GED∨s, see ext/gedor.h).
@@ -62,6 +63,18 @@ Result<Ged> ParseGed(std::string_view text);
 
 /// Converts one AST literal to a GED literal over `pattern`'s variables.
 Result<Literal> AstToLiteral(const Pattern& pattern, const AstLiteral& al);
+
+/// Renders `ged` in the DSL grammar above, the inverse of ParseGed:
+/// ParseGed(ToDsl(phi)) reproduces `phi` exactly (name, pattern with
+/// variable names and declaration order, X, Y, forbidding flag) — except
+/// that patterns with duplicate variable names are emitted with positional
+/// names v0, v1, ... (ids and semantics preserved) — provided
+/// the rule/variable/label/attribute names are DSL identifiers (the case
+/// for everything this library builds) and the pattern has at least one
+/// variable (the grammar's `match` clause cannot be empty). String constants
+/// are quoted with `\"` / `\\` escapes; doubles are printed with round-trip
+/// precision and must be finite (the grammar has no inf/nan spelling).
+std::string ToDsl(const Ged& ged);
 
 }  // namespace ged
 

@@ -153,6 +153,13 @@ class Graph {
   /// returned for a *present* label stay valid across AddEdge/SetAttr and
   /// grow in place across AddNode.
   const std::vector<NodeId>& NodesWithLabel(Label label) const;
+  /// Label-index selectivity statistic: how many nodes a pattern variable
+  /// with label ≼-matches (wildcard matches every node). The ruleset
+  /// compiler in plan/ orders and pins enumeration variables by this count;
+  /// the matcher uses it for its candidate estimates.
+  size_t CandidateCount(Label label) const {
+    return label == kWildcard ? NumNodes() : NodesWithLabel(label).size();
+  }
   /// Out-degree / in-degree of v.
   size_t OutDegree(NodeId v) const { return out_[v].size(); }
   size_t InDegree(NodeId v) const { return in_[v].size(); }

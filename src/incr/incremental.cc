@@ -9,10 +9,12 @@ namespace ged {
 IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
                                            ValidationOptions options)
     : graph_(std::move(g)), sigma_(std::move(sigma)), options_(options) {
-  // A capped report drops violations nondeterministically; maintaining it
+  // A capped report drops violations; maintaining the truncated list
   // incrementally would drift from the full-validation oracle.
   options_.max_violations_per_ged = 0;
-  report_ = Validate(graph_, sigma_, options_);
+  // Compile Σ once; every seed pass and commit re-scan shares it.
+  if (options_.use_compiled_plan) plan_ = RulesetPlan::Compile(sigma_);
+  report_ = RevalidateFull();
 }
 
 Result<GraphDelta::Applied> IncrementalValidator::Commit(
@@ -34,7 +36,10 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   std::merge(ap.changed_nodes.begin(), ap.changed_nodes.end(),
              ap.new_nodes.begin(), ap.new_nodes.end(),
              std::back_inserter(rescan));
-  ValidationReport fresh = ValidateTouching(graph_, sigma_, rescan, options_);
+  ValidationReport fresh =
+      options_.use_compiled_plan
+          ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
+          : ValidateTouching(graph_, sigma_, rescan, options_);
   uint64_t checked = fresh.matches_checked;
   std::vector<Violation> fresh_v = std::move(fresh.violations);
 
@@ -43,8 +48,13 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   //        may overlap (a) or re-find still-listed old violations
   //        (parallel edges), so reconcile by set-difference.
   if (!ap.cross_edges.empty()) {
-    std::vector<Violation> seeded = FindViolationsSeededByEdges(
-        graph_, sigma_, ap.cross_edges, options_, &checked);
+    std::vector<Violation> seeded =
+        options_.use_compiled_plan
+            ? FindViolationsSeededByEdgesWithPlan(graph_, plan_,
+                                                  ap.cross_edges, options_,
+                                                  &checked)
+            : FindViolationsSeededByEdges(graph_, sigma_, ap.cross_edges,
+                                          options_, &checked);
     fresh_v.insert(fresh_v.end(), std::make_move_iterator(seeded.begin()),
                    std::make_move_iterator(seeded.end()));
     SortViolationList(&fresh_v);
@@ -68,6 +78,9 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
 }
 
 ValidationReport IncrementalValidator::RevalidateFull() const {
+  if (options_.use_compiled_plan) {
+    return ValidateWithPlan(graph_, plan_, options_);
+  }
   return Validate(graph_, sigma_, options_);
 }
 

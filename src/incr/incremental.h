@@ -8,7 +8,9 @@
 // re-enumerates only the matches that bind a delta-touched node, by seeding
 // the matcher's `pinned` bindings — one pattern variable pinned to each
 // touched candidate — partitioned across the thread pool
-// (reason/validation.h ValidateTouching).
+// (reason/validation.h ValidateTouching). Σ is compiled once into a shared
+// ruleset plan (plan/plan.h) at construction, so every commit's re-scan
+// walks one match space per pattern *shape* rather than one per rule.
 //
 // Exactness argument (append-only deltas):
 //  * topology only grows, so every match of Q in the old graph is still a
@@ -30,6 +32,7 @@
 #include "ged/ged.h"
 #include "graph/graph.h"
 #include "incr/delta.h"
+#include "plan/plan.h"
 #include "reason/validation.h"
 
 namespace ged {
@@ -48,6 +51,9 @@ class IncrementalValidator {
   const Graph& graph() const { return graph_; }
   /// The GED set Σ.
   const std::vector<Ged>& sigma() const { return sigma_; }
+  /// The compiled shared plan of Σ (empty when options.use_compiled_plan is
+  /// false — the validator then runs the legacy per-GED path).
+  const RulesetPlan& plan() const { return plan_; }
   /// The live report: always equal to Validate(graph(), sigma()) with the
   /// same options. `matches_checked` is cumulative across the initial pass
   /// and all commits (it counts incremental work, not from-scratch work).
@@ -78,6 +84,7 @@ class IncrementalValidator {
  private:
   Graph graph_;
   std::vector<Ged> sigma_;
+  RulesetPlan plan_;
   ValidationOptions options_;
   ValidationReport report_;
   CommitStats stats_;

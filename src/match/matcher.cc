@@ -154,8 +154,7 @@ class Search {
 
   // Candidate-count estimate for ordering decisions only.
   size_t Estimate(VarId x) const {
-    Label l = q_.label(x);
-    size_t est = l == kWildcard ? g_.NumNodes() : g_.NodesWithLabel(l).size();
+    size_t est = g_.CandidateCount(q_.label(x));
     for (const std::vector<NodeId>* allowed : restrictions_[x]) {
       est = std::min(est, allowed->size());
     }

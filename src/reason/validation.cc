@@ -10,59 +10,134 @@ namespace ged {
 
 namespace {
 
+MatchOptions BaseMatchOptions(const ValidationOptions& vopts) {
+  MatchOptions mopts;
+  mopts.semantics = vopts.semantics;
+  mopts.degree_filter = vopts.degree_filter;
+  mopts.smart_order = vopts.smart_order;
+  return mopts;
+}
+
+// Sorts, applies the deterministic per-GED cap, and sets `satisfied`.
+void FinalizeReport(ValidationReport* report,
+                    const ValidationOptions& options) {
+  SortViolationList(&report->violations);
+  TruncateViolationsPerGed(&report->violations,
+                           options.max_violations_per_ged);
+  report->satisfied = report->violations.empty();
+}
+
+// ----- legacy per-GED scans (use_compiled_plan = false) ---------------------
+
 // Serial scan of one GED, optionally restricted by a pinned first variable.
 void ScanGed(const Graph& g, const Ged& phi, size_t ged_index,
              const ValidationOptions& vopts,
              const std::vector<std::pair<VarId, NodeId>>& pinned,
              std::vector<Violation>* out, uint64_t* checked) {
-  MatchOptions mopts;
-  mopts.semantics = vopts.semantics;
-  mopts.degree_filter = vopts.degree_filter;
-  mopts.smart_order = vopts.smart_order;
+  MatchOptions mopts = BaseMatchOptions(vopts);
   mopts.pinned = pinned;
   EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
     ++*checked;
     if (!SatisfiesAll(g, h, phi.X())) return true;
     bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
-    if (!y_ok) {
-      out->push_back(Violation{ged_index, h});
-      if (vopts.max_violations_per_ged != 0 &&
-          out->size() >= vopts.max_violations_per_ged) {
-        return false;
-      }
-    }
+    if (!y_ok) out->push_back(Violation{ged_index, h});
     return true;
   });
 }
 
-ValidationReport ValidateSerial(const Graph& g, const std::vector<Ged>& sigma,
-                                const ValidationOptions& options) {
-  ValidationReport report;
-  for (size_t i = 0; i < sigma.size(); ++i) {
-    std::vector<Violation> v;
-    ScanGed(g, sigma[i], i, options, {}, &v, &report.matches_checked);
-    report.violations.insert(report.violations.end(), v.begin(), v.end());
+// Builds the MatchOptions of one touching run: variable x restricted to the
+// label-compatible nodes of `pins` (one batched search), and matches where
+// an earlier variable binds a touched node suppressed in-search — the
+// canonical-run dedup of EnumerateMatchesTouching, each match owned by the
+// run of its smallest touched variable. The single definition of the
+// touching-dedup protocol, shared by the legacy and compiled paths (the
+// differential harness compares like for like). Returns false when no pin
+// is compatible (skip the run). `touched` must outlive the enumeration.
+bool TouchingRunOptions(const Graph& g, const Pattern& q,
+                        const ValidationOptions& vopts, VarId x,
+                        const std::vector<NodeId>& pins,
+                        const std::vector<NodeId>& touched,
+                        MatchOptions* mopts) {
+  std::vector<NodeId> allowed;
+  for (NodeId pin : pins) {
+    if (LabelMatches(q.label(x), g.label(pin))) allowed.push_back(pin);
   }
-  report.satisfied = report.violations.empty();
-  SortViolationList(&report.violations);
-  return report;
+  if (allowed.empty()) return false;
+  *mopts = BaseMatchOptions(vopts);
+  mopts->restricted.emplace_back(x, std::move(allowed));
+  mopts->exclude_before_var = x;
+  mopts->exclude_nodes = &touched;
+  return true;
 }
+
+// Scans the touching run (x, pins) of one GED, recording violating matches.
+void ScanGedTouching(const Graph& g, const Ged& phi, size_t ged_index,
+                     const ValidationOptions& vopts, VarId x,
+                     const std::vector<NodeId>& pins,
+                     const std::vector<NodeId>& touched,
+                     std::vector<Violation>* out, uint64_t* checked) {
+  MatchOptions mopts;
+  if (!TouchingRunOptions(g, phi.pattern(), vopts, x, pins, touched, &mopts)) {
+    return;
+  }
+  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
+    ++*checked;
+    if (!SatisfiesAll(g, h, phi.X())) return true;
+    bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
+    if (!y_ok) out->push_back(Violation{ged_index, h});
+    return true;
+  });
+}
+
+// ----- compiled bucket scans (plan/ScanBucket wrappers) ---------------------
+
+void ScanBucketInto(const Graph& g, const PlanBucket& bucket,
+                    const ValidationOptions& vopts,
+                    const std::vector<std::pair<VarId, NodeId>>& pinned,
+                    std::vector<Violation>* out, uint64_t* checked) {
+  MatchOptions mopts = BaseMatchOptions(vopts);
+  mopts.pinned = pinned;
+  ScanBucket(g, bucket, mopts, checked,
+             [&](size_t ged_index, const Match& rule_match) {
+               out->push_back(Violation{ged_index, rule_match});
+               return true;
+             });
+}
+
+// Bucket-level twin of ScanGedTouching: one restricted run per bucket
+// variable, canonical-run dedup via exclusion pruning, every member rule
+// checked per match.
+void ScanBucketTouching(const Graph& g, const PlanBucket& bucket,
+                        const ValidationOptions& vopts, VarId x,
+                        const std::vector<NodeId>& pins,
+                        const std::vector<NodeId>& touched,
+                        std::vector<Violation>* out, uint64_t* checked) {
+  MatchOptions mopts;
+  if (!TouchingRunOptions(g, bucket.pattern, vopts, x, pins, touched,
+                          &mopts)) {
+    return;
+  }
+  ScanBucket(g, bucket, mopts, checked,
+             [&](size_t ged_index, const Match& rule_match) {
+               out->push_back(Violation{ged_index, rule_match});
+               return true;
+             });
+}
+
+// ----- parallel driver ------------------------------------------------------
 
 // Drains `num_items` indexed work items across options.num_threads workers.
 // Each worker accumulates violations into a local buffer merged under one
-// mutex; the per-GED violation cap is enforced approximately (items are
-// skipped once their GED's count is reached; in-flight items still land).
-// `scan(item, out, checked)` performs one item's scan; `ged_of(item)` maps
-// an item to its GED for the cap accounting.
+// mutex. `scan(item, out, checked)` performs one item's scan. Deterministic:
+// items partition the match space exactly, and the merged report is sorted
+// (and cap-truncated to the smallest) afterwards.
 ValidationReport RunParallelScan(
-    size_t num_items, size_t num_geds, const ValidationOptions& options,
-    const std::function<size_t(size_t)>& ged_of,
+    size_t num_items, const ValidationOptions& options,
     const std::function<void(size_t, std::vector<Violation>*, uint64_t*)>&
         scan) {
   std::atomic<size_t> next{0};
   std::mutex mu;
   ValidationReport report;
-  std::vector<uint64_t> per_ged_violations(num_geds, 0);
 
   auto worker = [&]() {
     std::vector<Violation> local;
@@ -70,20 +145,7 @@ ValidationReport RunParallelScan(
     while (true) {
       size_t k = next.fetch_add(1);
       if (k >= num_items) break;
-      size_t ged_index = ged_of(k);
-      if (options.max_violations_per_ged != 0) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (per_ged_violations[ged_index] >= options.max_violations_per_ged) {
-          continue;
-        }
-      }
-      std::vector<Violation> v;
-      scan(k, &v, &checked);
-      if (!v.empty()) {
-        std::lock_guard<std::mutex> lock(mu);
-        per_ged_violations[ged_index] += v.size();
-        local.insert(local.end(), v.begin(), v.end());
-      }
+      scan(k, &local, &checked);
     }
     std::lock_guard<std::mutex> lock(mu);
     report.violations.insert(report.violations.end(), local.begin(),
@@ -97,14 +159,37 @@ ValidationReport RunParallelScan(
   }
   for (auto& t : threads) t.join();
 
-  report.satisfied = report.violations.empty();
-  SortViolationList(&report.violations);
+  FinalizeReport(&report, options);
   return report;
 }
 
-ValidationReport ValidateParallel(const Graph& g,
-                                  const std::vector<Ged>& sigma,
-                                  const ValidationOptions& options) {
+// Candidate nodes for pinning variable `pin` of `q` in `g`.
+std::vector<NodeId> PinCandidates(const Pattern& q, VarId pin,
+                                  const Graph& g) {
+  Label l = q.label(pin);
+  if (l != kWildcard) return g.NodesWithLabel(l);
+  std::vector<NodeId> candidates(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) candidates[v] = v;
+  return candidates;
+}
+
+// ----- legacy Validate ------------------------------------------------------
+
+ValidationReport ValidateSerialLegacy(const Graph& g,
+                                      const std::vector<Ged>& sigma,
+                                      const ValidationOptions& options) {
+  ValidationReport report;
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    ScanGed(g, sigma[i], i, options, {}, &report.violations,
+            &report.matches_checked);
+  }
+  FinalizeReport(&report, options);
+  return report;
+}
+
+ValidationReport ValidateParallelLegacy(const Graph& g,
+                                        const std::vector<Ged>& sigma,
+                                        const ValidationOptions& options) {
   // Work items: (ged, chunk of candidate nodes for variable 0). Pinning
   // variable 0 partitions the match space exactly; chunking keeps the
   // per-item matcher setup overhead amortized.
@@ -120,14 +205,7 @@ ValidationReport ValidateParallel(const Graph& g,
       items.push_back(WorkItem{i, {}});  // single empty match
       continue;
     }
-    Label l = q.label(0);
-    std::vector<NodeId> candidates;
-    if (l == kWildcard) {
-      candidates.resize(g.NumNodes());
-      for (NodeId v = 0; v < g.NumNodes(); ++v) candidates[v] = v;
-    } else {
-      candidates = g.NodesWithLabel(l);
-    }
+    std::vector<NodeId> candidates = PinCandidates(q, 0, g);
     size_t chunk = std::max<size_t>(1, candidates.size() / chunks_per_ged);
     for (size_t begin = 0; begin < candidates.size(); begin += chunk) {
       size_t end = std::min(candidates.size(), begin + chunk);
@@ -135,14 +213,10 @@ ValidationReport ValidateParallel(const Graph& g,
           WorkItem{i, std::vector<NodeId>(candidates.begin() + begin,
                                           candidates.begin() + end)});
     }
-    if (candidates.empty()) {
-      // No candidate for variable 0: zero matches, nothing to scan.
-    }
   }
 
   return RunParallelScan(
-      items.size(), sigma.size(), options,
-      [&](size_t k) { return items[k].ged_index; },
+      items.size(), options,
       [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
         const WorkItem& item = items[k];
         if (item.pins.empty()) {
@@ -157,55 +231,134 @@ ValidationReport ValidateParallel(const Graph& g,
       });
 }
 
-// Scans matches of `phi` with variable x restricted to the nodes of `pins`
-// (one batched search), keeping only matches for which x is the smallest
-// variable bound to a touched node (the canonical-run dedup of
-// EnumerateMatchesTouching, enforced in-search via exclusion pruning), and
-// records the violating ones.
-void ScanGedTouching(const Graph& g, const Ged& phi, size_t ged_index,
-                     const ValidationOptions& vopts, VarId x,
-                     const std::vector<NodeId>& pins,
-                     const std::vector<NodeId>& touched,
-                     std::vector<Violation>* out, uint64_t* checked) {
-  std::vector<NodeId> allowed;
-  for (NodeId pin : pins) {
-    if (LabelMatches(phi.pattern().label(x), g.label(pin))) {
-      allowed.push_back(pin);
+// ----- compiled Validate ----------------------------------------------------
+
+ValidationReport ValidateSerialPlan(const Graph& g, const RulesetPlan& plan,
+                                    const ValidationOptions& options) {
+  ValidationReport report;
+  for (const PlanBucket& bucket : plan.buckets) {
+    ScanBucketInto(g, bucket, options, {}, &report.violations,
+                   &report.matches_checked);
+  }
+  FinalizeReport(&report, options);
+  return report;
+}
+
+ValidationReport ValidateParallelPlan(const Graph& g, const RulesetPlan& plan,
+                                      const ValidationOptions& options) {
+  // Work items: (bucket, chunk of candidates for the bucket's most selective
+  // variable). Pinning one variable partitions the bucket's match space
+  // exactly, so any item partition is race-free and deterministic.
+  struct WorkItem {
+    const PlanBucket* bucket;
+    VarId pin_var;
+    std::vector<NodeId> pins;  // empty = single run without pinning
+  };
+  std::vector<WorkItem> items;
+  size_t chunks_per_bucket = std::max<size_t>(1, 8 * options.num_threads);
+  for (const PlanBucket& bucket : plan.buckets) {
+    if (bucket.pattern.NumVars() == 0) {
+      items.push_back(WorkItem{&bucket, 0, {}});  // single empty match
+      continue;
+    }
+    VarId pin_var = SelectPinVariable(bucket.pattern, g);
+    std::vector<NodeId> candidates = PinCandidates(bucket.pattern, pin_var, g);
+    size_t chunk = std::max<size_t>(1, candidates.size() / chunks_per_bucket);
+    for (size_t begin = 0; begin < candidates.size(); begin += chunk) {
+      size_t end = std::min(candidates.size(), begin + chunk);
+      items.push_back(
+          WorkItem{&bucket, pin_var,
+                   std::vector<NodeId>(candidates.begin() + begin,
+                                       candidates.begin() + end)});
     }
   }
-  if (allowed.empty()) return;
-  MatchOptions mopts;
-  mopts.semantics = vopts.semantics;
-  mopts.degree_filter = vopts.degree_filter;
-  mopts.smart_order = vopts.smart_order;
-  mopts.restricted.emplace_back(x, std::move(allowed));
-  mopts.exclude_before_var = x;
-  mopts.exclude_nodes = &touched;
-  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
-    ++*checked;
-    if (!SatisfiesAll(g, h, phi.X())) return true;
-    bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
-    if (!y_ok) {
-      out->push_back(Violation{ged_index, h});
-      if (vopts.max_violations_per_ged != 0 &&
-          out->size() >= vopts.max_violations_per_ged) {
-        return false;
-      }
-    }
-    return true;
-  });
+
+  return RunParallelScan(
+      items.size(), options,
+      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+        const WorkItem& item = items[k];
+        if (item.pins.empty()) {
+          ScanBucketInto(g, *item.bucket, options, {}, v, checked);
+        } else {
+          for (NodeId pin : item.pins) {
+            ScanBucketInto(g, *item.bucket, options, {{item.pin_var, pin}}, v,
+                           checked);
+          }
+        }
+      });
+}
+
+// ----- seeded-scan restriction builder --------------------------------------
+
+// Computes the seed-compatible endpoint restrictions of one pattern edge:
+// h(pe.src) may be any compatible seed source, h(pe.dst) any compatible seed
+// target. Returns false when no seed is compatible (skip the run). This
+// over-approximates the per-seed pairing (h(src) and h(dst) may come from
+// different seeds when a pre-existing edge connects them), which only widens
+// the re-checked region — the caller's set-difference reconciliation absorbs
+// it — while amortizing matcher setup across all seeds.
+bool SeedEndpointRestrictions(const Graph& g, const Pattern& q,
+                              const Pattern::PEdge& pe,
+                              const std::vector<EdgeTriple>& seeds,
+                              std::vector<NodeId>* srcs,
+                              std::vector<NodeId>* dsts) {
+  srcs->clear();
+  dsts->clear();
+  for (const EdgeTriple& seed : seeds) {
+    if (!LabelMatches(pe.label, seed.label)) continue;
+    if (!LabelMatches(q.label(pe.src), g.label(seed.src))) continue;
+    if (!LabelMatches(q.label(pe.dst), g.label(seed.dst))) continue;
+    if (pe.src == pe.dst && seed.src != seed.dst) continue;
+    srcs->push_back(seed.src);
+    dsts->push_back(seed.dst);
+  }
+  if (srcs->empty()) return false;
+  auto sort_unique = [](std::vector<NodeId>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  sort_unique(srcs);
+  sort_unique(dsts);
+  return true;
 }
 
 }  // namespace
 
+// ----- public API -----------------------------------------------------------
+
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options) {
-  if (options.num_threads <= 1) return ValidateSerial(g, sigma, options);
-  return ValidateParallel(g, sigma, options);
+  if (options.use_compiled_plan) {
+    return ValidateWithPlan(g, RulesetPlan::Compile(sigma), options);
+  }
+  if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
+  return ValidateParallelLegacy(g, sigma, options);
+}
+
+ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
+                                  const ValidationOptions& options) {
+  if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
+  return ValidateParallelPlan(g, plan, options);
 }
 
 void SortViolationList(std::vector<Violation>* violations) {
   std::sort(violations->begin(), violations->end(), ViolationLess);
+}
+
+void TruncateViolationsPerGed(std::vector<Violation>* violations,
+                              uint64_t cap) {
+  if (cap == 0 || violations->empty()) return;
+  std::vector<Violation> kept;
+  kept.reserve(violations->size());
+  size_t run = 0;
+  for (size_t i = 0; i < violations->size(); ++i) {
+    if (i > 0 && (*violations)[i].ged_index != (*violations)[i - 1].ged_index) {
+      run = 0;
+    }
+    if (run < cap) kept.push_back(std::move((*violations)[i]));
+    ++run;
+  }
+  *violations = std::move(kept);
 }
 
 size_t EraseViolationsTouching(std::vector<Violation>* violations,
@@ -236,25 +389,22 @@ void MergeViolations(std::vector<Violation>* violations,
 ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
                                   const std::vector<NodeId>& touched,
                                   const ValidationOptions& options) {
+  if (options.use_compiled_plan) {
+    return ValidateTouchingWithPlan(g, RulesetPlan::Compile(sigma), touched,
+                                    options);
+  }
   ValidationReport report;
   if (touched.empty()) return report;
 
   if (options.num_threads <= 1) {
     for (size_t i = 0; i < sigma.size(); ++i) {
       const Pattern& q = sigma[i].pattern();
-      std::vector<Violation> v;
       for (VarId x = 0; x < q.NumVars(); ++x) {
-        ScanGedTouching(g, sigma[i], i, options, x, touched, touched, &v,
-                        &report.matches_checked);
-        if (options.max_violations_per_ged != 0 &&
-            v.size() >= options.max_violations_per_ged) {
-          break;
-        }
+        ScanGedTouching(g, sigma[i], i, options, x, touched, touched,
+                        &report.violations, &report.matches_checked);
       }
-      report.violations.insert(report.violations.end(), v.begin(), v.end());
     }
-    report.satisfied = report.violations.empty();
-    SortViolationList(&report.violations);
+    FinalizeReport(&report, options);
     return report;
   }
 
@@ -282,8 +432,7 @@ ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
   }
 
   return RunParallelScan(
-      items.size(), sigma.size(), options,
-      [&](size_t k) { return items[k].ged_index; },
+      items.size(), options,
       [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
         const WorkItem& item = items[k];
         ScanGedTouching(g, sigma[item.ged_index], item.ged_index, options,
@@ -291,42 +440,70 @@ ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
       });
 }
 
+ValidationReport ValidateTouchingWithPlan(
+    const Graph& g, const RulesetPlan& plan,
+    const std::vector<NodeId>& touched, const ValidationOptions& options) {
+  ValidationReport report;
+  if (touched.empty()) return report;
+
+  if (options.num_threads <= 1) {
+    for (const PlanBucket& bucket : plan.buckets) {
+      for (VarId x = 0; x < bucket.pattern.NumVars(); ++x) {
+        ScanBucketTouching(g, bucket, options, x, touched, touched,
+                           &report.violations, &report.matches_checked);
+      }
+    }
+    FinalizeReport(&report, options);
+    return report;
+  }
+
+  // Parallel: one work item per (bucket, pin variable, touched-node chunk).
+  struct WorkItem {
+    const PlanBucket* bucket;
+    VarId var;
+    std::vector<NodeId> pins;
+  };
+  std::vector<WorkItem> items;
+  size_t chunk = std::max<size_t>(
+      1, touched.size() / std::max<size_t>(1, 4 * options.num_threads));
+  for (const PlanBucket& bucket : plan.buckets) {
+    for (VarId x = 0; x < bucket.pattern.NumVars(); ++x) {
+      for (size_t begin = 0; begin < touched.size(); begin += chunk) {
+        size_t end = std::min(touched.size(), begin + chunk);
+        items.push_back(WorkItem{
+            &bucket, x,
+            std::vector<NodeId>(touched.begin() + begin,
+                                touched.begin() + end)});
+      }
+    }
+  }
+
+  return RunParallelScan(
+      items.size(), options,
+      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+        const WorkItem& item = items[k];
+        ScanBucketTouching(g, *item.bucket, options, item.var, item.pins,
+                           touched, v, checked);
+      });
+}
+
 std::vector<Violation> FindViolationsSeededByEdges(
     const Graph& g, const std::vector<Ged>& sigma,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked) {
+  if (options.use_compiled_plan) {
+    return FindViolationsSeededByEdgesWithPlan(g, RulesetPlan::Compile(sigma),
+                                               seeds, options, checked);
+  }
   std::vector<Violation> out;
-  MatchOptions mopts;
-  mopts.semantics = options.semantics;
-  mopts.degree_filter = options.degree_filter;
-  mopts.smart_order = options.smart_order;
+  MatchOptions mopts = BaseMatchOptions(options);
+  std::vector<NodeId> srcs, dsts;
   for (size_t i = 0; i < sigma.size(); ++i) {
     const Ged& phi = sigma[i];
     const Pattern& q = phi.pattern();
     for (const Pattern::PEdge& pe : q.edges()) {
-      // One batched run per pattern edge: restrict its endpoints to the
-      // compatible seed endpoints. This over-approximates the per-seed
-      // pairing (h(src) and h(dst) may come from different seeds when a
-      // pre-existing edge connects them), which only widens the re-checked
-      // region — the caller's set-difference reconciliation absorbs it —
-      // while amortizing matcher setup across all seeds.
-      std::vector<NodeId> srcs, dsts;
-      for (const EdgeTriple& seed : seeds) {
-        if (!LabelMatches(pe.label, seed.label)) continue;
-        if (!LabelMatches(q.label(pe.src), g.label(seed.src))) continue;
-        if (!LabelMatches(q.label(pe.dst), g.label(seed.dst))) continue;
-        if (pe.src == pe.dst && seed.src != seed.dst) continue;
-        srcs.push_back(seed.src);
-        dsts.push_back(seed.dst);
-      }
-      if (srcs.empty()) continue;
-      auto sort_unique = [](std::vector<NodeId>* v) {
-        std::sort(v->begin(), v->end());
-        v->erase(std::unique(v->begin(), v->end()), v->end());
-      };
-      sort_unique(&srcs);
-      sort_unique(&dsts);
-      mopts.restricted = {{pe.src, std::move(srcs)}, {pe.dst, std::move(dsts)}};
+      if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
+      mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
       EnumerateMatches(q, g, mopts, [&](const Match& h) {
         ++*checked;
         if (!SatisfiesAll(g, h, phi.X())) return true;
@@ -334,6 +511,30 @@ std::vector<Violation> FindViolationsSeededByEdges(
         if (!y_ok) out.push_back(Violation{i, h});
         return true;
       });
+    }
+  }
+  SortViolationList(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
+    const Graph& g, const RulesetPlan& plan,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  std::vector<Violation> out;
+  MatchOptions mopts = BaseMatchOptions(options);
+  std::vector<NodeId> srcs, dsts;
+  for (const PlanBucket& bucket : plan.buckets) {
+    const Pattern& q = bucket.pattern;
+    for (const Pattern::PEdge& pe : q.edges()) {
+      if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
+      mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
+      ScanBucket(g, bucket, mopts, checked,
+                 [&](size_t ged_index, const Match& rule_match) {
+                   out.push_back(Violation{ged_index, rule_match});
+                   return true;
+                 });
     }
   }
   SortViolationList(&out);

@@ -6,9 +6,17 @@
 // patterns of bounded size k (§5.3 "Tractable cases") — which covers
 // real-life patterns (98% of SPARQL patterns have ≤ 4 nodes / 5 edges).
 //
-// Validate() enumerates homomorphic matches per GED and checks X → Y. The
-// paper's future-work item "parallel scalable algorithms" is implemented as
-// a thread pool partitioning the candidate bindings of one pattern variable.
+// Validate() checks X → Y over the homomorphic matches of Σ's patterns. By
+// default Σ is first compiled into a shared plan (plan/plan.h): rules with
+// isomorphic patterns are bucketed into one batched enumeration with
+// per-rule condition callbacks, so a multi-rule Σ over few pattern shapes
+// pays one match-space walk per shape instead of one per rule. The legacy
+// per-GED path is kept behind ValidationOptions::use_compiled_plan = false;
+// the two paths produce bit-identical sorted reports (pinned by the
+// differential harness in tests/plan_diff_test.cc). The paper's future-work
+// item "parallel scalable algorithms" is implemented as a thread pool
+// partitioning the candidate bindings of one pattern variable — the most
+// selective one, by the label-index statistics of graph/.
 
 #ifndef GEDLIB_REASON_VALIDATION_H_
 #define GEDLIB_REASON_VALIDATION_H_
@@ -19,6 +27,7 @@
 #include "ged/ged.h"
 #include "graph/graph.h"
 #include "match/matcher.h"
+#include "plan/plan.h"
 
 namespace ged {
 
@@ -39,18 +48,24 @@ inline bool ViolationLess(const Violation& a, const Violation& b) {
 
 /// Knobs for Validate().
 struct ValidationOptions {
-  /// Stop collecting after this many violations per GED (0 = all).
+  /// Keep at most this many violations per GED (0 = all): the
+  /// ViolationLess-smallest ones, deterministically — the same report for
+  /// any num_threads and either evaluation path. The cap truncates the
+  /// report, it does not bound the scan.
   uint64_t max_violations_per_ged = 0;
   /// Homomorphism (paper semantics) or subgraph isomorphism ([19,23]
   /// baseline).
   MatchSemantics semantics = MatchSemantics::kHomomorphism;
   /// Worker threads; 1 = serial. Results are identical and deterministic
-  /// (violations are sorted) regardless of thread count, except that with
-  /// max_violations_per_ged set, *which* violations are kept may differ.
+  /// (violations are sorted, caps keep the smallest) regardless of thread
+  /// count.
   unsigned num_threads = 1;
   /// Matcher toggles (for the ablation bench).
   bool degree_filter = true;
   bool smart_order = true;
+  /// Evaluate Σ through the shared ruleset plan (default). false = legacy
+  /// per-GED enumeration, kept for differential testing and ablation.
+  bool use_compiled_plan = true;
 };
 
 /// Validation outcome.
@@ -59,13 +74,21 @@ struct ValidationReport {
   bool satisfied = true;
   /// All violations found (sorted by ged_index, then match).
   std::vector<Violation> violations;
-  /// Total matches inspected across all GEDs.
+  /// Total (match, rule) pairs inspected across all GEDs. Identical between
+  /// the compiled and legacy paths: a bucket of r rules counts each
+  /// enumerated match r times, exactly as r per-GED scans would.
   uint64_t matches_checked = 0;
 };
 
 /// Checks G ⊨ Σ, reporting violations.
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
+
+/// Validate() against a pre-compiled plan of the same Σ (amortizes
+/// compilation across repeated validations; incr/ holds one per validator).
+/// options.use_compiled_plan is ignored — the plan is always used.
+ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
+                                  const ValidationOptions& options = {});
 
 // ----- incremental building blocks (src/incr/ sits on these) ---------------
 //
@@ -78,6 +101,12 @@ ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
 
 /// Sorts by (ged_index, match) — the ValidationReport order invariant.
 void SortViolationList(std::vector<Violation>* violations);
+
+/// Truncates a sorted violation list to the `cap` ViolationLess-smallest
+/// entries per GED (no-op when cap is 0). The deterministic-cap primitive
+/// shared by every validation path.
+void TruncateViolationsPerGed(std::vector<Violation>* violations,
+                              uint64_t cap);
 
 /// Removes every violation whose match binds a node in `touched` (sorted,
 /// duplicate-free), preserving order; returns the number removed.
@@ -94,28 +123,40 @@ void MergeViolations(std::vector<Violation>* violations,
 /// Validates only the matches that bind at least one node of `touched`
 /// (sorted, duplicate-free): the report lists exactly the violations among
 /// those matches, sorted. Work is partitioned across options.num_threads by
-/// (GED, pin variable, touched-candidate chunk), reusing the parallel
-/// scheme of Validate(). GEDs whose pattern has no variables contribute
-/// nothing (their single empty match binds no node).
+/// (bucket, pin variable, touched-candidate chunk), reusing the parallel
+/// scheme of Validate(). Patterns with no variables contribute nothing
+/// (their single empty match binds no node).
 ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
                                   const std::vector<NodeId>& touched,
                                   const ValidationOptions& options = {});
 
+/// ValidateTouching() against a pre-compiled plan of the same Σ.
+ValidationReport ValidateTouchingWithPlan(const Graph& g,
+                                          const RulesetPlan& plan,
+                                          const std::vector<NodeId>& touched,
+                                          const ValidationOptions& options = {});
+
 /// Violating matches that can map a pattern edge onto one of the `seeds`:
-/// for each (GED, pattern edge (u,ι,v)), one batched run restricts h(u) to
-/// the compatible seed sources and h(v) to the compatible seed targets
+/// for each (pattern, pattern edge (u,ι,v)), one batched run restricts h(u)
+/// to the compatible seed sources and h(v) to the compatible seed targets
 /// (ι ≼ seed label, endpoint labels ≼-compatible). This covers every match
 /// an edge insert between pre-existing nodes can create, slightly
 /// over-approximated: h(u)/h(v) may pair endpoints of different seeds via a
 /// pre-existing edge, and parallel edges are indistinguishable from the
 /// seed — so the result (sorted, duplicate-free) may re-find matches that
 /// already existed, and callers holding a maintained report reconcile by
-/// set-difference. `checked` is incremented per match inspected (before
-/// deduplication). options.max_violations_per_ged is intentionally NOT
-/// honored here: truncating the seeded scan would break the set-difference
-/// reconciliation that keeps incremental maintenance exact.
+/// set-difference. `checked` is incremented per (match, rule) inspected
+/// (before deduplication). options.max_violations_per_ged is intentionally
+/// NOT honored here: truncating the seeded scan would break the
+/// set-difference reconciliation that keeps incremental maintenance exact.
 std::vector<Violation> FindViolationsSeededByEdges(
     const Graph& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked);
+
+/// FindViolationsSeededByEdges() against a pre-compiled plan of the same Σ.
+std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
+    const Graph& g, const RulesetPlan& plan,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked);
 

@@ -313,7 +313,8 @@ GraphDelta RandomDelta(const Graph& g, std::mt19937* rng, size_t num_ops,
   return d;
 }
 
-void RunPropertyStream(unsigned num_threads, unsigned seed) {
+void RunPropertyStream(unsigned num_threads, unsigned seed,
+                       MatchSemantics semantics) {
   RandomGraphParams gp;
   gp.num_nodes = 50;
   gp.avg_out_degree = 3.0;
@@ -325,6 +326,7 @@ void RunPropertyStream(unsigned num_threads, unsigned seed) {
   rp.seed = seed + 1;
   ValidationOptions opts;
   opts.num_threads = num_threads;
+  opts.semantics = semantics;
   IncrementalValidator v(RandomPropertyGraph(gp), RandomGeds(4, rp), opts);
   ExpectReportsEqual(v.report(), v.RevalidateFull());
 
@@ -338,12 +340,47 @@ void RunPropertyStream(unsigned num_threads, unsigned seed) {
 }
 
 TEST(IncrementalValidator, MatchesFullValidationAfterEveryCommitSerial) {
-  RunPropertyStream(/*num_threads=*/1, /*seed=*/21);
-  RunPropertyStream(/*num_threads=*/1, /*seed=*/22);
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/21,
+                    MatchSemantics::kHomomorphism);
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/22,
+                    MatchSemantics::kHomomorphism);
 }
 
 TEST(IncrementalValidator, MatchesFullValidationAfterEveryCommitParallel) {
-  RunPropertyStream(/*num_threads=*/4, /*seed=*/23);
+  RunPropertyStream(/*num_threads=*/4, /*seed=*/23,
+                    MatchSemantics::kHomomorphism);
+}
+
+TEST(IncrementalValidator, MatchesFullValidationUnderIsomorphismSerial) {
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/24,
+                    MatchSemantics::kIsomorphism);
+  RunPropertyStream(/*num_threads=*/1, /*seed=*/25,
+                    MatchSemantics::kIsomorphism);
+}
+
+TEST(IncrementalValidator, MatchesFullValidationUnderIsomorphismParallel) {
+  RunPropertyStream(/*num_threads=*/4, /*seed=*/26,
+                    MatchSemantics::kIsomorphism);
+}
+
+TEST(IncrementalValidator, MaintainsScenarioReportsUnderIsomorphism) {
+  // The music base is the scenario where the two semantics genuinely
+  // diverge (ψ1/ψ3 are near-vacuous under isomorphism, §3): the maintained
+  // report must still track the from-scratch oracle exactly.
+  MusicInstance music = GenMusicBase(MusicParams{});
+  ValidationOptions opts;
+  opts.semantics = MatchSemantics::kIsomorphism;
+  IncrementalValidator v(music.graph, MusicKeys(), opts);
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+
+  GraphDelta d = v.NewDelta();
+  NodeId album = d.AddNode("album");
+  d.SetAttr(album, "title", Value("Dup Title"));
+  NodeId artist = d.AddNode("artist");
+  d.SetAttr(artist, "name", Value("Dup Artist"));
+  d.AddEdge(album, "by", artist);
+  ASSERT_TRUE(v.Commit(d).ok());
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
 }
 
 TEST(IncrementalValidator, MaintainsScenarioReports) {

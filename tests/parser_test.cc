@@ -1,8 +1,15 @@
-// Unit tests for the rule DSL parser.
+// Unit tests for the rule DSL parser, the ToDsl serializer round-trip
+// property (Parse(ToDsl(ged)) is identity for randomly generated GEDs), and
+// fuzz-style malformed-input cases (must return error Status, never crash).
 
 #include <gtest/gtest.h>
 
+#include <random>
+#include <string>
+
 #include "ged/parser.h"
+#include "gen/random_gen.h"
+#include "gen/scenarios.h"
 
 namespace ged {
 namespace {
@@ -151,6 +158,169 @@ TEST(Parser, ErrorsMentionLineNumbers) {
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.status().message().find("line 3"), std::string::npos)
       << r.status().ToString();
+}
+
+TEST(Parser, ThenTrueMeansEmptyConclusion) {
+  auto r = ParseGed(R"(
+    ged trivial {
+      match (x:n)
+      where x.k = 1
+      then true
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r.value().Y().empty());
+  EXPECT_FALSE(r.value().is_forbidding());
+}
+
+// ----- ToDsl round-trip -----------------------------------------------------
+
+void ExpectRoundTrips(const Ged& phi) {
+  std::string dsl = ToDsl(phi);
+  auto r = ParseGed(dsl);
+  ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << dsl;
+  const Ged& back = r.value();
+  EXPECT_EQ(back.name(), phi.name());
+  EXPECT_EQ(back.pattern(), phi.pattern()) << dsl;
+  ASSERT_EQ(back.pattern().NumVars(), phi.pattern().NumVars());
+  // Names survive when unique; patterns with clashing names are emitted
+  // with positional names (ids preserved), so skip the name check there.
+  bool unique = true;
+  for (VarId x = 0; x < phi.pattern().NumVars() && unique; ++x) {
+    for (VarId y = x + 1; y < phi.pattern().NumVars(); ++y) {
+      if (phi.pattern().var_name(x) == phi.pattern().var_name(y)) {
+        unique = false;
+        break;
+      }
+    }
+  }
+  if (unique) {
+    for (VarId x = 0; x < phi.pattern().NumVars(); ++x) {
+      EXPECT_EQ(back.pattern().var_name(x), phi.pattern().var_name(x));
+    }
+  }
+  EXPECT_EQ(back.X(), phi.X()) << dsl;
+  EXPECT_EQ(back.Y(), phi.Y()) << dsl;
+  EXPECT_EQ(back.is_forbidding(), phi.is_forbidding());
+  // Fixed point: serializing the re-parsed GED reproduces the text.
+  EXPECT_EQ(ToDsl(back), dsl);
+}
+
+TEST(ParserRoundTrip, RandomGedsOfEveryClass) {
+  for (GedClassKind kind : {GedClassKind::kGfdx, GedClassKind::kGfd,
+                            GedClassKind::kGedx, GedClassKind::kGed,
+                            GedClassKind::kGkey}) {
+    for (unsigned seed = 1; seed <= 5; ++seed) {
+      RandomGedParams rp;
+      rp.kind = kind;
+      rp.pattern_vars = 1 + seed % 4;
+      rp.pattern_edges = seed % 4;
+      rp.num_x_literals = 1 + seed % 2;
+      rp.num_y_literals = 1 + seed % 2;
+      rp.seed = seed;
+      for (const Ged& phi : RandomGeds(6, rp)) ExpectRoundTrips(phi);
+    }
+  }
+}
+
+TEST(ParserRoundTrip, ScenarioRulesAndValueKinds) {
+  for (const Ged& phi : Example1Geds()) ExpectRoundTrips(phi);
+  for (const Ged& phi : MusicKeys()) ExpectRoundTrips(phi);
+  ExpectRoundTrips(SpamGed(2, Value("free money")));
+
+  // Constants of every kind, including strings that need escaping.
+  Pattern q;
+  q.AddVar("x", "n");
+  std::vector<Literal> x = {
+      Literal::Const(0, Sym("i"), Value(int64_t{-42})),
+      Literal::Const(0, Sym("d"), Value(0.1)),
+      Literal::Const(0, Sym("b"), Value(true)),
+      Literal::Const(0, Sym("s"), Value("say \"hi\" \\ there")),
+  };
+  ExpectRoundTrips(Ged("vals", q, x, {Literal::Const(0, Sym("k"), Value(1))}));
+  // Forbidding and empty-Y forms.
+  ExpectRoundTrips(Ged("forbid", q, x, {}, /*y_is_false=*/true));
+  ExpectRoundTrips(Ged("trivial", q, x, {}));
+}
+
+// ----- fuzz: malformed inputs must error, not crash -------------------------
+
+TEST(ParserFuzz, HandCraftedMalformedInputs) {
+  // Note: an empty file (or only comments) is a valid empty ruleset, not an
+  // error — so it is absent here.
+  const char* kCases[] = {
+      "ged",
+      "ged x",
+      "ged x {",
+      "ged x { match",
+      "ged x { match (",
+      "ged x { match (a",
+      "ged x { match (a:",
+      "ged x { match (a:n",
+      "ged x { match (a:n)",
+      "ged x { match (a:n) then",
+      "ged x { match (a:n) then }",
+      "ged x { match (a:n) then a }",
+      "ged x { match (a:n) then a. }",
+      "ged x { match (a:n) then a.k }",
+      "ged x { match (a:n) then a.k = }",
+      "ged x { match (a:n) then a.k = 1",
+      "ged x { match (a:n)-[e] then false }",
+      "ged x { match (a:n)-[e]-> then false }",
+      "ged x { match (a:n)-[]->(b:n) then false }",
+      "ged x { match (a:n) where then false }",
+      "ged x { match (a:n) where a.k = 1, then false }",
+      "ged x { match (a:n) then a.k = \"unterminated }",
+      "ged x { match (a:n) then a.k = 1 or a.k = 2, a.k = 3 }",
+      "ged x { match (a:n) then b.k = 1 }",
+      "ged x { match (a:n) then a.id = 1 }",
+      "ged x { match (a:n), (b:n) then a.id = b.name }",
+      "ged x { match (a:n) then a.k = 1 } trailing",
+      "ged 5 { match (a:n) then false }",
+      "ged x { match (a:n) then a.k @ 1 }",
+      "ged x { match (a:n) then a..k = 1 }",
+      "\xff\xfe garbage \x01",
+  };
+  for (const char* text : kCases) {
+    auto r = ParseGeds(text);
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ParserFuzz, RandomMutationsNeverCrash) {
+  // Mutate a valid rule text at random: the parser must always return a
+  // Status (ok or error), never crash or hang.
+  std::string base = ToDsl(Example1Geds()[0]);
+  std::mt19937 rng(77);
+  for (int round = 0; round < 500; ++round) {
+    std::string text = base;
+    size_t mutations = 1 + rng() % 4;
+    for (size_t m = 0; m < mutations; ++m) {
+      switch (rng() % 4) {
+        case 0:  // flip a byte
+          if (!text.empty()) {
+            text[rng() % text.size()] = static_cast<char>(rng() % 256);
+          }
+          break;
+        case 1:  // delete a span
+          if (!text.empty()) {
+            size_t at = rng() % text.size();
+            text.erase(at, 1 + rng() % 8);
+          }
+          break;
+        case 2:  // duplicate a span
+          if (!text.empty()) {
+            size_t at = rng() % text.size();
+            text.insert(at, text.substr(at, 1 + rng() % 8));
+          }
+          break;
+        default:  // truncate
+          text.resize(rng() % (text.size() + 1));
+          break;
+      }
+    }
+    auto r = ParseGeds(text);
+    (void)r;  // either outcome is fine — surviving is the property
+  }
 }
 
 TEST(Parser, RuleAstExposesDisjunction) {

@@ -54,6 +54,47 @@ TEST(ValidationDeterminism, RandomWorkload) {
   ExpectDeterministicAcrossThreads(RandomPropertyGraph(gp), RandomGeds(5, rp));
 }
 
+TEST(ValidationDeterminism, CapKeepsTheSmallestViolationsDeterministically) {
+  // max_violations_per_ged keeps the ViolationLess-smallest violations per
+  // GED — the same report for any thread count and either evaluation path.
+  KbParams params;
+  params.wrong_creator = 6;
+  params.double_capital = 3;
+  KbInstance kb = GenKnowledgeBase(params);
+  auto sigma = Example1Geds();
+
+  ValidationOptions full_opts;
+  ValidationReport full = Validate(kb.graph, sigma, full_opts);
+  ASSERT_GT(full.violations.size(), 4u);
+
+  constexpr uint64_t kCap = 2;
+  // Expected: first kCap violations of each GED in the sorted full report.
+  std::vector<Violation> expected;
+  size_t run = 0;
+  for (size_t i = 0; i < full.violations.size(); ++i) {
+    if (i > 0 &&
+        full.violations[i].ged_index != full.violations[i - 1].ged_index) {
+      run = 0;
+    }
+    if (run < kCap) expected.push_back(full.violations[i]);
+    ++run;
+  }
+  ASSERT_LT(expected.size(), full.violations.size());
+
+  for (bool compiled : {true, false}) {
+    for (unsigned threads : {1u, 2u, 8u}) {
+      ValidationOptions opts;
+      opts.max_violations_per_ged = kCap;
+      opts.num_threads = threads;
+      opts.use_compiled_plan = compiled;
+      ValidationReport capped = Validate(kb.graph, sigma, opts);
+      EXPECT_EQ(capped.violations, expected)
+          << threads << " threads, compiled=" << compiled;
+      EXPECT_FALSE(capped.satisfied);
+    }
+  }
+}
+
 TEST(ValidationDeterminism, ValidateTouchingAcrossThreads) {
   RandomGraphParams gp;
   gp.num_nodes = 80;
