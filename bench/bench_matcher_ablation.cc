@@ -1,33 +1,39 @@
 // Matcher ablation (DESIGN.md design-choice bench): the homomorphism
 // matcher's candidate filtering and variable-ordering optimizations toggled
 // independently on the spam workload (Q5 is the largest Fig. 1 pattern) and
-// on a dense random graph.
+// on a dense random graph — each against both read backends (mutable Graph
+// adjacency vs FrozenGraph CSR snapshot; the snapshot is built outside the
+// timed loop, isolating the read-path difference).
 
 #include <benchmark/benchmark.h>
 
 #include "gen/random_gen.h"
 #include "gen/scenarios.h"
+#include "graph/frozen.h"
 #include "match/matcher.h"
 
 namespace {
 
 using namespace ged;
 
-void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart) {
+void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart,
+                    bool frozen) {
   SocialParams params;
   params.num_accounts = 200;
   params.num_blogs = 400;
   params.spam_pairs = 5;
   SocialInstance net = GenSocialNetwork(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(net.graph);
   Ged phi5 = SpamGed(2, Value("peculiar"));
   MatchOptions opts;
   opts.degree_filter = degree;
   opts.smart_order = smart;
   uint64_t steps = 0;
+  auto cb = [](const Match&) { return true; };
   for (auto _ : state) {
-    MatchStats stats =
-        EnumerateMatches(phi5.pattern(), net.graph, opts,
-                         [](const Match&) { return true; });
+    MatchStats stats = frozen
+        ? EnumerateMatches(phi5.pattern(), snapshot, opts, cb)
+        : EnumerateMatches(phi5.pattern(), net.graph, opts, cb);
     steps = stats.steps;
     benchmark::DoNotOptimize(stats.matches);
   }
@@ -35,13 +41,14 @@ void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart) {
 }
 
 void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
-                             bool smart) {
+                             bool smart, bool frozen) {
   RandomGraphParams gp;
   gp.num_nodes = 300;
   gp.avg_out_degree = 4;
   gp.num_node_labels = 4;
   gp.num_edge_labels = 2;
   Graph g = RandomPropertyGraph(gp);
+  FrozenGraph snapshot = FrozenGraph::Freeze(g);
   Pattern q;
   VarId a = q.AddVar("a", GenNodeLabel(0));
   VarId b = q.AddVar("b", kWildcard);
@@ -54,9 +61,10 @@ void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
   opts.degree_filter = degree;
   opts.smart_order = smart;
   uint64_t steps = 0;
+  auto cb = [](const Match&) { return true; };
   for (auto _ : state) {
-    MatchStats stats =
-        EnumerateMatches(q, g, opts, [](const Match&) { return true; });
+    MatchStats stats = frozen ? EnumerateMatches(q, snapshot, opts, cb)
+                              : EnumerateMatches(q, g, opts, cb);
     steps = stats.steps;
     benchmark::DoNotOptimize(stats.matches);
   }
@@ -65,11 +73,17 @@ void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
 
 }  // namespace
 
-BENCHMARK_CAPTURE(BM_Ablation_Q5, baseline_none, false, false);
-BENCHMARK_CAPTURE(BM_Ablation_Q5, degree_only, true, false);
-BENCHMARK_CAPTURE(BM_Ablation_Q5, order_only, false, true);
-BENCHMARK_CAPTURE(BM_Ablation_Q5, both, true, true);
-BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, baseline_none, false, false);
-BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, degree_only, true, false);
-BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, order_only, false, true);
-BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both, true, true);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, baseline_none, false, false, false);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, degree_only, true, false, false);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, order_only, false, true, false);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, both, true, true, false);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, baseline_none_frozen, false, false, true);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, both_frozen, true, true, true);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, baseline_none, false, false,
+                  false);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, degree_only, true, false, false);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, order_only, false, true, false);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both, true, true, false);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, baseline_none_frozen, false,
+                  false, true);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both_frozen, true, true, true);

@@ -2,8 +2,16 @@
 // validate, and reason about the rule set (satisfiability + implication).
 //
 //   ./build/examples/quickstart
+//
+// The graph deliberately seeds one violation of φ1 (the Yago3 mixup), so by
+// default the program exits 2 — "the demo found its inconsistency". With
+// --expect-violations the seeded violation becomes the success condition:
+// exit 0 when it is found, non-zero only on genuine failure (parse error, or
+// the violation was missed). CI smoke-runs use that flag instead of
+// special-casing exit codes.
 
 #include <iostream>
+#include <string_view>
 
 #include "ged/parser.h"
 #include "reason/implication.h"
@@ -12,7 +20,9 @@
 
 using namespace ged;
 
-int main() {
+int main(int argc, char** argv) {
+  bool expect_violations =
+      argc > 1 && std::string_view(argv[1]) == "--expect-violations";
   // 1. A tiny knowledge-base fragment: who created which product.
   Graph g;
   NodeId game = g.AddNode("product");
@@ -61,5 +71,12 @@ int main() {
     })");
   std::cout << "phi1 implies the weaker variant: "
             << Implies(rules.value(), weaker.value()) << "\n";
+  if (expect_violations) {
+    if (report.violations.empty()) {
+      std::cerr << "FAIL: expected the seeded phi1 violation, found none\n";
+      return 1;
+    }
+    return 0;
+  }
   return report.satisfied ? 0 : 2;
 }

@@ -34,7 +34,12 @@ std::string Literal::ToString(const Pattern& q) const {
 
 std::string Literal::ToString() const { return Render(nullptr, *this); }
 
-bool SatisfiesLiteral(const Graph& g, const Match& h, const Literal& l) {
+namespace {
+
+// Shared across backends: only attribute lookup differs (tuple scan on
+// Graph, columnar binary search on FrozenGraph), and `attr` abstracts it.
+template <typename GView>
+bool SatisfiesLiteralT(const GView& g, const Match& h, const Literal& l) {
   switch (l.kind) {
     case LiteralKind::kConst: {
       auto v = g.attr(h[l.x], l.a);
@@ -51,12 +56,33 @@ bool SatisfiesLiteral(const Graph& g, const Match& h, const Literal& l) {
   return false;
 }
 
-bool SatisfiesAll(const Graph& g, const Match& h,
-                  const std::vector<Literal>& literals) {
+template <typename GView>
+bool SatisfiesAllT(const GView& g, const Match& h,
+                   const std::vector<Literal>& literals) {
   for (const Literal& l : literals) {
-    if (!SatisfiesLiteral(g, h, l)) return false;
+    if (!SatisfiesLiteralT(g, h, l)) return false;
   }
   return true;
+}
+
+}  // namespace
+
+bool SatisfiesLiteral(const Graph& g, const Match& h, const Literal& l) {
+  return SatisfiesLiteralT(g, h, l);
+}
+
+bool SatisfiesLiteral(const FrozenGraph& g, const Match& h, const Literal& l) {
+  return SatisfiesLiteralT(g, h, l);
+}
+
+bool SatisfiesAll(const Graph& g, const Match& h,
+                  const std::vector<Literal>& literals) {
+  return SatisfiesAllT(g, h, literals);
+}
+
+bool SatisfiesAll(const FrozenGraph& g, const Match& h,
+                  const std::vector<Literal>& literals) {
+  return SatisfiesAllT(g, h, literals);
 }
 
 }  // namespace ged

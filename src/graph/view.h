@@ -1,0 +1,77 @@
+// The GraphView read interface.
+//
+// Every reasoning task of the paper — validation G ⊨ Σ, satisfiability,
+// implication, the chase — bottoms out in homomorphism enumeration over a
+// graph, and that enumeration only ever *reads*. GraphView names exactly the
+// read surface the matcher (match/), the shared-plan executor (plan/) and
+// validation (reason/) consume, so the same search code runs against either
+// backend:
+//
+//   * Graph        — the mutable build/ingest structure (graph/graph.h),
+//                    hash-indexed adjacency, listener hooks for incr/;
+//   * FrozenGraph  — an immutable CSR snapshot (graph/frozen.h) with
+//                    label-contiguous sorted adjacency and columnar
+//                    attributes, the read-optimized match backend.
+//
+// The interface is a C++20 concept rather than a virtual base: the matcher
+// touches edges in its innermost loops, and per-edge virtual dispatch would
+// forfeit the cache-locality gains freezing exists to provide. Backends may
+// additionally expose label-contiguous adjacency ranges (OutEdgesLabeled /
+// HasOutLabel and the In* twins); generic code detects those with
+// `requires` and upgrades its scans from filter-and-collect to range
+// iteration and binary search (see HasLabelRanges below).
+
+#ifndef GEDLIB_GRAPH_VIEW_H_
+#define GEDLIB_GRAPH_VIEW_H_
+
+#include <concepts>
+#include <optional>
+#include <ranges>
+
+#include "graph/graph.h"
+
+namespace ged {
+
+/// The read surface shared by Graph and FrozenGraph. `out(v)` / `in(v)`
+/// must be ranges of Edge; `NodesWithLabel(l)` a range of NodeId. Reference
+/// stability and iteration-order guarantees are backend-specific; callers
+/// needing order independence must sort (the matcher and validation already
+/// do).
+template <typename G>
+concept GraphView = requires(const G& g, NodeId v, Label l, AttrId a) {
+  { g.NumNodes() } -> std::convertible_to<size_t>;
+  { g.NumEdges() } -> std::convertible_to<size_t>;
+  { g.label(v) } -> std::convertible_to<Label>;
+  { g.HasEdge(v, l, v) } -> std::convertible_to<bool>;
+  { g.OutDegree(v) } -> std::convertible_to<size_t>;
+  { g.InDegree(v) } -> std::convertible_to<size_t>;
+  { g.CandidateCount(l) } -> std::convertible_to<size_t>;
+  { g.attr(v, a) } -> std::convertible_to<std::optional<Value>>;
+  { *std::ranges::begin(g.out(v)) } -> std::convertible_to<Edge>;
+  { *std::ranges::begin(g.in(v)) } -> std::convertible_to<Edge>;
+  { *std::ranges::begin(g.NodesWithLabel(l)) } -> std::convertible_to<NodeId>;
+  { std::ranges::size(g.out(v)) } -> std::convertible_to<size_t>;
+  { std::ranges::size(g.NodesWithLabel(l)) } -> std::convertible_to<size_t>;
+};
+
+/// True when the backend also provides label-contiguous adjacency:
+/// OutEdgesLabeled(v, l) / InEdgesLabeled(v, l) return the sub-range of
+/// out(v) / in(v) whose label is exactly l (l = kWildcard → the full range),
+/// sorted by neighbor id and duplicate-free for concrete l; HasOutLabel /
+/// HasInLabel test label incidence without scanning. FrozenGraph qualifies;
+/// the mutable Graph does not (its adjacency is unsorted).
+template <typename G>
+concept HasLabelRanges = requires(const G& g, NodeId v, Label l) {
+  { *std::ranges::begin(g.OutEdgesLabeled(v, l)) }
+      -> std::convertible_to<Edge>;
+  { *std::ranges::begin(g.InEdgesLabeled(v, l)) }
+      -> std::convertible_to<Edge>;
+  { g.HasOutLabel(v, l) } -> std::convertible_to<bool>;
+  { g.HasInLabel(v, l) } -> std::convertible_to<bool>;
+};
+
+static_assert(GraphView<Graph>);
+
+}  // namespace ged
+
+#endif  // GEDLIB_GRAPH_VIEW_H_

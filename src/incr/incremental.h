@@ -12,6 +12,14 @@
 // ruleset plan (plan/plan.h) at construction, so every commit's re-scan
 // walks one match space per pattern *shape* rather than one per rule.
 //
+// Backend note: the validator owns the *mutable* Graph and scans it
+// directly on every commit — its listener hooks drive delta detection, and
+// per-commit work is delta-sized, so re-freezing a FrozenGraph snapshot
+// (graph/frozen.h) each commit would dwarf the maintenance itself. Only the
+// seeding full Validate() in the constructor (and the RevalidateFromScratch
+// oracle) go through ValidationOptions::freeze_snapshot, which freezes once
+// for graphs large enough to amortize it.
+//
 // Exactness argument (append-only deltas):
 //  * topology only grows, so every match of Q in the old graph is still a
 //    match in the new one — no violation disappears for topological reasons;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <unordered_map>
 
+#include "graph/view.h"
+
 namespace ged {
 
 namespace {
@@ -44,9 +46,15 @@ SearchScratch& TlsScratch() {
   return scratch;
 }
 
+// The backtracking search, templated over the read backend. The mutable
+// Graph and the FrozenGraph CSR snapshot share all control flow; where the
+// backend provides label-contiguous sorted adjacency (HasLabelRanges), the
+// candidate generator and the degree filter upgrade from filter-and-collect
+// scans to range extraction and binary search.
+template <GraphView GView>
 class Search {
  public:
-  Search(const Pattern& q, const Graph& g, const MatchOptions& opts,
+  Search(const Pattern& q, const GView& g, const MatchOptions& opts,
          const MatchCallback& cb)
       : q_(q),
         g_(g),
@@ -241,25 +249,34 @@ class Search {
       const VarInfo& vi = info_[x];
       if (vi.has_wild_out && g_.OutDegree(v) == 0) return false;
       if (vi.has_wild_in && g_.InDegree(v) == 0) return false;
-      for (Label l : vi.out_labels) {
-        bool found = false;
-        for (const Edge& e : g_.out(v)) {
-          if (e.label == l) {
-            found = true;
-            break;
-          }
+      if constexpr (HasLabelRanges<GView>) {
+        for (Label l : vi.out_labels) {
+          if (!g_.HasOutLabel(v, l)) return false;
         }
-        if (!found) return false;
-      }
-      for (Label l : vi.in_labels) {
-        bool found = false;
-        for (const Edge& e : g_.in(v)) {
-          if (e.label == l) {
-            found = true;
-            break;
-          }
+        for (Label l : vi.in_labels) {
+          if (!g_.HasInLabel(v, l)) return false;
         }
-        if (!found) return false;
+      } else {
+        for (Label l : vi.out_labels) {
+          bool found = false;
+          for (const Edge& e : g_.out(v)) {
+            if (e.label == l) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
+        for (Label l : vi.in_labels) {
+          bool found = false;
+          for (const Edge& e : g_.in(v)) {
+            if (e.label == l) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) return false;
+        }
       }
     }
     // Check all pattern edges between x and already-bound variables.
@@ -283,35 +300,60 @@ class Search {
   }
 
   // Candidate list for variable x at the current depth: prefer adjacency of
-  // a bound neighbor, else label index.
+  // a bound neighbor, else label index. On a HasLabelRanges backend the
+  // bound-neighbor list is extracted label-contiguously — for a concrete
+  // edge label the range arrives sorted, duplicate-free and pre-filtered,
+  // so the per-depth sort/unique pass disappears and the size comparison
+  // below ranks neighbors by their *label-filtered* fan-out (a strictly
+  // sharper selectivity estimate than whole-list degree).
   void Candidates(VarId x, std::vector<NodeId>* out) const {
     out->clear();
-    // Find the bound neighbor whose adjacency list is smallest.
     const VarInfo& vi = info_[x];
-    const std::vector<Edge>* best_list = nullptr;
-    Label best_label = kWildcard;
-    bool from_out = false;  // true: candidates from out(h(y)) ... (y->x)
+    // Find the bound neighbor whose adjacency list is smallest. Only the
+    // list representation is backend-specific: a label-contiguous span on
+    // HasLabelRanges backends (pre-filtered, so `best_size` ranks by
+    // label-filtered fan-out), the whole unsorted adjacency vector
+    // otherwise.
     size_t best_size = SIZE_MAX;
+    Label best_label = kWildcard;
+    bool have_list = false;
+    [[maybe_unused]] std::span<const Edge> best_span;
+    [[maybe_unused]] const std::vector<Edge>* best_vec = nullptr;
+    auto consider = [&](auto lst, Label l) {
+      if (lst.size() >= best_size) return;
+      best_size = lst.size();
+      best_label = l;
+      have_list = true;
+      if constexpr (HasLabelRanges<GView>) best_span = lst;
+    };
     for (const auto& [l, y] : vi.in) {  // edges y -> x
       NodeId hv = (y == x) ? kUnbound : assignment_[y];
       if (hv == kUnbound) continue;
-      const auto& lst = g_.out(hv);
-      if (lst.size() < best_size) {
-        best_size = lst.size();
-        best_list = &lst;
-        best_label = l;
-        from_out = true;
+      if constexpr (HasLabelRanges<GView>) {
+        consider(g_.OutEdgesLabeled(hv, l), l);
+      } else {
+        const auto& lst = g_.out(hv);
+        if (lst.size() < best_size) {
+          best_size = lst.size();
+          best_vec = &lst;
+          best_label = l;
+          have_list = true;
+        }
       }
     }
     for (const auto& [l, y] : vi.out) {  // edges x -> y
       NodeId hv = (y == x) ? kUnbound : assignment_[y];
       if (hv == kUnbound) continue;
-      const auto& lst = g_.in(hv);
-      if (lst.size() < best_size) {
-        best_size = lst.size();
-        best_list = &lst;
-        best_label = l;
-        from_out = false;
+      if constexpr (HasLabelRanges<GView>) {
+        consider(g_.InEdgesLabeled(hv, l), l);
+      } else {
+        const auto& lst = g_.in(hv);
+        if (lst.size() < best_size) {
+          best_size = lst.size();
+          best_vec = &lst;
+          best_label = l;
+          have_list = true;
+        }
       }
     }
     // A candidate restriction can beat every adjacency list (NodeOk checks
@@ -328,14 +370,24 @@ class Search {
       *out = *best_restriction;
       return;
     }
-    if (best_list != nullptr) {
-      for (const Edge& e : *best_list) {
-        if (!LabelMatches(best_label, e.label)) continue;
-        out->push_back(e.other);
+    if (have_list) {
+      if constexpr (HasLabelRanges<GView>) {
+        out->reserve(best_span.size());
+        for (const Edge& e : best_span) out->push_back(e.other);
+        if (best_label == kWildcard) {
+          // The full range spans several labels; neighbor ids can repeat.
+          // A concrete-label range is already sorted and duplicate-free.
+          std::sort(out->begin(), out->end());
+          out->erase(std::unique(out->begin(), out->end()), out->end());
+        }
+      } else {
+        for (const Edge& e : *best_vec) {
+          if (!LabelMatches(best_label, e.label)) continue;
+          out->push_back(e.other);
+        }
+        std::sort(out->begin(), out->end());
+        out->erase(std::unique(out->begin(), out->end()), out->end());
       }
-      (void)from_out;
-      std::sort(out->begin(), out->end());
-      out->erase(std::unique(out->begin(), out->end()), out->end());
       return;
     }
     Label l = q_.label(x);
@@ -343,7 +395,8 @@ class Search {
       out->reserve(g_.NumNodes());
       for (NodeId v = 0; v < g_.NumNodes(); ++v) out->push_back(v);
     } else {
-      *out = g_.NodesWithLabel(l);
+      auto nodes = g_.NodesWithLabel(l);
+      out->assign(std::ranges::begin(nodes), std::ranges::end(nodes));
     }
   }
 
@@ -389,7 +442,7 @@ class Search {
   }
 
   const Pattern& q_;
-  const Graph& g_;
+  const GView& g_;
   const MatchOptions& opts_;
   const MatchCallback& cb_;
   // Scratch acquisition (declared before the references bound to it).
@@ -408,19 +461,21 @@ class Search {
   MatchStats stats_;
 };
 
-}  // namespace
+// ----- backend-generic implementations (instantiated for both views) --------
 
-MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
-                            const MatchOptions& options,
-                            const MatchCallback& cb) {
-  Search search(q, g, options, cb);
+template <GraphView GView>
+MatchStats EnumerateMatchesImpl(const Pattern& q, const GView& g,
+                                const MatchOptions& options,
+                                const MatchCallback& cb) {
+  Search<GView> search(q, g, options, cb);
   return search.Run();
 }
 
-MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
-                                    const std::vector<NodeId>& touched,
-                                    const MatchOptions& options,
-                                    const MatchCallback& cb) {
+template <GraphView GView>
+MatchStats EnumerateMatchesTouchingImpl(const Pattern& q, const GView& g,
+                                        const std::vector<NodeId>& touched,
+                                        const MatchOptions& options,
+                                        const MatchCallback& cb) {
   MatchStats total;
   if (q.NumVars() == 0 || touched.empty()) return total;
   bool stop = false;
@@ -450,56 +505,63 @@ MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
     run_opts.restricted.emplace_back(x, std::move(allowed));
     run_opts.exclude_before_var = x;
     run_opts.exclude_nodes = &touched;
-    MatchStats run = EnumerateMatches(q, g, run_opts, [&](const Match& h) {
-      ++total.matches;
-      if (!cb(h)) {
-        stop = true;
-        return false;
-      }
-      if (options.max_matches != 0 && total.matches >= options.max_matches) {
-        stop = true;
-        return false;
-      }
-      return true;
-    });
+    MatchStats run =
+        EnumerateMatchesImpl(q, g, run_opts, [&](const Match& h) {
+          ++total.matches;
+          if (!cb(h)) {
+            stop = true;
+            return false;
+          }
+          if (options.max_matches != 0 &&
+              total.matches >= options.max_matches) {
+            stop = true;
+            return false;
+          }
+          return true;
+        });
     total.steps += run.steps;
     total.aborted |= run.aborted;
   }
   return total;
 }
 
-bool HasMatch(const Pattern& q, const Graph& g, const MatchOptions& options) {
+template <GraphView GView>
+bool HasMatchImpl(const Pattern& q, const GView& g,
+                  const MatchOptions& options) {
   MatchOptions opts = options;
   opts.max_matches = 1;
   bool found = false;
-  EnumerateMatches(q, g, opts, [&](const Match&) {
+  EnumerateMatchesImpl(q, g, opts, [&](const Match&) {
     found = true;
     return false;
   });
   return found;
 }
 
-uint64_t CountMatches(const Pattern& q, const Graph& g,
-                      const MatchOptions& options) {
+template <GraphView GView>
+uint64_t CountMatchesImpl(const Pattern& q, const GView& g,
+                          const MatchOptions& options) {
   uint64_t n = 0;
-  EnumerateMatches(q, g, options, [&](const Match&) {
+  EnumerateMatchesImpl(q, g, options, [&](const Match&) {
     ++n;
     return true;
   });
   return n;
 }
 
-std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
-                              const MatchOptions& options) {
+template <GraphView GView>
+std::vector<Match> AllMatchesImpl(const Pattern& q, const GView& g,
+                                  const MatchOptions& options) {
   std::vector<Match> out;
-  EnumerateMatches(q, g, options, [&](const Match& m) {
+  EnumerateMatchesImpl(q, g, options, [&](const Match& m) {
     out.push_back(m);
     return true;
   });
   return out;
 }
 
-bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h) {
+template <GraphView GView>
+bool IsValidMatchImpl(const Pattern& q, const GView& g, const Match& h) {
   if (h.size() != q.NumVars()) return false;
   for (VarId x = 0; x < q.NumVars(); ++x) {
     if (h[x] >= g.NumNodes()) return false;
@@ -509,6 +571,73 @@ bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h) {
     if (!g.HasEdge(h[e.src], e.label, h[e.dst])) return false;
   }
   return true;
+}
+
+}  // namespace
+
+// ----- public API: one overload per backend ---------------------------------
+
+MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb) {
+  return EnumerateMatchesImpl(q, g, options, cb);
+}
+
+MatchStats EnumerateMatches(const Pattern& q, const FrozenGraph& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb) {
+  return EnumerateMatchesImpl(q, g, options, cb);
+}
+
+MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb) {
+  return EnumerateMatchesTouchingImpl(q, g, touched, options, cb);
+}
+
+MatchStats EnumerateMatchesTouching(const Pattern& q, const FrozenGraph& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb) {
+  return EnumerateMatchesTouchingImpl(q, g, touched, options, cb);
+}
+
+bool HasMatch(const Pattern& q, const Graph& g, const MatchOptions& options) {
+  return HasMatchImpl(q, g, options);
+}
+
+bool HasMatch(const Pattern& q, const FrozenGraph& g,
+              const MatchOptions& options) {
+  return HasMatchImpl(q, g, options);
+}
+
+uint64_t CountMatches(const Pattern& q, const Graph& g,
+                      const MatchOptions& options) {
+  return CountMatchesImpl(q, g, options);
+}
+
+uint64_t CountMatches(const Pattern& q, const FrozenGraph& g,
+                      const MatchOptions& options) {
+  return CountMatchesImpl(q, g, options);
+}
+
+std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
+                              const MatchOptions& options) {
+  return AllMatchesImpl(q, g, options);
+}
+
+std::vector<Match> AllMatches(const Pattern& q, const FrozenGraph& g,
+                              const MatchOptions& options) {
+  return AllMatchesImpl(q, g, options);
+}
+
+bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h) {
+  return IsValidMatchImpl(q, g, h);
+}
+
+bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h) {
+  return IsValidMatchImpl(q, g, h);
 }
 
 }  // namespace ged

@@ -12,6 +12,13 @@
 //   * connectivity-first, most-constrained-first variable ordering,
 //   * per-label degree filtering,
 // each of which can be toggled off for the ablation benchmark.
+//
+// The search runs against any GraphView backend (graph/view.h): every entry
+// point is overloaded for the mutable Graph and the immutable FrozenGraph
+// CSR snapshot. Both overloads share one templated implementation, so match
+// sets are identical; against a FrozenGraph the search additionally exploits
+// label-contiguous adjacency (candidates come pre-sorted and pre-filtered,
+// degree filtering is a binary search).
 
 #ifndef GEDLIB_MATCH_MATCHER_H_
 #define GEDLIB_MATCH_MATCHER_H_
@@ -20,6 +27,7 @@
 #include <functional>
 #include <vector>
 
+#include "graph/frozen.h"
 #include "graph/graph.h"
 #include "graph/pattern.h"
 
@@ -83,6 +91,9 @@ struct MatchStats {
 MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
                             const MatchOptions& options,
                             const MatchCallback& cb);
+MatchStats EnumerateMatches(const Pattern& q, const FrozenGraph& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb);
 
 /// Enumerates exactly the matches of `q` that bind at least one variable to
 /// a node in `touched` (which must be sorted and duplicate-free). Each such
@@ -103,23 +114,34 @@ MatchStats EnumerateMatchesTouching(const Pattern& q, const Graph& g,
                                     const std::vector<NodeId>& touched,
                                     const MatchOptions& options,
                                     const MatchCallback& cb);
+MatchStats EnumerateMatchesTouching(const Pattern& q, const FrozenGraph& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb);
 
 /// True iff at least one match exists.
 bool HasMatch(const Pattern& q, const Graph& g,
+              const MatchOptions& options = {});
+bool HasMatch(const Pattern& q, const FrozenGraph& g,
               const MatchOptions& options = {});
 
 /// Number of matches (subject to options caps).
 uint64_t CountMatches(const Pattern& q, const Graph& g,
                       const MatchOptions& options = {});
+uint64_t CountMatches(const Pattern& q, const FrozenGraph& g,
+                      const MatchOptions& options = {});
 
 /// Collects all matches (subject to options caps).
 std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
+                              const MatchOptions& options = {});
+std::vector<Match> AllMatches(const Pattern& q, const FrozenGraph& g,
                               const MatchOptions& options = {});
 
 /// Verifies that an explicit assignment is a homomorphic match of `q` in
 /// `g`: every variable bound to an in-range node with L_Q(x) ≼ L(h(x)), and
 /// every pattern edge present with a matching label.
 bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h);
+bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h);
 
 }  // namespace ged
 

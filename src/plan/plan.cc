@@ -82,9 +82,12 @@ RulesetPlan RulesetPlan::Compile(const std::vector<Ged>& sigma) {
   return plan;
 }
 
-MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
-                      const MatchOptions& mopts, uint64_t* checked,
-                      const PlanViolationCallback& on_violation) {
+namespace {
+
+template <typename GView>
+MatchStats ScanBucketT(const GView& g, const PlanBucket& bucket,
+                       const MatchOptions& mopts, uint64_t* checked,
+                       const PlanViolationCallback& on_violation) {
   Match rule_match;
   return EnumerateMatches(bucket.pattern, g, mopts, [&](const Match& h) {
     for (const PlanRule& r : bucket.rules) {
@@ -101,7 +104,8 @@ MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
   });
 }
 
-VarId SelectPinVariable(const Pattern& q, const Graph& g) {
+template <typename GView>
+VarId SelectPinVariableT(const Pattern& q, const GView& g) {
   VarId best = 0;
   size_t best_count = SIZE_MAX;
   for (VarId x = 0; x < q.NumVars(); ++x) {
@@ -112,6 +116,28 @@ VarId SelectPinVariable(const Pattern& q, const Graph& g) {
     }
   }
   return best;
+}
+
+}  // namespace
+
+MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
+                      const MatchOptions& mopts, uint64_t* checked,
+                      const PlanViolationCallback& on_violation) {
+  return ScanBucketT(g, bucket, mopts, checked, on_violation);
+}
+
+MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
+                      const MatchOptions& mopts, uint64_t* checked,
+                      const PlanViolationCallback& on_violation) {
+  return ScanBucketT(g, bucket, mopts, checked, on_violation);
+}
+
+VarId SelectPinVariable(const Pattern& q, const Graph& g) {
+  return SelectPinVariableT(q, g);
+}
+
+VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g) {
+  return SelectPinVariableT(q, g);
 }
 
 }  // namespace ged

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ged/ged.h"
+#include "graph/frozen.h"
 #include "graph/graph.h"
 #include "match/matcher.h"
 
@@ -82,8 +83,12 @@ using PlanViolationCallback =
 /// member rule, increments *checked and reports the rule's violations
 /// (h ⊨ X but h ⊭ Y). A bucket scan therefore inspects exactly the
 /// (match, rule) pairs the legacy per-GED path would, so `checked` counts
-/// agree with it.
+/// agree with it. Overloaded per read backend; reports are bit-identical
+/// between the mutable Graph and a FrozenGraph snapshot of it.
 MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
+                      const MatchOptions& mopts, uint64_t* checked,
+                      const PlanViolationCallback& on_violation);
+MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
                       const MatchOptions& mopts, uint64_t* checked,
                       const PlanViolationCallback& on_violation);
 
@@ -91,6 +96,7 @@ MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
 /// candidate count (most selective), ties to the lowest id. Requires
 /// NumVars() > 0.
 VarId SelectPinVariable(const Pattern& q, const Graph& g);
+VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g);
 
 }  // namespace ged
 

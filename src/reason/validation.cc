@@ -30,7 +30,8 @@ void FinalizeReport(ValidationReport* report,
 // ----- legacy per-GED scans (use_compiled_plan = false) ---------------------
 
 // Serial scan of one GED, optionally restricted by a pinned first variable.
-void ScanGed(const Graph& g, const Ged& phi, size_t ged_index,
+template <typename GView>
+void ScanGed(const GView& g, const Ged& phi, size_t ged_index,
              const ValidationOptions& vopts,
              const std::vector<std::pair<VarId, NodeId>>& pinned,
              std::vector<Violation>* out, uint64_t* checked) {
@@ -53,7 +54,8 @@ void ScanGed(const Graph& g, const Ged& phi, size_t ged_index,
 // touching-dedup protocol, shared by the legacy and compiled paths (the
 // differential harness compares like for like). Returns false when no pin
 // is compatible (skip the run). `touched` must outlive the enumeration.
-bool TouchingRunOptions(const Graph& g, const Pattern& q,
+template <typename GView>
+bool TouchingRunOptions(const GView& g, const Pattern& q,
                         const ValidationOptions& vopts, VarId x,
                         const std::vector<NodeId>& pins,
                         const std::vector<NodeId>& touched,
@@ -71,7 +73,8 @@ bool TouchingRunOptions(const Graph& g, const Pattern& q,
 }
 
 // Scans the touching run (x, pins) of one GED, recording violating matches.
-void ScanGedTouching(const Graph& g, const Ged& phi, size_t ged_index,
+template <typename GView>
+void ScanGedTouching(const GView& g, const Ged& phi, size_t ged_index,
                      const ValidationOptions& vopts, VarId x,
                      const std::vector<NodeId>& pins,
                      const std::vector<NodeId>& touched,
@@ -91,7 +94,8 @@ void ScanGedTouching(const Graph& g, const Ged& phi, size_t ged_index,
 
 // ----- compiled bucket scans (plan/ScanBucket wrappers) ---------------------
 
-void ScanBucketInto(const Graph& g, const PlanBucket& bucket,
+template <typename GView>
+void ScanBucketInto(const GView& g, const PlanBucket& bucket,
                     const ValidationOptions& vopts,
                     const std::vector<std::pair<VarId, NodeId>>& pinned,
                     std::vector<Violation>* out, uint64_t* checked) {
@@ -107,7 +111,8 @@ void ScanBucketInto(const Graph& g, const PlanBucket& bucket,
 // Bucket-level twin of ScanGedTouching: one restricted run per bucket
 // variable, canonical-run dedup via exclusion pruning, every member rule
 // checked per match.
-void ScanBucketTouching(const Graph& g, const PlanBucket& bucket,
+template <typename GView>
+void ScanBucketTouching(const GView& g, const PlanBucket& bucket,
                         const ValidationOptions& vopts, VarId x,
                         const std::vector<NodeId>& pins,
                         const std::vector<NodeId>& touched,
@@ -164,10 +169,14 @@ ValidationReport RunParallelScan(
 }
 
 // Candidate nodes for pinning variable `pin` of `q` in `g`.
+template <typename GView>
 std::vector<NodeId> PinCandidates(const Pattern& q, VarId pin,
-                                  const Graph& g) {
+                                  const GView& g) {
   Label l = q.label(pin);
-  if (l != kWildcard) return g.NodesWithLabel(l);
+  if (l != kWildcard) {
+    auto nodes = g.NodesWithLabel(l);
+    return std::vector<NodeId>(nodes.begin(), nodes.end());
+  }
   std::vector<NodeId> candidates(g.NumNodes());
   for (NodeId v = 0; v < g.NumNodes(); ++v) candidates[v] = v;
   return candidates;
@@ -175,7 +184,8 @@ std::vector<NodeId> PinCandidates(const Pattern& q, VarId pin,
 
 // ----- legacy Validate ------------------------------------------------------
 
-ValidationReport ValidateSerialLegacy(const Graph& g,
+template <typename GView>
+ValidationReport ValidateSerialLegacy(const GView& g,
                                       const std::vector<Ged>& sigma,
                                       const ValidationOptions& options) {
   ValidationReport report;
@@ -187,7 +197,8 @@ ValidationReport ValidateSerialLegacy(const Graph& g,
   return report;
 }
 
-ValidationReport ValidateParallelLegacy(const Graph& g,
+template <typename GView>
+ValidationReport ValidateParallelLegacy(const GView& g,
                                         const std::vector<Ged>& sigma,
                                         const ValidationOptions& options) {
   // Work items: (ged, chunk of candidate nodes for variable 0). Pinning
@@ -233,7 +244,8 @@ ValidationReport ValidateParallelLegacy(const Graph& g,
 
 // ----- compiled Validate ----------------------------------------------------
 
-ValidationReport ValidateSerialPlan(const Graph& g, const RulesetPlan& plan,
+template <typename GView>
+ValidationReport ValidateSerialPlan(const GView& g, const RulesetPlan& plan,
                                     const ValidationOptions& options) {
   ValidationReport report;
   for (const PlanBucket& bucket : plan.buckets) {
@@ -244,7 +256,8 @@ ValidationReport ValidateSerialPlan(const Graph& g, const RulesetPlan& plan,
   return report;
 }
 
-ValidationReport ValidateParallelPlan(const Graph& g, const RulesetPlan& plan,
+template <typename GView>
+ValidationReport ValidateParallelPlan(const GView& g, const RulesetPlan& plan,
                                       const ValidationOptions& options) {
   // Work items: (bucket, chunk of candidates for the bucket's most selective
   // variable). Pinning one variable partitions the bucket's match space
@@ -326,7 +339,37 @@ bool SeedEndpointRestrictions(const Graph& g, const Pattern& q,
 
 // ----- public API -----------------------------------------------------------
 
+namespace {
+
+// freeze_snapshot pays one O(|V| + |E| log d) compilation pass before any
+// matching happens. On large graphs the CSR scan repays it many times over;
+// on tiny ones (unit-test fixtures, the small scenario instances) the freeze
+// alone can exceed the whole enumeration. Freezing kicks in above this
+// |V| + |E| size — below it the snapshot could not plausibly amortize
+// within one call, and callers who freeze once and validate many times hold
+// a FrozenGraph themselves (that overload never re-freezes).
+constexpr size_t kFreezeSizeCutoff = 4096;
+
+bool ShouldFreeze(const Graph& g, const ValidationOptions& options) {
+  return options.freeze_snapshot && g.Size() >= kFreezeSizeCutoff;
+}
+
+}  // namespace
+
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options) {
+  if (ShouldFreeze(g, options)) {
+    // Freeze once; serial and parallel workers all scan the CSR arrays.
+    return Validate(FrozenGraph::Freeze(g), sigma, options);
+  }
+  if (options.use_compiled_plan) {
+    return ValidateWithPlan(g, RulesetPlan::Compile(sigma), options);
+  }
+  if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
+  return ValidateParallelLegacy(g, sigma, options);
+}
+
+ValidationReport Validate(const FrozenGraph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options) {
   if (options.use_compiled_plan) {
     return ValidateWithPlan(g, RulesetPlan::Compile(sigma), options);
@@ -336,6 +379,16 @@ ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
 }
 
 ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
+                                  const ValidationOptions& options) {
+  if (ShouldFreeze(g, options)) {
+    return ValidateWithPlan(FrozenGraph::Freeze(g), plan, options);
+  }
+  if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
+  return ValidateParallelPlan(g, plan, options);
+}
+
+ValidationReport ValidateWithPlan(const FrozenGraph& g,
+                                  const RulesetPlan& plan,
                                   const ValidationOptions& options) {
   if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
   return ValidateParallelPlan(g, plan, options);

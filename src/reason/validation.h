@@ -17,6 +17,13 @@
 // item "parallel scalable algorithms" is implemented as a thread pool
 // partitioning the candidate bindings of one pattern variable — the most
 // selective one, by the label-index statistics of graph/.
+//
+// Full validation is read-only, so by default (ValidationOptions::
+// freeze_snapshot) the graph is first compiled into an immutable FrozenGraph
+// CSR snapshot (graph/frozen.h) and all workers scan its contiguous arrays;
+// the incremental building blocks below keep reading the mutable Graph,
+// whose listener hooks and delta-sized scans IncrementalValidator depends
+// on. Every path produces the same sorted report against either backend.
 
 #ifndef GEDLIB_REASON_VALIDATION_H_
 #define GEDLIB_REASON_VALIDATION_H_
@@ -66,6 +73,18 @@ struct ValidationOptions {
   /// Evaluate Σ through the shared ruleset plan (default). false = legacy
   /// per-GED enumeration, kept for differential testing and ablation.
   bool use_compiled_plan = true;
+  /// Compile the graph into an immutable FrozenGraph CSR snapshot
+  /// (graph/frozen.h) before scanning, and fan the parallel workers out over
+  /// its contiguous arrays (default). The freeze costs one O(|V| + |E| log d)
+  /// pass, so it engages only above a size cutoff where the CSR scan can
+  /// amortize it within the call (tiny fixture graphs skip it); reports are
+  /// bit-identical either way. Applies to full Validate/ValidateWithPlan on
+  /// a mutable Graph only: the incremental building blocks below always scan
+  /// the mutable graph directly (a per-commit freeze would dwarf the
+  /// delta-sized work IncrementalValidator does), and the FrozenGraph
+  /// overloads are already frozen. false = match straight over the mutable
+  /// adjacency (ablation and freeze-cost studies).
+  bool freeze_snapshot = true;
 };
 
 /// Validation outcome.
@@ -80,14 +99,23 @@ struct ValidationReport {
   uint64_t matches_checked = 0;
 };
 
-/// Checks G ⊨ Σ, reporting violations.
+/// Checks G ⊨ Σ, reporting violations. With options.freeze_snapshot (the
+/// default) the graph is frozen once and scanned through the CSR snapshot.
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options = {});
+/// Checks a pre-frozen snapshot (the serving path: freeze once, validate
+/// many times — options.freeze_snapshot is moot here).
+ValidationReport Validate(const FrozenGraph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
 
 /// Validate() against a pre-compiled plan of the same Σ (amortizes
 /// compilation across repeated validations; incr/ holds one per validator).
 /// options.use_compiled_plan is ignored — the plan is always used.
 ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
+                                  const ValidationOptions& options = {});
+/// Pre-frozen + pre-compiled: the fully amortized serving configuration.
+ValidationReport ValidateWithPlan(const FrozenGraph& g,
+                                  const RulesetPlan& plan,
                                   const ValidationOptions& options = {});
 
 // ----- incremental building blocks (src/incr/ sits on these) ---------------

@@ -1,5 +1,9 @@
 // Unit tests for the homomorphism / isomorphism matcher, including the
 // paper's §3 argument that isomorphism is too strict for GKeys.
+//
+// Every case runs against both read backends — the mutable Graph and its
+// FrozenGraph CSR snapshot — through the parametrized fixture below: the
+// matcher must deliver identical results no matter which one serves reads.
 
 #include <gtest/gtest.h>
 
@@ -7,12 +11,53 @@
 #include <functional>
 #include <random>
 
+#include "graph/frozen.h"
 #include "graph/graph.h"
 #include "graph/pattern.h"
 #include "match/matcher.h"
 
 namespace ged {
 namespace {
+
+enum class Backend { kMutable, kFrozen };
+
+class MatcherTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  bool frozen() const { return GetParam() == Backend::kFrozen; }
+
+  uint64_t Count(const Pattern& q, const Graph& g,
+                 const MatchOptions& opts = {}) const {
+    return frozen() ? CountMatches(q, FrozenGraph::Freeze(g), opts)
+                    : CountMatches(q, g, opts);
+  }
+
+  std::vector<Match> All(const Pattern& q, const Graph& g,
+                         const MatchOptions& opts = {}) const {
+    return frozen() ? AllMatches(q, FrozenGraph::Freeze(g), opts)
+                    : AllMatches(q, g, opts);
+  }
+
+  MatchStats Enumerate(const Pattern& q, const Graph& g,
+                       const MatchOptions& opts,
+                       const MatchCallback& cb) const {
+    return frozen() ? EnumerateMatches(q, FrozenGraph::Freeze(g), opts, cb)
+                    : EnumerateMatches(q, g, opts, cb);
+  }
+
+  bool Valid(const Pattern& q, const Graph& g, const Match& h) const {
+    return frozen() ? IsValidMatch(q, FrozenGraph::Freeze(g), h)
+                    : IsValidMatch(q, g, h);
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Backends, MatcherTest,
+                         ::testing::Values(Backend::kMutable,
+                                           Backend::kFrozen),
+                         [](const auto& info) {
+                           return info.param == Backend::kMutable
+                                      ? "MutableGraph"
+                                      : "FrozenGraph";
+                         });
 
 Graph PathGraph(int n, const char* label, const char* edge) {
   Graph g;
@@ -21,62 +66,62 @@ Graph PathGraph(int n, const char* label, const char* edge) {
   return g;
 }
 
-TEST(Matcher, EmptyPatternHasOneEmptyMatch) {
+TEST_P(MatcherTest, EmptyPatternHasOneEmptyMatch) {
   Pattern q;
   Graph g = PathGraph(3, "n", "e");
-  EXPECT_EQ(CountMatches(q, g), 1u);
+  EXPECT_EQ(Count(q, g), 1u);
 }
 
-TEST(Matcher, SingleNodeByLabel) {
+TEST_P(MatcherTest, SingleNodeByLabel) {
   Pattern q;
   q.AddVar("x", "a");
   Graph g;
   g.AddNode("a");
   g.AddNode("b");
   g.AddNode("a");
-  EXPECT_EQ(CountMatches(q, g), 2u);
+  EXPECT_EQ(Count(q, g), 2u);
 }
 
-TEST(Matcher, WildcardMatchesAllLabels) {
+TEST_P(MatcherTest, WildcardMatchesAllLabels) {
   Pattern q;
   q.AddVar("x", kWildcard);
   Graph g;
   g.AddNode("a");
   g.AddNode("b");
-  EXPECT_EQ(CountMatches(q, g), 2u);
+  EXPECT_EQ(Count(q, g), 2u);
 }
 
-TEST(Matcher, ConcreteLabelDoesNotMatchWildcardNode) {
+TEST_P(MatcherTest, ConcreteLabelDoesNotMatchWildcardNode) {
   // ≼ is asymmetric: pattern label τ does not match a '_'-labeled node
   // (which appears in canonical graphs).
   Pattern q;
   q.AddVar("x", "tau");
   Graph g;
   g.AddNode(kWildcard);
-  EXPECT_EQ(CountMatches(q, g), 0u);
+  EXPECT_EQ(Count(q, g), 0u);
 }
 
-TEST(Matcher, EdgeLabelsRespected) {
+TEST_P(MatcherTest, EdgeLabelsRespected) {
   Pattern q;
   VarId x = q.AddVar("x", "n");
   VarId y = q.AddVar("y", "n");
   q.AddEdge(x, "e", y);
   Graph g = PathGraph(3, "n", "e");
   g.AddEdge(0, "f", 2);
-  EXPECT_EQ(CountMatches(q, g), 2u);  // (0,1), (1,2); not the f edge
+  EXPECT_EQ(Count(q, g), 2u);  // (0,1), (1,2); not the f edge
 }
 
-TEST(Matcher, WildcardEdgeLabel) {
+TEST_P(MatcherTest, WildcardEdgeLabel) {
   Pattern q;
   VarId x = q.AddVar("x", "n");
   VarId y = q.AddVar("y", "n");
   q.AddEdge(x, kWildcard, y);
   Graph g = PathGraph(2, "n", "e");
   g.AddEdge(0, "f", 1);
-  EXPECT_EQ(CountMatches(q, g), 1u);  // one (x,y) pair even with two edges
+  EXPECT_EQ(Count(q, g), 1u);  // one (x,y) pair even with two edges
 }
 
-TEST(Matcher, HomomorphismMayCollapseVariables) {
+TEST_P(MatcherTest, HomomorphismMayCollapseVariables) {
   // Two pattern nodes may map to one graph node under homomorphism.
   Pattern q;
   VarId x = q.AddVar("x", "n");
@@ -86,26 +131,26 @@ TEST(Matcher, HomomorphismMayCollapseVariables) {
   Graph g;
   NodeId v = g.AddNode("n");
   g.AddEdge(v, "e", v);  // self loop
-  EXPECT_EQ(CountMatches(q, g), 1u);
+  EXPECT_EQ(Count(q, g), 1u);
   MatchOptions iso;
   iso.semantics = MatchSemantics::kIsomorphism;
-  EXPECT_EQ(CountMatches(q, g, iso), 0u);
+  EXPECT_EQ(Count(q, g, iso), 0u);
 }
 
-TEST(Matcher, IsomorphismIsInjective) {
+TEST_P(MatcherTest, IsomorphismIsInjective) {
   Pattern q;
   q.AddVar("x", "n");
   q.AddVar("y", "n");
   Graph g;
   g.AddNode("n");
   g.AddNode("n");
-  EXPECT_EQ(CountMatches(q, g), 4u);  // hom: all pairs
+  EXPECT_EQ(Count(q, g), 4u);  // hom: all pairs
   MatchOptions iso;
   iso.semantics = MatchSemantics::kIsomorphism;
-  EXPECT_EQ(CountMatches(q, g, iso), 2u);  // injective pairs only
+  EXPECT_EQ(Count(q, g, iso), 2u);  // injective pairs only
 }
 
-TEST(Matcher, TriangleIntoTriangle) {
+TEST_P(MatcherTest, TriangleIntoTriangle) {
   Pattern q;
   VarId a = q.AddVar("a", "n"), b = q.AddVar("b", "n"), c = q.AddVar("c", "n");
   q.AddEdge(a, "e", b);
@@ -116,20 +161,20 @@ TEST(Matcher, TriangleIntoTriangle) {
   g.AddEdge(0, "e", 1);
   g.AddEdge(1, "e", 2);
   g.AddEdge(2, "e", 0);
-  EXPECT_EQ(CountMatches(q, g), 3u);  // the three rotations
+  EXPECT_EQ(Count(q, g), 3u);  // the three rotations
 }
 
-TEST(Matcher, SelfLoopInPattern) {
+TEST_P(MatcherTest, SelfLoopInPattern) {
   Pattern q;
   VarId x = q.AddVar("x", "n");
   q.AddEdge(x, "e", x);
   Graph g = PathGraph(3, "n", "e");
-  EXPECT_EQ(CountMatches(q, g), 0u);
+  EXPECT_EQ(Count(q, g), 0u);
   g.AddEdge(1, "e", 1);
-  EXPECT_EQ(CountMatches(q, g), 1u);
+  EXPECT_EQ(Count(q, g), 1u);
 }
 
-TEST(Matcher, DisconnectedPatternIsCrossProduct) {
+TEST_P(MatcherTest, DisconnectedPatternIsCrossProduct) {
   Pattern q;
   q.AddVar("x", "a");
   q.AddVar("y", "b");
@@ -137,19 +182,19 @@ TEST(Matcher, DisconnectedPatternIsCrossProduct) {
   g.AddNode("a");
   g.AddNode("a");
   g.AddNode("b");
-  EXPECT_EQ(CountMatches(q, g), 2u);
+  EXPECT_EQ(Count(q, g), 2u);
 }
 
-TEST(Matcher, MaxMatchesStopsEarly) {
+TEST_P(MatcherTest, MaxMatchesStopsEarly) {
   Pattern q;
   q.AddVar("x", "n");
   Graph g = PathGraph(10, "n", "e");
   MatchOptions opts;
   opts.max_matches = 3;
-  EXPECT_EQ(CountMatches(q, g, opts), 3u);
+  EXPECT_EQ(Count(q, g, opts), 3u);
 }
 
-TEST(Matcher, MaxStepsAborts) {
+TEST_P(MatcherTest, MaxStepsAborts) {
   Pattern q;
   q.AddVar("x", "n");
   q.AddVar("y", "n");
@@ -157,13 +202,11 @@ TEST(Matcher, MaxStepsAborts) {
   Graph g = PathGraph(50, "n", "e");
   MatchOptions opts;
   opts.max_steps = 5;
-  MatchStats stats = EnumerateMatches(q, g, opts, [](const Match&) {
-    return true;
-  });
+  MatchStats stats = Enumerate(q, g, opts, [](const Match&) { return true; });
   EXPECT_TRUE(stats.aborted);
 }
 
-TEST(Matcher, PinnedVariableRestrictsMatches) {
+TEST_P(MatcherTest, PinnedVariableRestrictsMatches) {
   Pattern q;
   VarId x = q.AddVar("x", "n");
   VarId y = q.AddVar("y", "n");
@@ -171,36 +214,36 @@ TEST(Matcher, PinnedVariableRestrictsMatches) {
   Graph g = PathGraph(4, "n", "e");
   MatchOptions opts;
   opts.pinned = {{x, 1}};
-  auto ms = AllMatches(q, g, opts);
+  auto ms = All(q, g, opts);
   ASSERT_EQ(ms.size(), 1u);
   EXPECT_EQ(ms[0][x], 1u);
   EXPECT_EQ(ms[0][y], 2u);
 }
 
-TEST(Matcher, PinsPartitionTheMatchSpace) {
+TEST_P(MatcherTest, PinsPartitionTheMatchSpace) {
   Pattern q;
   VarId x = q.AddVar("x", "n");
   VarId y = q.AddVar("y", "n");
   q.AddEdge(x, "e", y);
   Graph g = PathGraph(6, "n", "e");
-  uint64_t total = CountMatches(q, g);
+  uint64_t total = Count(q, g);
   uint64_t sum = 0;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     MatchOptions opts;
     opts.pinned = {{x, v}};
-    sum += CountMatches(q, g, opts);
+    sum += Count(q, g, opts);
   }
   EXPECT_EQ(sum, total);
 }
 
-TEST(Matcher, InvalidPinYieldsNothing) {
+TEST_P(MatcherTest, InvalidPinYieldsNothing) {
   Pattern q;
   VarId x = q.AddVar("x", "a");
   Graph g;
   g.AddNode("b");
   MatchOptions opts;
   opts.pinned = {{x, 0}};  // label mismatch
-  EXPECT_EQ(CountMatches(q, g, opts), 0u);
+  EXPECT_EQ(Count(q, g, opts), 0u);
 }
 
 // Brute-force reference enumerator for cross-checking.
@@ -230,7 +273,7 @@ uint64_t BruteForceCount(const Pattern& q, const Graph& g, bool injective) {
   return count;
 }
 
-TEST(Matcher, AgreesWithBruteForceOnRandomInputs) {
+TEST_P(MatcherTest, AgreesWithBruteForceOnRandomInputs) {
   for (unsigned seed = 1; seed <= 8; ++seed) {
     std::mt19937 rng(seed);
     Graph g;
@@ -253,16 +296,16 @@ TEST(Matcher, AgreesWithBruteForceOnRandomInputs) {
     for (int e = 0; e < 2; ++e) {
       q.AddEdge(var(rng), lab(rng) ? Sym("e") : kWildcard, var(rng));
     }
-    EXPECT_EQ(CountMatches(q, g), BruteForceCount(q, g, false))
+    EXPECT_EQ(Count(q, g), BruteForceCount(q, g, false))
         << "hom mismatch at seed " << seed;
     MatchOptions iso;
     iso.semantics = MatchSemantics::kIsomorphism;
-    EXPECT_EQ(CountMatches(q, g, iso), BruteForceCount(q, g, true))
+    EXPECT_EQ(Count(q, g, iso), BruteForceCount(q, g, true))
         << "iso mismatch at seed " << seed;
   }
 }
 
-TEST(Matcher, OptimizationTogglesPreserveResults) {
+TEST_P(MatcherTest, OptimizationTogglesPreserveResults) {
   Graph g = PathGraph(8, "n", "e");
   g.AddEdge(0, "e", 5);
   g.AddEdge(5, "e", 2);
@@ -272,18 +315,18 @@ TEST(Matcher, OptimizationTogglesPreserveResults) {
   VarId z = q.AddVar("z", "n");
   q.AddEdge(x, "e", y);
   q.AddEdge(y, "e", z);
-  uint64_t base = CountMatches(q, g);
+  uint64_t base = Count(q, g);
   for (bool degree : {false, true}) {
     for (bool smart : {false, true}) {
       MatchOptions opts;
       opts.degree_filter = degree;
       opts.smart_order = smart;
-      EXPECT_EQ(CountMatches(q, g, opts), base);
+      EXPECT_EQ(Count(q, g, opts), base);
     }
   }
 }
 
-TEST(Matcher, RestrictionLimitsCandidatesAndDeduplicates) {
+TEST_P(MatcherTest, RestrictionLimitsCandidatesAndDeduplicates) {
   Graph g;
   NodeId a = g.AddNode("n");
   NodeId b = g.AddNode("n");
@@ -292,17 +335,13 @@ TEST(Matcher, RestrictionLimitsCandidatesAndDeduplicates) {
   q.AddVar("x", "n");
   MatchOptions opts;
   opts.restricted = {{0, {b, a, a, b}}};  // unsorted, with duplicates
-  std::vector<Match> got;
-  EnumerateMatches(q, g, opts, [&](const Match& h) {
-    got.push_back(h);
-    return true;
-  });
+  std::vector<Match> got = All(q, g, opts);
   // Each allowed node yields exactly one match despite duplicate entries.
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, (std::vector<Match>{{a}, {b}}));
 }
 
-TEST(Matcher, IsValidMatchChecksEverything) {
+TEST_P(MatcherTest, IsValidMatchChecksEverything) {
   Pattern q;
   VarId x = q.AddVar("x", "a");
   VarId y = q.AddVar("y", "b");
@@ -311,10 +350,10 @@ TEST(Matcher, IsValidMatchChecksEverything) {
   NodeId a = g.AddNode("a");
   NodeId b = g.AddNode("b");
   g.AddEdge(a, "e", b);
-  EXPECT_TRUE(IsValidMatch(q, g, {a, b}));
-  EXPECT_FALSE(IsValidMatch(q, g, {b, a}));     // labels wrong
-  EXPECT_FALSE(IsValidMatch(q, g, {a}));        // arity wrong
-  EXPECT_FALSE(IsValidMatch(q, g, {a, 99}));    // out of range
+  EXPECT_TRUE(Valid(q, g, {a, b}));
+  EXPECT_FALSE(Valid(q, g, {b, a}));     // labels wrong
+  EXPECT_FALSE(Valid(q, g, {a}));        // arity wrong
+  EXPECT_FALSE(Valid(q, g, {a, 99}));    // out of range
 }
 
 }  // namespace
