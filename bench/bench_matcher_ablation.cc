@@ -4,6 +4,13 @@
 // on a dense random graph — each against both read backends (mutable Graph
 // adjacency vs FrozenGraph CSR snapshot; the snapshot is built outside the
 // timed loop, isolating the read-path difference).
+//
+// BM_DensePattern is the worst-case-optimal candidate-generation gate: the
+// clique patterns of the dense community scenario (gen/scenarios.h) against
+// the frozen backend, k-way leapfrog intersection vs the legacy
+// pick-smallest-list path (MatchOptions::use_intersection off). The
+// acceptance bar is intersection ≥ 1.5× legacy on the 4-clique; the CI
+// compare step tracks both series in BENCH_matcher.json.
 
 #include <benchmark/benchmark.h>
 
@@ -11,13 +18,14 @@
 #include "gen/scenarios.h"
 #include "graph/frozen.h"
 #include "match/matcher.h"
+#include "reason/validation.h"
 
 namespace {
 
 using namespace ged;
 
 void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart,
-                    bool frozen) {
+                    bool frozen, bool intersection = true) {
   SocialParams params;
   params.num_accounts = 200;
   params.num_blogs = 400;
@@ -28,6 +36,7 @@ void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart,
   MatchOptions opts;
   opts.degree_filter = degree;
   opts.smart_order = smart;
+  opts.use_intersection = intersection;
   uint64_t steps = 0;
   auto cb = [](const Match&) { return true; };
   for (auto _ : state) {
@@ -41,7 +50,8 @@ void BM_Ablation_Q5(benchmark::State& state, bool degree, bool smart,
 }
 
 void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
-                             bool smart, bool frozen) {
+                             bool smart, bool frozen,
+                             bool intersection = true) {
   RandomGraphParams gp;
   gp.num_nodes = 300;
   gp.avg_out_degree = 4;
@@ -60,6 +70,7 @@ void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
   MatchOptions opts;
   opts.degree_filter = degree;
   opts.smart_order = smart;
+  opts.use_intersection = intersection;
   uint64_t steps = 0;
   auto cb = [](const Match&) { return true; };
   for (auto _ : state) {
@@ -71,6 +82,51 @@ void BM_Ablation_RandomGraph(benchmark::State& state, bool degree,
   state.counters["search_steps"] = static_cast<double>(steps);
 }
 
+// Intersection-vs-legacy ablation on the dense community scenario's clique
+// patterns (frozen backend; the mutable Graph has nothing to intersect).
+// pattern_index: 0 = triangle, 1 = 4-clique.
+void BM_DensePattern(benchmark::State& state, size_t pattern_index,
+                     bool intersection) {
+  DenseParams params;
+  params.num_members = static_cast<size_t>(state.range(0));
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
+  Pattern q = DenseCliqueGeds()[pattern_index].pattern();
+  MatchOptions opts;
+  opts.use_intersection = intersection;
+  uint64_t matches = 0, steps = 0;
+  auto cb = [](const Match&) { return true; };
+  for (auto _ : state) {
+    MatchStats stats = EnumerateMatches(q, snapshot, opts, cb);
+    matches = stats.matches;
+    steps = stats.steps;
+    benchmark::DoNotOptimize(stats.matches);
+  }
+  state.counters["matches"] = static_cast<double>(matches);
+  state.counters["search_steps"] = static_cast<double>(steps);
+  state.counters["edges"] = static_cast<double>(inst.graph.NumEdges());
+}
+
+// The same toggle end to end through validation (freeze + compiled plan +
+// X→Y checks included): what use_intersection buys a full Validate call on
+// the dense workload.
+void BM_DenseValidation(benchmark::State& state, bool intersection) {
+  DenseParams params;
+  params.num_members = static_cast<size_t>(state.range(0));
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
+  std::vector<Ged> sigma = DenseCliqueGeds();
+  ValidationOptions opts;
+  opts.use_intersection = intersection;
+  size_t violations = 0;
+  for (auto _ : state) {
+    ValidationReport report = Validate(snapshot, sigma, opts);
+    violations = report.violations.size();
+    benchmark::DoNotOptimize(report.satisfied);
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_Ablation_Q5, baseline_none, false, false, false);
@@ -79,6 +135,8 @@ BENCHMARK_CAPTURE(BM_Ablation_Q5, order_only, false, true, false);
 BENCHMARK_CAPTURE(BM_Ablation_Q5, both, true, true, false);
 BENCHMARK_CAPTURE(BM_Ablation_Q5, baseline_none_frozen, false, false, true);
 BENCHMARK_CAPTURE(BM_Ablation_Q5, both_frozen, true, true, true);
+BENCHMARK_CAPTURE(BM_Ablation_Q5, both_frozen_legacy_cands, true, true, true,
+                  false);
 BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, baseline_none, false, false,
                   false);
 BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, degree_only, true, false, false);
@@ -87,3 +145,17 @@ BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both, true, true, false);
 BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, baseline_none_frozen, false,
                   false, true);
 BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both_frozen, true, true, true);
+BENCHMARK_CAPTURE(BM_Ablation_RandomGraph, both_frozen_legacy_cands, true,
+                  true, true, false);
+BENCHMARK_CAPTURE(BM_DensePattern, triangle_legacy, 0, false)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DensePattern, triangle_intersection, 0, true)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DensePattern, clique4_legacy, 1, false)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DensePattern, clique4_intersection, 1, true)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DenseValidation, legacy, false)
+    ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DenseValidation, intersection, true)
+    ->Arg(512)->Unit(benchmark::kMillisecond);

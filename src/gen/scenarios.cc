@@ -1,5 +1,6 @@
 #include "gen/scenarios.h"
 
+#include <algorithm>
 #include <random>
 
 namespace ged {
@@ -314,6 +315,80 @@ MusicInstance GenMusicBase(const MusicParams& p) {
     }
   }
   out.true_entities = clean_nodes;
+  return out;
+}
+
+// ----- (4) dense community graph --------------------------------------------
+
+DenseInstance GenDenseCommunity(const DenseParams& p) {
+  std::mt19937 rng(p.seed);
+  DenseInstance out;
+  Graph& g = out.graph;
+  const size_t n = p.num_members;
+  g.Reserve(n, n * (p.follows_per_member + p.cross_links));
+  for (size_t i = 0; i < n; ++i) {
+    NodeId v = g.AddNode("member");
+    g.SetAttr(v, "tier", Value(int64_t{1}));
+  }
+  // Seeded tier deviants, spread deterministically: the violation sources
+  // of the clique GEDs (and rare enough that enumeration, not violation
+  // bookkeeping, dominates validation).
+  if (n > 0) {
+    size_t stride = std::max<size_t>(1, n / std::max<size_t>(1, p.off_tier));
+    for (size_t i = 0, placed = 0; i < n && placed < p.off_tier;
+         i += stride, ++placed) {
+      g.SetAttr(static_cast<NodeId>(i), "tier", Value(int64_t{2}));
+    }
+  }
+  const size_t csize = std::max<size_t>(1, std::min(p.community_size, n));
+  std::uniform_int_distribution<size_t> any(0, n == 0 ? 0 : n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    size_t cbase = (i / csize) * csize;
+    size_t cend = std::min(cbase + csize, n);
+    std::uniform_int_distribution<size_t> intra(cbase, cend - 1);
+    for (size_t k = 0; k < p.follows_per_member; ++k) {
+      size_t t = intra(rng);
+      if (t == i) continue;
+      g.AddEdge(static_cast<NodeId>(i), "follows", static_cast<NodeId>(t));
+    }
+    for (size_t k = 0; k < p.cross_links; ++k) {
+      size_t t = any(rng);
+      if (t == i) continue;
+      g.AddEdge(static_cast<NodeId>(i), "follows", static_cast<NodeId>(t));
+    }
+  }
+  return out;
+}
+
+std::vector<Ged> DenseCliqueGeds() {
+  std::vector<Ged> out;
+  AttrId tier = Sym("tier");
+  {
+    Pattern q;  // directed follows-triangle x → y → z, x → z
+    VarId x = q.AddVar("x", "member");
+    VarId y = q.AddVar("y", "member");
+    VarId z = q.AddVar("z", "member");
+    q.AddEdge(x, "follows", y);
+    q.AddEdge(y, "follows", z);
+    q.AddEdge(x, "follows", z);
+    out.emplace_back("triangle_tier", std::move(q), std::vector<Literal>{},
+                     std::vector<Literal>{Literal::Var(x, tier, z, tier)});
+  }
+  {
+    Pattern q;  // directed 4-clique (all edges id-increasing)
+    VarId w = q.AddVar("w", "member");
+    VarId x = q.AddVar("x", "member");
+    VarId y = q.AddVar("y", "member");
+    VarId z = q.AddVar("z", "member");
+    q.AddEdge(w, "follows", x);
+    q.AddEdge(w, "follows", y);
+    q.AddEdge(w, "follows", z);
+    q.AddEdge(x, "follows", y);
+    q.AddEdge(x, "follows", z);
+    q.AddEdge(y, "follows", z);
+    out.emplace_back("clique4_tier", std::move(q), std::vector<Literal>{},
+                     std::vector<Literal>{Literal::Var(w, tier, z, tier)});
+  }
   return out;
 }
 

@@ -102,6 +102,40 @@ MusicInstance GenMusicBase(const MusicParams& params);
 /// Recursive keys ψ1, ψ2, ψ3 of Example 3 (GKeys over Q6/Q7).
 std::vector<Ged> MusicKeys();
 
+// ----- (4) dense community graph: multi-constraint patterns -----------------
+//
+// The worst-case-optimal candidate-generation workload (CARDS-style
+// dependency graphs, GGD benchmark shapes): a follows-graph with planted
+// community structure, dense enough that clique-shaped patterns put several
+// bound neighbors on one search variable at once. Pick-one-list-then-filter
+// scans a whole Θ(d) adjacency list per depth there; k-way intersection
+// touches only the (much smaller) common neighborhood.
+
+/// Knobs for the dense community generator.
+struct DenseParams {
+  size_t num_members = 512;       ///< nodes, label "member"
+  size_t community_size = 128;    ///< members per community block
+  size_t follows_per_member = 48; ///< intra-community follows out-degree
+  size_t cross_links = 4;         ///< extra cross-community follows
+  size_t off_tier = 8;            ///< members whose tier attr deviates
+  unsigned seed = 17;
+};
+
+/// Generated community graph. Every member carries a `tier` attribute
+/// (1 except for `off_tier` seeded deviants, the violation sources of the
+/// clique GEDs below).
+struct DenseInstance {
+  Graph graph;
+};
+
+/// Builds the dense community graph.
+DenseInstance GenDenseCommunity(const DenseParams& params);
+
+/// Tight-group consistency rules over clique patterns:
+/// [triangle_tier: x→y→z follows-triangle ⇒ x.tier = z.tier,
+///  clique4_tier: 4-clique ⇒ w.tier = z.tier].
+std::vector<Ged> DenseCliqueGeds();
+
 }  // namespace ged
 
 #endif  // GEDLIB_GEN_SCENARIOS_H_

@@ -12,6 +12,7 @@ namespace ged {
 // would compile fine and only kill performance).
 static_assert(GraphView<FrozenGraph>);
 static_assert(HasLabelRanges<FrozenGraph>);
+static_assert(HasNeighborSpans<FrozenGraph>);
 
 namespace {
 
@@ -55,10 +56,12 @@ void SortRanges(std::vector<uint64_t>* keys,
   }
 }
 
-// Gathers one adjacency direction into packed-key CSR form.
+// Gathers one adjacency direction into packed-key CSR form, plus the
+// columnar neighbor-id copy (nbrs[i] == edges[i].other) the intersection
+// kernel strides over.
 void GatherAdjacency(const Graph& g, bool out_dir,
                      std::vector<uint64_t>* offsets,
-                     std::vector<Edge>* edges) {
+                     std::vector<Edge>* edges, std::vector<NodeId>* nbrs) {
   const size_t n = g.NumNodes();
   offsets->resize(n + 1);
   (*offsets)[0] = 0;
@@ -75,8 +78,13 @@ void GatherAdjacency(const Graph& g, bool out_dir,
   }
   SortRanges(&keys, *offsets, n);
   edges->resize(keys.size());
+  nbrs->resize(keys.size());
   Edge* ep = edges->data();
-  for (uint64_t k : keys) *ep++ = UnpackEdge(k);
+  NodeId* np = nbrs->data();
+  for (uint64_t k : keys) {
+    *ep++ = UnpackEdge(k);
+    *np++ = static_cast<NodeId>(k);  // low half of the packed key
+  }
 }
 
 }  // namespace
@@ -87,8 +95,10 @@ FrozenGraph FrozenGraph::Freeze(const Graph& g) {
   f.labels_.reserve(n);
   for (NodeId v = 0; v < n; ++v) f.labels_.push_back(g.label(v));
 
-  GatherAdjacency(g, /*out_dir=*/true, &f.out_offsets_, &f.out_edges_);
-  GatherAdjacency(g, /*out_dir=*/false, &f.in_offsets_, &f.in_edges_);
+  GatherAdjacency(g, /*out_dir=*/true, &f.out_offsets_, &f.out_edges_,
+                  &f.out_nbrs_);
+  GatherAdjacency(g, /*out_dir=*/false, &f.in_offsets_, &f.in_edges_,
+                  &f.in_nbrs_);
 
   // Dense label index: grouped node lists in increasing label, then id,
   // order (Graph's per-label insertion order is already increasing id).

@@ -85,6 +85,21 @@ class FrozenGraph {
   std::span<const Edge> InEdgesLabeled(NodeId v, Label label) const {
     return label == kWildcard ? in(v) : LabelRange(in(v), label);
   }
+
+  /// Columnar twin of OutEdgesLabeled / InEdgesLabeled: the same sub-range
+  /// as a contiguous span of bare neighbor ids (out_nbrs_ / in_nbrs_ store
+  /// the `.other` column of the Edge arrays, element-parallel). For a
+  /// concrete label the span is sorted and duplicate-free — the input shape
+  /// the k-way leapfrog intersection kernel of match/leapfrog.h strides
+  /// over without the 8-byte Edge stride or a per-element field load. For
+  /// kWildcard, the full neighbor column (sorted by (label, other), so NOT
+  /// id-sorted across labels).
+  std::span<const NodeId> OutNeighborsLabeled(NodeId v, Label label) const {
+    return NeighborColumn(out(v), out_edges_, out_nbrs_, label);
+  }
+  std::span<const NodeId> InNeighborsLabeled(NodeId v, Label label) const {
+    return NeighborColumn(in(v), in_edges_, in_nbrs_, label);
+  }
   /// Label-incidence tests (degree filtering): a single binary search, not
   /// the two a full range extraction needs. A kWildcard query asks for any
   /// edge at all.
@@ -128,6 +143,17 @@ class FrozenGraph {
   // Any edge with this concrete label in a sorted adjacency span?
   static bool HasLabel(std::span<const Edge> edges, Label label);
 
+  // Maps a labeled Edge sub-range to the element-parallel slice of the
+  // neighbor-id column (same offsets, nbrs[i] == edges[i].other).
+  static std::span<const NodeId> NeighborColumn(std::span<const Edge> range,
+                                                const std::vector<Edge>& edges,
+                                                const std::vector<NodeId>& nbrs,
+                                                Label label) {
+    if (label != kWildcard) range = LabelRange(range, label);
+    size_t begin = range.data() - edges.data();
+    return {nbrs.data() + begin, range.size()};
+  }
+
   std::vector<Label> labels_;
 
   // CSR adjacency. Offsets have NumNodes()+1 entries (empty graph: the lone
@@ -136,6 +162,12 @@ class FrozenGraph {
   std::vector<uint64_t> in_offsets_;
   std::vector<Edge> out_edges_;
   std::vector<Edge> in_edges_;
+  // Columnar neighbor ids, element-parallel to out_edges_ / in_edges_:
+  // out_nbrs_[i] == out_edges_[i].other. The intersection kernel reads these
+  // so its gallops touch a dense NodeId sequence instead of striding over
+  // Edge pairs.
+  std::vector<NodeId> out_nbrs_;
+  std::vector<NodeId> in_nbrs_;
 
   // Dense label index: node ids grouped by label. label_keys_ is sorted for
   // binary search; label_offsets_ has label_keys_.size()+1 entries.

@@ -27,6 +27,7 @@
 #include <concepts>
 #include <optional>
 #include <ranges>
+#include <span>
 
 #include "graph/graph.h"
 
@@ -69,6 +70,24 @@ concept HasLabelRanges = requires(const G& g, NodeId v, Label l) {
   { g.HasOutLabel(v, l) } -> std::convertible_to<bool>;
   { g.HasInLabel(v, l) } -> std::convertible_to<bool>;
 };
+
+/// True when the backend additionally serves label-contiguous adjacency as
+/// *columnar* neighbor-id spans: OutNeighborsLabeled(v, l) /
+/// InNeighborsLabeled(v, l) return the `.other` column of the corresponding
+/// OutEdgesLabeled / InEdgesLabeled sub-range as one contiguous NodeId span
+/// (sorted and duplicate-free for concrete l). This is the input shape of
+/// the worst-case-optimal candidate generator: the matcher's k-way leapfrog
+/// intersection (match/leapfrog.h) gallops over several of these spans at
+/// once, so they must be dense NodeId sequences, not Edge strides.
+/// FrozenGraph qualifies; the mutable Graph does not.
+template <typename G>
+concept HasNeighborSpans =
+    HasLabelRanges<G> && requires(const G& g, NodeId v, Label l) {
+      { g.OutNeighborsLabeled(v, l) }
+          -> std::convertible_to<std::span<const NodeId>>;
+      { g.InNeighborsLabeled(v, l) }
+          -> std::convertible_to<std::span<const NodeId>>;
+    };
 
 static_assert(GraphView<Graph>);
 

@@ -1,0 +1,117 @@
+// K-way sorted-set intersection — the leapfrog join kernel of the
+// worst-case-optimal candidate generator.
+//
+// Pattern matching spends its hot loop deciding, for one search variable at
+// a time, which graph nodes remain candidates given every constraint that
+// already binds the variable: each bound pattern neighbor contributes one
+// sorted CSR label range (graph/frozen.h), each caller restriction one
+// sorted allow-list, and the label index one sorted node list. Pick-one-
+// list-then-filter scans the smallest of those lists and rejects per
+// candidate by binary-search edge probes — O(min |L_i| · k log d) even when
+// the intersection is empty. Leapfrogging all k lists at once (Veldhuizen's
+// LeapFrog TrieJoin step, the GGD/EmptyHeaded candidate generator) costs
+// O(k · min |L_i| · log(max |L_i| / min |L_i|)) and — crucially — is
+// output-sensitive on adversarial inputs: disjoint lists terminate after
+// one round of gallops, never touching the bulk of any list.
+//
+// The kernel operates on bare NodeId spans (FrozenGraph's columnar
+// neighbor-id arrays), emits in strictly increasing order, and never
+// materializes its output: Emit is invoked per surviving candidate so the
+// matcher's Extend() recursion consumes candidates as they are found
+// (an early-terminating enumeration stops the intersection mid-flight).
+//
+// Inputs must be sorted and duplicate-free — exactly the invariant
+// FrozenGraph guarantees for concrete-label ranges and the matcher
+// guarantees for restriction lists.
+
+#ifndef GEDLIB_MATCH_LEAPFROG_H_
+#define GEDLIB_MATCH_LEAPFROG_H_
+
+#include <cstddef>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace ged {
+
+/// First position in [first, last) with *pos >= target, by galloping
+/// (exponential) search from `first`. Equivalent to std::lower_bound but
+/// O(log distance-to-answer) instead of O(log range-size) — the right shape
+/// for leapfrog, whose next answer is usually near the current cursor.
+inline const NodeId* GallopLowerBound(const NodeId* first, const NodeId* last,
+                                      NodeId target) {
+  if (first == last || *first >= target) return first;
+  // Invariant: *(first + lo) < target; probe first + hi.
+  size_t n = static_cast<size_t>(last - first);
+  size_t lo = 0, hi = 1;
+  while (hi < n && first[hi] < target) {
+    lo = hi;
+    hi <<= 1;
+  }
+  if (hi > n) hi = n;
+  // Binary search in (lo, hi].
+  ++lo;
+  while (lo < hi) {
+    size_t mid = lo + ((hi - lo) >> 1);
+    if (first[mid] < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return first + lo;
+}
+
+/// Leapfrog-intersects k sorted duplicate-free spans, invoking emit(v) for
+/// every NodeId present in all of them, in increasing order. emit returns
+/// false to stop early; LeapfrogIntersect then returns false (true = ran to
+/// exhaustion). k = 0 is the empty intersection (no constraint would mean
+/// "all nodes", which the caller must handle — an unconstrained variable
+/// never reaches the kernel); k = 1 degenerates to a scan of the one span.
+///
+/// `lists` is reordered in place (the classic leapfrog cursor rotation).
+template <typename Emit>
+bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit) {
+  const size_t k = lists.size();
+  if (k == 0) return true;
+  if (k == 1) {
+    for (NodeId v : lists[0]) {
+      if (!emit(v)) return false;
+    }
+    return true;
+  }
+  for (const auto& l : lists) {
+    if (l.empty()) return true;
+  }
+  // Cursor per list; `at` rotates through the lists. A candidate value is
+  // confirmed once k consecutive cursors agree on it.
+  NodeId target = lists[0].front();
+  size_t agreed = 0;
+  size_t at = 0;
+  while (true) {
+    std::span<const NodeId>& cur = lists[at];
+    const NodeId* pos = GallopLowerBound(cur.data(), cur.data() + cur.size(),
+                                         target);
+    if (pos == cur.data() + cur.size()) return true;  // one list exhausted
+    if (*pos == target) {
+      if (++agreed == k) {
+        if (!emit(target)) return false;
+        // Advance past the emitted value; the next value of this list (if
+        // any) seeds the next round.
+        ++pos;
+        if (pos == cur.data() + cur.size()) return true;
+        target = *pos;
+        agreed = 1;
+      }
+    } else {
+      target = *pos;  // overshoot: everyone must now catch up to this
+      agreed = 1;
+    }
+    cur = {pos, static_cast<size_t>(cur.data() + cur.size() - pos)};
+    at = (at + 1) % k;
+  }
+}
+
+}  // namespace ged
+
+#endif  // GEDLIB_MATCH_LEAPFROG_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <memory>
-#include <unordered_map>
+#include <span>
+#include <utility>
 
 #include "graph/view.h"
+#include "match/leapfrog.h"
 
 namespace ged {
 
@@ -38,6 +40,9 @@ struct SearchScratch {
   std::vector<std::vector<const std::vector<NodeId>*>> restrictions;
   std::vector<std::vector<NodeId>> restriction_storage;
   std::vector<std::vector<NodeId>> cand_bufs;  // per-depth candidate lists
+  // Per-depth span sets for the leapfrog kernel (per-depth because the
+  // kernel rotates its cursors in place while Extend() recurses beneath it).
+  std::vector<std::vector<std::span<const NodeId>>> list_bufs;
   bool in_use = false;
 };
 
@@ -50,10 +55,19 @@ SearchScratch& TlsScratch() {
 // Graph and the FrozenGraph CSR snapshot share all control flow; where the
 // backend provides label-contiguous sorted adjacency (HasLabelRanges), the
 // candidate generator and the degree filter upgrade from filter-and-collect
-// scans to range extraction and binary search.
+// scans to range extraction and binary search. Where it additionally
+// provides columnar neighbor-id spans (HasNeighborSpans) and
+// options.use_intersection is set, candidate generation upgrades once more
+// to the worst-case-optimal k-way leapfrog intersection of *every* sorted
+// list constraining the variable, with per-depth variable selection driven
+// by the intersected-range cardinalities.
 template <GraphView GView>
 class Search {
  public:
+  // Columnar sorted neighbor spans are what the leapfrog kernel strides
+  // over; without them (mutable Graph) the intersection path cannot engage.
+  static constexpr bool kIntersectable = HasNeighborSpans<GView>;
+
   Search(const Pattern& q, const GView& g, const MatchOptions& opts,
          const MatchCallback& cb)
       : q_(q),
@@ -67,7 +81,8 @@ class Search {
         used_(scratch_->used),
         restrictions_(scratch_->restrictions),
         restriction_storage_(scratch_->restriction_storage),
-        cand_bufs_(scratch_->cand_bufs) {}
+        cand_bufs_(scratch_->cand_bufs),
+        list_bufs_(scratch_->list_bufs) {}
 
   ~Search() {
     if (!owns_tls_) return;
@@ -132,6 +147,9 @@ class Search {
     }
     BuildOrder();
     if (cand_bufs_.size() < order_.size()) cand_bufs_.resize(order_.size());
+    if constexpr (kIntersectable) {
+      if (list_bufs_.size() < order_.size()) list_bufs_.resize(order_.size());
+    }
     Extend(0);
     return stats_;
   }
@@ -230,53 +248,29 @@ class Search {
     }
   }
 
-  bool NodeOk(VarId x, NodeId v) const {
+  // The per-candidate checks no list source ever proves: node label,
+  // isomorphism injectivity, exclusion pruning, the forward-looking degree
+  // filter. Shared prefix of NodeOk (legacy path) and ResidualOk
+  // (intersection path) — a condition added here prunes both identically.
+  bool BasicOk(VarId x, NodeId v) const {
     if (!LabelMatches(q_.label(x), g_.label(v))) return false;
     if (opts_.semantics == MatchSemantics::kIsomorphism && used_[v]) {
       return false;
-    }
-    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
-      if (!std::binary_search(allowed->begin(), allowed->end(), v)) {
-        return false;
-      }
     }
     if (x < opts_.exclude_before_var && opts_.exclude_nodes != nullptr &&
         std::binary_search(opts_.exclude_nodes->begin(),
                            opts_.exclude_nodes->end(), v)) {
       return false;
     }
-    if (opts_.degree_filter) {
-      const VarInfo& vi = info_[x];
-      if (vi.has_wild_out && g_.OutDegree(v) == 0) return false;
-      if (vi.has_wild_in && g_.InDegree(v) == 0) return false;
-      if constexpr (HasLabelRanges<GView>) {
-        for (Label l : vi.out_labels) {
-          if (!g_.HasOutLabel(v, l)) return false;
-        }
-        for (Label l : vi.in_labels) {
-          if (!g_.HasInLabel(v, l)) return false;
-        }
-      } else {
-        for (Label l : vi.out_labels) {
-          bool found = false;
-          for (const Edge& e : g_.out(v)) {
-            if (e.label == l) {
-              found = true;
-              break;
-            }
-          }
-          if (!found) return false;
-        }
-        for (Label l : vi.in_labels) {
-          bool found = false;
-          for (const Edge& e : g_.in(v)) {
-            if (e.label == l) {
-              found = true;
-              break;
-            }
-          }
-          if (!found) return false;
-        }
+    if (opts_.degree_filter && !DegreeOk(x, v)) return false;
+    return true;
+  }
+
+  bool NodeOk(VarId x, NodeId v) const {
+    if (!BasicOk(x, v)) return false;
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      if (!std::binary_search(allowed->begin(), allowed->end(), v)) {
+        return false;
       }
     }
     // Check all pattern edges between x and already-bound variables.
@@ -299,16 +293,139 @@ class Search {
     return g_.HasEdge(src, l, dst);  // HasEdge handles wildcard l
   }
 
-  // Candidate list for variable x at the current depth: prefer adjacency of
-  // a bound neighbor, else label index. On a HasLabelRanges backend the
-  // bound-neighbor list is extracted label-contiguously — for a concrete
-  // edge label the range arrives sorted, duplicate-free and pre-filtered,
-  // so the per-depth sort/unique pass disappears and the size comparison
-  // below ranks neighbors by their *label-filtered* fan-out (a strictly
-  // sharper selectivity estimate than whole-list degree).
-  void Candidates(VarId x, std::vector<NodeId>* out) const {
-    out->clear();
+  // Per-label degree filter: can v's adjacency cover every concrete label
+  // among x's pattern edges (and any edge at all, where x has wildcard
+  // ones)? Binary searches on HasLabelRanges backends, scans otherwise.
+  bool DegreeOk(VarId x, NodeId v) const {
     const VarInfo& vi = info_[x];
+    if (vi.has_wild_out && g_.OutDegree(v) == 0) return false;
+    if (vi.has_wild_in && g_.InDegree(v) == 0) return false;
+    if constexpr (HasLabelRanges<GView>) {
+      for (Label l : vi.out_labels) {
+        if (!g_.HasOutLabel(v, l)) return false;
+      }
+      for (Label l : vi.in_labels) {
+        if (!g_.HasInLabel(v, l)) return false;
+      }
+    } else {
+      for (Label l : vi.out_labels) {
+        bool found = false;
+        for (const Edge& e : g_.out(v)) {
+          if (e.label == l) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      for (Label l : vi.in_labels) {
+        bool found = false;
+        for (const Edge& e : g_.in(v)) {
+          if (e.label == l) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+    }
+    return true;
+  }
+
+  // NodeOk minus everything the leapfrog intersection already proved for
+  // its emitted candidates: membership in every restriction list and an
+  // edge to every bound pattern neighbor reached through a concrete-label
+  // edge. The residual is BasicOk plus the edge checks the kernel cannot
+  // cover — wildcard-label edges to bound neighbors and self-loops (a
+  // candidate cannot be intersected against its own, not-yet-known
+  // adjacency).
+  bool ResidualOk(VarId x, NodeId v) const {
+    if (!BasicOk(x, v)) return false;
+    const VarInfo& vi = info_[x];
+    for (const auto& [l, y] : vi.out) {
+      NodeId hv = assignment_[y];
+      if (y != x) {
+        // Unbound neighbors are checked when they bind; concrete-label
+        // bound neighbors were intersected.
+        if (hv == kUnbound || l != kWildcard) continue;
+      }
+      NodeId dst = (y == x) ? v : hv;
+      if (!HasMatchingEdge(v, l, dst)) return false;
+    }
+    for (const auto& [l, y] : vi.in) {
+      if (y == x) continue;  // self-loop handled above
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound || l != kWildcard) continue;
+      if (!HasMatchingEdge(hv, l, v)) return false;
+    }
+    return true;
+  }
+
+  // Candidate generation + recursion for variable x at `depth`, k-way
+  // intersection flavor: gather *every* sorted list that constrains x —
+  // one columnar CSR label range per bound pattern neighbor, every
+  // restriction list, and the label index when it is the sharper
+  // constraint — and leapfrog them all at once. Candidates stream from the
+  // kernel straight into the recursion (no per-depth materialization);
+  // a stopped enumeration aborts the intersection mid-flight. Falls back
+  // to the legacy single-list path when nothing is intersectable (only
+  // wildcard-label bound edges, or no bound neighbor at all).
+  template <typename TryNode>
+  bool ExtendIntersect(VarId x, size_t depth, const TryNode& try_node) {
+    const VarInfo& vi = info_[x];
+    auto& lists = list_bufs_[depth];
+    lists.clear();
+    size_t min_size = SIZE_MAX;
+    auto add = [&](std::span<const NodeId> s) {
+      lists.push_back(s);
+      min_size = std::min(min_size, s.size());
+    };
+    for (const auto& [l, y] : vi.in) {  // pattern edges y -> x
+      if (l == kWildcard || y == x) continue;
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound) continue;
+      add(g_.OutNeighborsLabeled(hv, l));
+    }
+    for (const auto& [l, y] : vi.out) {  // pattern edges x -> y
+      if (l == kWildcard || y == x) continue;
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound) continue;
+      add(g_.InNeighborsLabeled(hv, l));
+    }
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      add({allowed->data(), allowed->size()});
+    }
+    if (lists.empty()) return ExtendLegacy(x, depth, try_node);
+    Label xl = q_.label(x);
+    if (xl != kWildcard) {
+      // The label index is sorted and duplicate-free too; intersecting it
+      // pays when it is smaller than some gathered list (otherwise the
+      // one-compare label check in ResidualOk covers it for free).
+      std::span<const NodeId> nodes = g_.NodesWithLabel(xl);
+      if (nodes.size() < min_size) add(nodes);
+    }
+    return LeapfrogIntersect(
+        std::span<std::span<const NodeId>>(lists.data(), lists.size()),
+        [&](NodeId v) {
+          if (!ResidualOk(x, v)) return true;
+          return try_node(v);
+        });
+  }
+
+  // Candidate generation + recursion, legacy flavor: scan the single
+  // smallest list (bound-neighbor adjacency, restriction, or label index)
+  // and reject per candidate in NodeOk. Sorted sources stream lazily into
+  // the recursion; only unsorted ones (mutable adjacency vectors, wildcard
+  // label ranges) are materialized for the sort/unique pass. An
+  // unconstrained wildcard variable iterates the id range directly instead
+  // of materializing all NumNodes() ids per depth.
+  template <typename TryNode>
+  bool ExtendLegacy(VarId x, size_t depth, const TryNode& try_node) {
+    const VarInfo& vi = info_[x];
+    auto deliver = [&](NodeId v) {
+      if (!NodeOk(x, v)) return true;
+      return try_node(v);
+    };
     // Find the bound neighbor whose adjacency list is smallest. Only the
     // list representation is backend-specific: a label-contiguous span on
     // HasLabelRanges backends (pre-filtered, so `best_size` ranks by
@@ -367,37 +484,153 @@ class Search {
       }
     }
     if (best_restriction != nullptr) {
-      *out = *best_restriction;
-      return;
+      for (NodeId v : *best_restriction) {
+        if (!deliver(v)) return false;
+      }
+      return true;
     }
     if (have_list) {
       if constexpr (HasLabelRanges<GView>) {
-        out->reserve(best_span.size());
-        for (const Edge& e : best_span) out->push_back(e.other);
-        if (best_label == kWildcard) {
-          // The full range spans several labels; neighbor ids can repeat.
-          // A concrete-label range is already sorted and duplicate-free.
-          std::sort(out->begin(), out->end());
-          out->erase(std::unique(out->begin(), out->end()), out->end());
+        if (best_label != kWildcard) {
+          // Sorted and duplicate-free: stream straight into the search.
+          for (const Edge& e : best_span) {
+            if (!deliver(e.other)) return false;
+          }
+          return true;
         }
+        // The full range spans several labels; neighbor ids can repeat,
+        // so materialize for the dedup pass.
+        std::vector<NodeId>& cands = cand_bufs_[depth];
+        cands.clear();
+        cands.reserve(best_span.size());
+        for (const Edge& e : best_span) cands.push_back(e.other);
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        for (NodeId v : cands) {
+          if (!deliver(v)) return false;
+        }
+        return true;
       } else {
+        std::vector<NodeId>& cands = cand_bufs_[depth];
+        cands.clear();
         for (const Edge& e : *best_vec) {
           if (!LabelMatches(best_label, e.label)) continue;
-          out->push_back(e.other);
+          cands.push_back(e.other);
         }
-        std::sort(out->begin(), out->end());
-        out->erase(std::unique(out->begin(), out->end()), out->end());
+        std::sort(cands.begin(), cands.end());
+        cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+        for (NodeId v : cands) {
+          if (!deliver(v)) return false;
+        }
+        return true;
       }
-      return;
     }
     Label l = q_.label(x);
     if (l == kWildcard) {
-      out->reserve(g_.NumNodes());
-      for (NodeId v = 0; v < g_.NumNodes(); ++v) out->push_back(v);
-    } else {
-      auto nodes = g_.NodesWithLabel(l);
-      out->assign(std::ranges::begin(nodes), std::ranges::end(nodes));
+      // No list constrains x at all: iterate the id range lazily rather
+      // than materializing every node id into a fresh vector per depth.
+      for (NodeId v = 0; v < g_.NumNodes(); ++v) {
+        if (!deliver(v)) return false;
+      }
+      return true;
     }
+    for (NodeId v : g_.NodesWithLabel(l)) {
+      if (!deliver(v)) return false;
+    }
+    return true;
+  }
+
+  // Upper bound on x's candidate count under the *current* bindings: the
+  // smallest input the intersection (or legacy scan) would be handed right
+  // now — bound-neighbor label ranges, restriction lists, label index.
+  // Strictly sharper than the whole-list Estimate() BuildOrder ranks with,
+  // because bound neighbors are known. Sets *connected when any pattern
+  // neighbor is bound.
+  size_t BoundEstimate(VarId x, bool* connected) const {
+    size_t est = g_.CandidateCount(q_.label(x));
+    for (const std::vector<NodeId>* allowed : restrictions_[x]) {
+      est = std::min(est, allowed->size());
+    }
+    const VarInfo& vi = info_[x];
+    for (const auto& [l, y] : vi.in) {
+      if (y == x) continue;
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound) continue;
+      *connected = true;
+      est = std::min(est, std::ranges::size(g_.OutEdgesLabeled(hv, l)));
+    }
+    for (const auto& [l, y] : vi.out) {
+      if (y == x) continue;
+      NodeId hv = assignment_[y];
+      if (hv == kUnbound) continue;
+      *connected = true;
+      est = std::min(est, std::ranges::size(g_.InEdgesLabeled(hv, l)));
+    }
+    return est;
+  }
+
+  // Number of sorted lists the kernel would be handed for x right now
+  // (restrictions plus bound concrete-label pattern neighbors) — integer
+  // lookups only, no range extraction. ≥ 2 is the k-way regime where the
+  // intersected-range cardinality genuinely knows more than the whole-list
+  // statistics the static order ranked with.
+  size_t CountBoundLists(VarId x) const {
+    size_t lists = restrictions_[x].size();
+    const VarInfo& vi = info_[x];
+    for (const auto& [l, y] : vi.in) {
+      if (l == kWildcard || y == x) continue;
+      if (assignment_[y] != kUnbound) ++lists;
+    }
+    for (const auto& [l, y] : vi.out) {
+      if (l == kWildcard || y == x) continue;
+      if (assignment_[y] != kUnbound) ++lists;
+    }
+    return lists;
+  }
+
+  // The position in order_[depth..] to expand at `depth`, refined per depth
+  // on the intersection path: the static BuildOrder() ranking re-evaluated
+  // with the intersected-range upper bound, which knows the actual
+  // bound-neighbor ranges (connectivity to the bound prefix first, then
+  // the sharper cardinality bound, then pattern degree; full ties keep the
+  // static position). The refinement only engages when some remaining
+  // variable is in the k-way regime (CountBoundLists ≥ 2) — anywhere else
+  // the static order already ranked with the same information, and the
+  // range extractions the estimates cost would be pure overhead (sparse
+  // chain patterns stay on the static order for free). The caller swaps
+  // the winner into `depth` for the duration of its subtree and swaps it
+  // back on unwind — the refinement depends on the current bindings, so it
+  // must not leak into sibling subtrees. Any choice enumerates the same
+  // match set; this only steers search effort.
+  size_t PickVarPosition(size_t depth) {
+    bool any_multi = false;
+    for (size_t i = depth; i < order_.size() && !any_multi; ++i) {
+      any_multi = CountBoundLists(order_[i]) >= 2;
+    }
+    if (!any_multi) return depth;
+    size_t best_i = depth;
+    bool best_conn = false;
+    size_t best_est = SIZE_MAX;
+    size_t best_deg = 0;
+    for (size_t i = depth; i < order_.size(); ++i) {
+      bool conn = false;
+      size_t est = BoundEstimate(order_[i], &conn);
+      const VarInfo& vi = info_[order_[i]];
+      size_t deg = vi.out.size() + vi.in.size();
+      bool better = conn != best_conn ? conn
+                    : est != best_est ? est < best_est
+                                      : deg > best_deg;
+      if (i == depth || better) {
+        best_i = i;
+        best_conn = conn;
+        best_est = est;
+        best_deg = deg;
+      }
+      // A bound-adjacent variable with an empty range refutes this whole
+      // subtree; expanding it next fails fastest.
+      if (best_conn && best_est == 0) break;
+    }
+    return best_i;
   }
 
   bool Extend(size_t depth) {
@@ -414,19 +647,35 @@ class Search {
       }
       return keep_going;
     }
+    size_t pick = depth;
+    if constexpr (kIntersectable) {
+      if (opts_.use_intersection && opts_.smart_order &&
+          depth + 1 < order_.size()) {
+        pick = PickVarPosition(depth);
+        std::swap(order_[depth], order_[pick]);
+      }
+    }
     VarId x = order_[depth];
-    std::vector<NodeId>& cands = cand_bufs_[depth];
-    Candidates(x, &cands);
-    for (NodeId v : cands) {
-      if (!NodeOk(x, v)) continue;
+    auto try_node = [&](NodeId v) {
       assignment_[x] = v;
       if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = true;
       bool keep_going = Extend(depth + 1);
       assignment_[x] = kUnbound;
       if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = false;
-      if (!keep_going) return false;
+      return keep_going;
+    };
+    bool keep_going;
+    if constexpr (kIntersectable) {
+      keep_going = opts_.use_intersection
+                       ? ExtendIntersect(x, depth, try_node)
+                       : ExtendLegacy(x, depth, try_node);
+    } else {
+      keep_going = ExtendLegacy(x, depth, try_node);
     }
-    return true;
+    // Restore the static tail so sibling subtrees rank against the same
+    // baseline order (the refinement above is binding-specific).
+    if (pick != depth) std::swap(order_[depth], order_[pick]);
+    return keep_going;
   }
 
   static SearchScratch* Acquire(std::unique_ptr<SearchScratch>* fallback,
@@ -458,6 +707,7 @@ class Search {
   std::vector<std::vector<const std::vector<NodeId>*>>& restrictions_;
   std::vector<std::vector<NodeId>>& restriction_storage_;
   std::vector<std::vector<NodeId>>& cand_bufs_;
+  std::vector<std::vector<std::span<const NodeId>>>& list_bufs_;
   MatchStats stats_;
 };
 
@@ -560,6 +810,32 @@ std::vector<Match> AllMatchesImpl(const Pattern& q, const GView& g,
   return out;
 }
 
+// The search-root ranking of BuildOrder(), exported so pin selection in
+// plan/ and reason/ partitions work on the variable the search itself
+// would root at: smallest label-index candidate count, ties to the highest
+// pattern degree, then the lowest id.
+template <GraphView GView>
+VarId MostSelectiveVariableImpl(const Pattern& q, const GView& g) {
+  std::vector<size_t> degree(q.NumVars(), 0);
+  for (const Pattern::PEdge& e : q.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  VarId best = 0;
+  size_t best_count = SIZE_MAX;
+  size_t best_degree = 0;
+  for (VarId x = 0; x < q.NumVars(); ++x) {
+    size_t count = g.CandidateCount(q.label(x));
+    if (count < best_count ||
+        (count == best_count && degree[x] > best_degree)) {
+      best = x;
+      best_count = count;
+      best_degree = degree[x];
+    }
+  }
+  return best;
+}
+
 template <GraphView GView>
 bool IsValidMatchImpl(const Pattern& q, const GView& g, const Match& h) {
   if (h.size() != q.NumVars()) return false;
@@ -638,6 +914,14 @@ bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h) {
 
 bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h) {
   return IsValidMatchImpl(q, g, h);
+}
+
+VarId MostSelectiveVariable(const Pattern& q, const Graph& g) {
+  return MostSelectiveVariableImpl(q, g);
+}
+
+VarId MostSelectiveVariable(const Pattern& q, const FrozenGraph& g) {
+  return MostSelectiveVariableImpl(q, g);
 }
 
 }  // namespace ged

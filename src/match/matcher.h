@@ -9,7 +9,13 @@
 // The matcher is a backtracking search with
 //   * label-index candidate generation,
 //   * neighbor-driven candidate propagation (bound-adjacency first),
-//   * connectivity-first, most-constrained-first variable ordering,
+//   * worst-case-optimal k-way candidate intersection: on columnar CSR
+//     backends every sorted list constraining a variable (all bound
+//     pattern-neighbor label ranges, restriction lists, the label index)
+//     is leapfrog-intersected at once (match/leapfrog.h) instead of
+//     scanning one list and rejecting per candidate,
+//   * connectivity-first, most-constrained-first variable ordering, refined
+//     per depth by intersected-range cardinality on the intersection path,
 //   * per-label degree filtering,
 // each of which can be toggled off for the ablation benchmark.
 //
@@ -54,6 +60,16 @@ struct MatchOptions {
   /// Order variables connectivity-first / most-constrained-first instead of
   /// x̄ order.
   bool smart_order = true;
+  /// Generate candidates by k-way leapfrog intersection over all sorted
+  /// lists constraining a variable (bound pattern-neighbor CSR label
+  /// ranges, restriction lists, the label index) instead of scanning the
+  /// single smallest list and rejecting per candidate with binary-search
+  /// edge probes. Worst-case-optimal on dense multi-constraint patterns;
+  /// identical match sets either way. Only engages on backends with
+  /// columnar sorted neighbor spans (HasNeighborSpans — the FrozenGraph
+  /// CSR snapshot); the mutable Graph always takes the legacy path, whose
+  /// unsorted adjacency has nothing to intersect.
+  bool use_intersection = true;
   /// Stop after this many matches (0 = unlimited).
   uint64_t max_matches = 0;
   /// Abort after this many search-tree nodes (0 = unlimited).
@@ -142,6 +158,16 @@ std::vector<Match> AllMatches(const Pattern& q, const FrozenGraph& g,
 /// every pattern edge present with a matching label.
 bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h);
 bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h);
+
+/// The most selective variable of `q` in `g` by the matcher's own ordering
+/// statistics: smallest label-index candidate count, ties to the highest
+/// pattern degree, then the lowest id — the same ranking BuildOrder() roots
+/// the search at. The single statistic the shared-plan executor
+/// (plan/SelectPinVariable) and the parallel validation drivers partition
+/// work on, so pins land on the variable the search itself would pick.
+/// Requires q.NumVars() > 0.
+VarId MostSelectiveVariable(const Pattern& q, const Graph& g);
+VarId MostSelectiveVariable(const Pattern& q, const FrozenGraph& g);
 
 }  // namespace ged
 

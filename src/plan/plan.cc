@@ -104,20 +104,6 @@ MatchStats ScanBucketT(const GView& g, const PlanBucket& bucket,
   });
 }
 
-template <typename GView>
-VarId SelectPinVariableT(const Pattern& q, const GView& g) {
-  VarId best = 0;
-  size_t best_count = SIZE_MAX;
-  for (VarId x = 0; x < q.NumVars(); ++x) {
-    size_t count = g.CandidateCount(q.label(x));
-    if (count < best_count) {
-      best_count = count;
-      best = x;
-    }
-  }
-  return best;
-}
-
 }  // namespace
 
 MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
@@ -132,12 +118,16 @@ MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
   return ScanBucketT(g, bucket, mopts, checked, on_violation);
 }
 
+// Pin selection delegates to the matcher's own root-variable statistic
+// (match/MostSelectiveVariable) so parallel partitioning pins the variable
+// the search would root at anyway — one ranking, shared by BuildOrder, the
+// plan executor, and the validation drivers.
 VarId SelectPinVariable(const Pattern& q, const Graph& g) {
-  return SelectPinVariableT(q, g);
+  return MostSelectiveVariable(q, g);
 }
 
 VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g) {
-  return SelectPinVariableT(q, g);
+  return MostSelectiveVariable(q, g);
 }
 
 }  // namespace ged

@@ -92,9 +92,11 @@ MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
                       const MatchOptions& mopts, uint64_t* checked,
                       const PlanViolationCallback& on_violation);
 
-/// The bucket variable to partition parallel work on: smallest label-index
-/// candidate count (most selective), ties to the lowest id. Requires
-/// NumVars() > 0.
+/// The bucket variable to partition parallel work on: the matcher's own
+/// root-variable statistic (match/MostSelectiveVariable — smallest
+/// label-index candidate count, ties to highest pattern degree then lowest
+/// id), so pins and the search ordering come from the same selectivity
+/// ranking. Requires NumVars() > 0.
 VarId SelectPinVariable(const Pattern& q, const Graph& g);
 VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g);
 

@@ -15,6 +15,7 @@ MatchOptions BaseMatchOptions(const ValidationOptions& vopts) {
   mopts.semantics = vopts.semantics;
   mopts.degree_filter = vopts.degree_filter;
   mopts.smart_order = vopts.smart_order;
+  mopts.use_intersection = vopts.use_intersection;
   return mopts;
 }
 
@@ -201,11 +202,13 @@ template <typename GView>
 ValidationReport ValidateParallelLegacy(const GView& g,
                                         const std::vector<Ged>& sigma,
                                         const ValidationOptions& options) {
-  // Work items: (ged, chunk of candidate nodes for variable 0). Pinning
-  // variable 0 partitions the match space exactly; chunking keeps the
-  // per-item matcher setup overhead amortized.
+  // Work items: (ged, chunk of candidate nodes for the most selective
+  // variable — the matcher's own root statistic, shared with the compiled
+  // path's SelectPinVariable). Pinning one variable partitions the match
+  // space exactly; chunking keeps the per-item matcher setup amortized.
   struct WorkItem {
     size_t ged_index;
+    VarId pin_var;
     std::vector<NodeId> pins;  // empty = single run without pinning
   };
   std::vector<WorkItem> items;
@@ -213,16 +216,18 @@ ValidationReport ValidateParallelLegacy(const GView& g,
   for (size_t i = 0; i < sigma.size(); ++i) {
     const Pattern& q = sigma[i].pattern();
     if (q.NumVars() == 0) {
-      items.push_back(WorkItem{i, {}});  // single empty match
+      items.push_back(WorkItem{i, 0, {}});  // single empty match
       continue;
     }
-    std::vector<NodeId> candidates = PinCandidates(q, 0, g);
+    VarId pin_var = MostSelectiveVariable(q, g);
+    std::vector<NodeId> candidates = PinCandidates(q, pin_var, g);
     size_t chunk = std::max<size_t>(1, candidates.size() / chunks_per_ged);
     for (size_t begin = 0; begin < candidates.size(); begin += chunk) {
       size_t end = std::min(candidates.size(), begin + chunk);
       items.push_back(
-          WorkItem{i, std::vector<NodeId>(candidates.begin() + begin,
-                                          candidates.begin() + end)});
+          WorkItem{i, pin_var,
+                   std::vector<NodeId>(candidates.begin() + begin,
+                                       candidates.begin() + end)});
     }
   }
 
@@ -236,7 +241,7 @@ ValidationReport ValidateParallelLegacy(const GView& g,
         } else {
           for (NodeId pin : item.pins) {
             ScanGed(g, sigma[item.ged_index], item.ged_index, options,
-                    {{0, pin}}, v, checked);
+                    {{item.pin_var, pin}}, v, checked);
           }
         }
       });

@@ -70,6 +70,13 @@ struct ValidationOptions {
   /// Matcher toggles (for the ablation bench).
   bool degree_filter = true;
   bool smart_order = true;
+  /// Worst-case-optimal k-way candidate intersection in the matcher
+  /// (MatchOptions::use_intersection). Engages on FrozenGraph snapshots —
+  /// including the one freeze_snapshot builds — and is inert on mutable-
+  /// graph scans. Reports are identical either way; off = the legacy
+  /// pick-smallest-list candidate generator (ablation and differential
+  /// testing).
+  bool use_intersection = true;
   /// Evaluate Σ through the shared ruleset plan (default). false = legacy
   /// per-GED enumeration, kept for differential testing and ablation.
   bool use_compiled_plan = true;

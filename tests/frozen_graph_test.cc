@@ -24,6 +24,11 @@ static_assert(!HasLabelRanges<Graph>,
               "mutable adjacency is unsorted; no label ranges");
 static_assert(HasLabelRanges<FrozenGraph>,
               "CSR adjacency must expose label-contiguous ranges");
+static_assert(!HasNeighborSpans<Graph>,
+              "mutable adjacency has no columnar neighbor ids");
+static_assert(HasNeighborSpans<FrozenGraph>,
+              "CSR must expose columnar neighbor spans for the leapfrog "
+              "intersection kernel");
 
 Graph SmallGraph() {
   Graph g;
@@ -107,6 +112,46 @@ TEST(FrozenGraph, LabeledRangesExtractExactly) {
   ASSERT_EQ(in_range.size(), 2u);
   EXPECT_EQ(in_range[0].other, 0u);
   EXPECT_EQ(in_range[1].other, 2u);
+}
+
+TEST(FrozenGraph, NeighborColumnsParallelTheEdgeRanges) {
+  // The columnar neighbor spans must be element-parallel to the labeled
+  // Edge ranges for every (node, label, direction), including wildcard —
+  // the invariant the leapfrog intersection kernel strides on.
+  RandomGraphParams gp;
+  gp.num_nodes = 60;
+  gp.avg_out_degree = 5.0;
+  gp.num_node_labels = 3;
+  gp.num_edge_labels = 3;
+  gp.seed = 21;
+  Graph g = RandomPropertyGraph(gp);
+  g.AddEdge(0, GenEdgeLabel(0), 0);  // self-loop
+  FrozenGraph f = FrozenGraph::Freeze(g);
+  auto expect_parallel = [](std::span<const Edge> edges,
+                            std::span<const NodeId> nbrs, bool concrete) {
+    ASSERT_EQ(edges.size(), nbrs.size());
+    for (size_t i = 0; i < edges.size(); ++i) {
+      EXPECT_EQ(edges[i].other, nbrs[i]);
+    }
+    if (concrete) {
+      EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+      EXPECT_EQ(std::adjacent_find(nbrs.begin(), nbrs.end()), nbrs.end());
+    }
+  };
+  for (NodeId v = 0; v < f.NumNodes(); ++v) {
+    for (size_t li = 0; li < gp.num_edge_labels; ++li) {
+      Label l = GenEdgeLabel(li);
+      expect_parallel(f.OutEdgesLabeled(v, l), f.OutNeighborsLabeled(v, l),
+                      /*concrete=*/true);
+      expect_parallel(f.InEdgesLabeled(v, l), f.InNeighborsLabeled(v, l),
+                      /*concrete=*/true);
+    }
+    expect_parallel(f.OutEdgesLabeled(v, kWildcard),
+                    f.OutNeighborsLabeled(v, kWildcard), /*concrete=*/false);
+    expect_parallel(f.InEdgesLabeled(v, kWildcard),
+                    f.InNeighborsLabeled(v, kWildcard), /*concrete=*/false);
+    EXPECT_TRUE(f.OutNeighborsLabeled(v, Sym("absent_label")).empty());
+  }
 }
 
 TEST(FrozenGraph, HasLabelProbes) {

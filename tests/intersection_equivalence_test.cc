@@ -1,0 +1,339 @@
+// Differential harness for the worst-case-optimal candidate generator:
+// k-way leapfrog intersection (MatchOptions::use_intersection, the default
+// on CSR snapshots) must be *observationally identical* to the legacy
+// pick-smallest-list path — same match sets, same violation reports, same
+// matches_checked — across both read backends, both semantics, compiled and
+// legacy plans, serial and parallel. Plus unit tests pinning the
+// gallop/leapfrog kernel itself on adversarial inputs: empty ranges,
+// disjoint ranges, duplicates across labels, self-loops.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gen/random_gen.h"
+#include "gen/scenarios.h"
+#include "graph/frozen.h"
+#include "match/leapfrog.h"
+#include "match/matcher.h"
+#include "plan/plan.h"
+#include "reason/validation.h"
+
+namespace ged {
+namespace {
+
+// ----- leapfrog kernel unit tests -------------------------------------------
+
+std::vector<NodeId> Intersect(std::vector<std::vector<NodeId>> inputs) {
+  std::vector<std::span<const NodeId>> lists;
+  for (const auto& in : inputs) lists.emplace_back(in.data(), in.size());
+  std::vector<NodeId> out;
+  bool ran_dry = LeapfrogIntersect(
+      std::span<std::span<const NodeId>>(lists.data(), lists.size()),
+      [&](NodeId v) {
+        out.push_back(v);
+        return true;
+      });
+  EXPECT_TRUE(ran_dry);
+  return out;
+}
+
+TEST(LeapfrogKernel, GallopLowerBound) {
+  std::vector<NodeId> v = {2, 3, 5, 8, 13, 21, 34};
+  const NodeId* base = v.data();
+  const NodeId* end = v.data() + v.size();
+  EXPECT_EQ(GallopLowerBound(base, end, 0), base);
+  EXPECT_EQ(GallopLowerBound(base, end, 2), base);
+  EXPECT_EQ(GallopLowerBound(base, end, 4), base + 2);
+  EXPECT_EQ(GallopLowerBound(base, end, 13), base + 4);
+  EXPECT_EQ(GallopLowerBound(base, end, 34), base + 6);
+  EXPECT_EQ(GallopLowerBound(base, end, 35), end);
+  EXPECT_EQ(GallopLowerBound(base, base, 1), base);  // empty range
+}
+
+TEST(LeapfrogKernel, EmptyAndSingleLists) {
+  EXPECT_TRUE(Intersect({}).empty());                    // k = 0
+  EXPECT_EQ(Intersect({{1, 4, 7}}), (std::vector<NodeId>{1, 4, 7}));
+  EXPECT_TRUE(Intersect({{}}).empty());                  // one empty list
+  EXPECT_TRUE(Intersect({{1, 2, 3}, {}}).empty());       // any empty kills it
+  EXPECT_TRUE(Intersect({{}, {}, {}}).empty());
+}
+
+TEST(LeapfrogKernel, DisjointRanges) {
+  EXPECT_TRUE(Intersect({{1, 3, 5}, {2, 4, 6}}).empty());
+  EXPECT_TRUE(Intersect({{1, 2, 3}, {10, 20}}).empty());
+  EXPECT_TRUE(Intersect({{10, 20}, {1, 2, 3}}).empty());
+  EXPECT_TRUE(Intersect({{1, 9}, {2, 8}, {3, 7}}).empty());
+}
+
+TEST(LeapfrogKernel, OverlappingRanges) {
+  EXPECT_EQ(Intersect({{1, 3, 5, 9}, {3, 4, 9, 11}}),
+            (std::vector<NodeId>{3, 9}));
+  EXPECT_EQ(Intersect({{0, 2, 4, 6, 8}, {2, 6, 10}, {1, 2, 3, 6, 7}}),
+            (std::vector<NodeId>{2, 6}));
+  // Identical lists (duplicates across labels: the same neighbor reachable
+  // through several labeled ranges hands the kernel the same span twice).
+  EXPECT_EQ(Intersect({{5, 6, 7}, {5, 6, 7}, {5, 6, 7}}),
+            (std::vector<NodeId>{5, 6, 7}));
+  // Highly skewed sizes exercise the gallop.
+  std::vector<NodeId> big;
+  for (NodeId i = 0; i < 1000; ++i) big.push_back(i * 3);
+  EXPECT_EQ(Intersect({big, {6, 7, 2400, 2998}}),
+            (std::vector<NodeId>{6, 2400}));
+  EXPECT_EQ(Intersect({{6, 7, 2400, 2998}, big}),
+            (std::vector<NodeId>{6, 2400}));
+}
+
+TEST(LeapfrogKernel, EarlyStop) {
+  std::vector<NodeId> a = {1, 2, 3, 4, 5};
+  std::vector<std::span<const NodeId>> lists = {{a.data(), a.size()},
+                                                {a.data(), a.size()}};
+  std::vector<NodeId> out;
+  bool ran_dry = LeapfrogIntersect(
+      std::span<std::span<const NodeId>>(lists.data(), lists.size()),
+      [&](NodeId v) {
+        out.push_back(v);
+        return out.size() < 2;
+      });
+  EXPECT_FALSE(ran_dry);
+  EXPECT_EQ(out, (std::vector<NodeId>{1, 2}));
+}
+
+// ----- matcher differential: intersection ≡ legacy --------------------------
+
+struct SemanticsCase {
+  MatchSemantics semantics;
+  const char* name;
+};
+
+const SemanticsCase kSemantics[] = {
+    {MatchSemantics::kHomomorphism, "homomorphism"},
+    {MatchSemantics::kIsomorphism, "isomorphism"},
+};
+
+std::vector<Match> SortedMatches(const Pattern& q, const FrozenGraph& f,
+                                 MatchOptions opts, bool intersection) {
+  opts.use_intersection = intersection;
+  std::vector<Match> ms = AllMatches(q, f, opts);
+  std::sort(ms.begin(), ms.end());
+  return ms;
+}
+
+// Intersection and legacy candidate generation must agree on the match set
+// against the frozen backend, and both must agree with the mutable graph
+// (whose scans are always legacy-shaped).
+void ExpectSameMatches(const Pattern& q, const Graph& g,
+                       const std::string& what,
+                       const MatchOptions& base = {}) {
+  FrozenGraph f = FrozenGraph::Freeze(g);
+  for (const SemanticsCase& sem : kSemantics) {
+    MatchOptions opts = base;
+    opts.semantics = sem.semantics;
+    std::vector<Match> with = SortedMatches(q, f, opts, true);
+    std::vector<Match> without = SortedMatches(q, f, opts, false);
+    EXPECT_EQ(with, without) << what << " [" << sem.name << "]";
+    std::vector<Match> mutable_ms = AllMatches(q, g, opts);
+    std::sort(mutable_ms.begin(), mutable_ms.end());
+    EXPECT_EQ(with, mutable_ms) << what << " vs mutable [" << sem.name << "]";
+  }
+}
+
+TEST(IntersectionEquivalence, DenseCommunityCliques) {
+  DenseParams params;
+  params.num_members = 96;
+  params.community_size = 32;
+  params.follows_per_member = 10;
+  DenseInstance inst = GenDenseCommunity(params);
+  for (const Ged& phi : DenseCliqueGeds()) {
+    ExpectSameMatches(phi.pattern(), inst.graph, "dense " + phi.name());
+  }
+}
+
+TEST(IntersectionEquivalence, ScenarioPatterns) {
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  for (const Ged& phi : Example1Geds()) {
+    ExpectSameMatches(phi.pattern(), kb.graph, "KB " + phi.name());
+  }
+  SocialInstance net = GenSocialNetwork(SocialParams{});
+  ExpectSameMatches(SpamGed(2, Value("peculiar")).pattern(), net.graph, "Q5");
+  MusicInstance music = GenMusicBase(MusicParams{});
+  for (const Ged& psi : MusicKeys()) {
+    ExpectSameMatches(psi.pattern(), music.graph, "music " + psi.name());
+  }
+}
+
+TEST(IntersectionEquivalence, RandomPatternSweep) {
+  for (unsigned seed = 1; seed <= 6; ++seed) {
+    RandomGraphParams gp;
+    gp.num_nodes = 100;
+    gp.avg_out_degree = 5.0;
+    gp.num_node_labels = 3;
+    gp.num_edge_labels = 2;
+    gp.seed = seed;
+    Graph g = RandomPropertyGraph(gp);
+    RandomGedParams rp;
+    rp.pattern_vars = 4;
+    rp.pattern_edges = 5;
+    rp.num_node_labels = 3;
+    rp.num_edge_labels = 2;
+    rp.wildcard_rate = 0.3;  // mixes intersectable and wildcard-only edges
+    rp.seed = seed;
+    for (const Ged& phi : RandomGeds(4, rp)) {
+      ExpectSameMatches(phi.pattern(), g,
+                        "random seed " + std::to_string(seed));
+    }
+  }
+}
+
+TEST(IntersectionEquivalence, SelfLoopsAndParallelConstraints) {
+  Graph g;
+  // Two labels between the same endpoints, self-loops, and a dense-ish core
+  // — the shapes whose ranges collide or cannot be intersected.
+  for (int i = 0; i < 12; ++i) g.AddNode("n");
+  for (NodeId i = 0; i < 12; ++i) {
+    g.AddEdge(i, "a", (i + 1) % 12);
+    g.AddEdge(i, "b", (i + 1) % 12);
+    g.AddEdge(i, "a", (i + 5) % 12);
+    if (i % 3 == 0) g.AddEdge(i, "a", i);  // self-loop
+    if (i % 4 == 0) g.AddEdge(i, "b", i);
+  }
+  {
+    Pattern q;  // parallel constraints: both labels between x and y
+    VarId x = q.AddVar("x", "n");
+    VarId y = q.AddVar("y", "n");
+    q.AddEdge(x, "a", y);
+    q.AddEdge(x, "b", y);
+    ExpectSameMatches(q, g, "parallel a+b edge");
+  }
+  {
+    Pattern q;  // self-loop variable with an intersectable neighbor
+    VarId x = q.AddVar("x", "n");
+    VarId y = q.AddVar("y", "n");
+    q.AddEdge(x, "a", x);
+    q.AddEdge(x, "a", y);
+    q.AddEdge(y, "b", y);
+    ExpectSameMatches(q, g, "self-loops");
+  }
+  {
+    Pattern q;  // wildcard edge label: not intersectable, residual-checked
+    VarId x = q.AddVar("x", "n");
+    VarId y = q.AddVar("y", "n");
+    VarId z = q.AddVar("z", kWildcard);
+    q.AddEdge(x, kWildcard, y);
+    q.AddEdge(x, "a", z);
+    q.AddEdge(y, "a", z);
+    ExpectSameMatches(q, g, "wildcard mix");
+  }
+}
+
+TEST(IntersectionEquivalence, RestrictionsAndPins) {
+  DenseParams params;
+  params.num_members = 64;
+  params.community_size = 32;
+  params.follows_per_member = 8;
+  DenseInstance inst = GenDenseCommunity(params);
+  Pattern q = DenseCliqueGeds()[0].pattern();  // triangle
+  MatchOptions base;
+  base.restricted = {{0, {1, 3, 5, 7, 9, 11, 30, 31, 32, 60}},
+                     {2, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}}};
+  ExpectSameMatches(q, inst.graph, "restricted triangle", base);
+  MatchOptions pinned;
+  pinned.pinned = {{1, 4}};
+  ExpectSameMatches(q, inst.graph, "pinned triangle", pinned);
+}
+
+TEST(IntersectionEquivalence, TouchingEnumerationAgrees) {
+  DenseParams params;
+  params.num_members = 64;
+  params.community_size = 32;
+  params.follows_per_member = 8;
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph f = FrozenGraph::Freeze(inst.graph);
+  Pattern q = DenseCliqueGeds()[0].pattern();
+  std::vector<NodeId> touched = {2, 5, 17, 33, 40, 41, 63};
+  for (const SemanticsCase& sem : kSemantics) {
+    std::vector<Match> with, without;
+    for (bool intersection : {true, false}) {
+      MatchOptions opts;
+      opts.semantics = sem.semantics;
+      opts.use_intersection = intersection;
+      auto& out = intersection ? with : without;
+      EnumerateMatchesTouching(q, f, touched, opts, [&](const Match& h) {
+        out.push_back(h);
+        return true;
+      });
+      std::sort(out.begin(), out.end());
+    }
+    EXPECT_EQ(with, without) << sem.name;
+  }
+}
+
+// ----- validation differential: full pipeline -------------------------------
+
+// Violation reports and matches_checked through every (backend,
+// evaluation-path, thread-count) corner must not depend on the candidate
+// generator.
+void ExpectSameReports(const Graph& g, const std::vector<Ged>& sigma,
+                       const std::string& what) {
+  FrozenGraph f = FrozenGraph::Freeze(g);
+  for (const SemanticsCase& sem : kSemantics) {
+    for (bool compiled : {true, false}) {
+      for (unsigned threads : {1u, 4u}) {
+        ValidationOptions opts;
+        opts.semantics = sem.semantics;
+        opts.use_compiled_plan = compiled;
+        opts.num_threads = threads;
+        opts.freeze_snapshot = false;
+        opts.use_intersection = true;
+        ValidationReport with = Validate(f, sigma, opts);
+        opts.use_intersection = false;
+        ValidationReport without = Validate(f, sigma, opts);
+        ValidationReport mutable_report = Validate(g, sigma, opts);
+        std::string ctx = what + " [" + sem.name +
+                          (compiled ? ", compiled" : ", legacy") +
+                          ", threads=" + std::to_string(threads) + "]";
+        EXPECT_EQ(with.satisfied, without.satisfied) << ctx;
+        EXPECT_EQ(with.violations, without.violations) << ctx;
+        EXPECT_EQ(with.matches_checked, without.matches_checked) << ctx;
+        EXPECT_EQ(with.violations, mutable_report.violations) << ctx;
+        EXPECT_EQ(with.matches_checked, mutable_report.matches_checked)
+            << ctx;
+      }
+    }
+  }
+}
+
+TEST(IntersectionEquivalence, DenseValidationReports) {
+  DenseParams params;
+  params.num_members = 64;
+  params.community_size = 32;
+  params.follows_per_member = 8;
+  params.off_tier = 4;
+  DenseInstance inst = GenDenseCommunity(params);
+  ExpectSameReports(inst.graph, DenseCliqueGeds(), "dense community");
+}
+
+TEST(IntersectionEquivalence, RandomRulesetReports) {
+  for (unsigned seed = 3; seed <= 5; ++seed) {
+    RandomGraphParams gp;
+    gp.num_nodes = 80;
+    gp.avg_out_degree = 4.0;
+    gp.num_node_labels = 3;
+    gp.num_edge_labels = 2;
+    gp.seed = seed;
+    Graph g = RandomPropertyGraph(gp);
+    RandomGedParams rp;
+    rp.pattern_vars = 3;
+    rp.pattern_edges = 3;
+    rp.num_node_labels = 3;
+    rp.num_edge_labels = 2;
+    rp.seed = seed;
+    ExpectSameReports(g, RandomGeds(4, rp),
+                      "random seed " + std::to_string(seed));
+  }
+}
+
+}  // namespace
+}  // namespace ged
