@@ -24,11 +24,15 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <random>
+#include <string>
 
 #include "gen/scenarios.h"
 #include "incr/delta.h"
 #include "incr/incremental.h"
+#include "obs/obs.h"
+#include "obs_profile_flag.h"
 #include "reason/validation.h"
 
 namespace {
@@ -374,4 +378,58 @@ BENCHMARK(BM_Incr_KbCommitThreads)
     ->Unit(benchmark::kMicrosecond)
     ->UseManualTime();
 
+// --profile mode: one validator lifetime under an ObsSession — the seeding
+// full Validate() plus a burst of KB commits — so the trace shows the
+// Validate span followed by Commit{SeedTouching, SeedEdges, Reconcile}
+// spans, and the EXPLAIN table rolls up every touched-region re-scan.
+void RunProfiledIncremental(const std::string& base) {
+  constexpr int kCommits = 32;
+  KbInstance kb = GenKnowledgeBase(KbAtScale(400));
+  ObsSession session;
+  ValidationOptions opts;
+  opts.obs = session.Options();
+
+  int64_t start_ns = MonotonicNowNs();
+  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds(), opts);
+  std::mt19937 rng(42);
+  for (int c = 0; c < kCommits; ++c) {
+    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
+    Result<GraphDelta::Applied> applied = v.Commit(d);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "commit %d rejected: %s\n", c,
+                   applied.status().ToString().c_str());
+      return;
+    }
+  }
+  int64_t total_ns = MonotonicNowNs() - start_ns;
+
+  const IncrementalValidator::CommitStats& stats = v.last_commit();
+  std::printf("seeded %zu-node KB, then %d commits: %llu nodes touched, "
+              "%llu violations retracted, %llu added, %llu matches checked "
+              "incrementally; %zu violations live\n\n",
+              kb.graph.NumNodes(), kCommits,
+              static_cast<unsigned long long>(stats.total_touched),
+              static_cast<unsigned long long>(stats.total_retracted),
+              static_cast<unsigned long long>(stats.total_added),
+              static_cast<unsigned long long>(stats.total_matches_checked),
+              v.report().violations.size());
+  ProfileReport profile = session.Profiler().Finish(total_ns);
+  ged_bench::WriteProfileArtifacts(base, profile, &session);
+}
+
 }  // namespace
+
+// Custom main (instead of benchmark_main) so --profile can divert into the
+// EXPLAIN run before benchmark::Initialize rejects the unknown flag.
+int main(int argc, char** argv) {
+  std::string base;
+  if (ged_bench::ParseProfileFlag(&argc, argv, &base, "bench_incremental")) {
+    RunProfiledIncremental(base);
+    return 0;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@
 #include "gen/scenarios.h"
 #include "graph/frozen.h"
 #include "match/matcher.h"
+#include "obs/obs.h"
 #include "reason/validation.h"
 
 namespace {
@@ -105,6 +106,18 @@ void BM_DensePattern(benchmark::State& state, size_t pattern_index,
   state.counters["matches"] = static_cast<double>(matches);
   state.counters["search_steps"] = static_cast<double>(steps);
   state.counters["edges"] = static_cast<double>(inst.graph.NumEdges());
+  // One untimed profiled run for the kernel-shape counters: galloping seeks
+  // and summed fan-in are deterministic, so the CI compare step diffs them
+  // against the baseline like search_steps (a silent regression to linear
+  // scans would show as lf_seeks collapsing to 0).
+  MatchOptions popts = opts;
+  MatchProfile prof;
+  popts.obs.enabled = true;
+  popts.profile = &prof;
+  EnumerateMatches(q, snapshot, popts, cb);
+  DepthStats totals = prof.Totals();
+  state.counters["lf_seeks"] = static_cast<double>(totals.lf_seeks);
+  state.counters["lf_fanin"] = static_cast<double>(totals.lf_fanin);
 }
 
 // The same toggle end to end through validation (freeze + compiled plan +
@@ -118,6 +131,35 @@ void BM_DenseValidation(benchmark::State& state, bool intersection) {
   std::vector<Ged> sigma = DenseCliqueGeds();
   ValidationOptions opts;
   opts.use_intersection = intersection;
+  size_t violations = 0;
+  for (auto _ : state) {
+    ValidationReport report = Validate(snapshot, sigma, opts);
+    violations = report.violations.size();
+    benchmark::DoNotOptimize(report.satisfied);
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+}
+
+// The observability overhead gate (obs/ tentpole acceptance): full
+// Validate on the dense workload with
+//   mode 0 — a default ObsOptions (no sinks; the pre-obs baseline),
+//   mode 1 — sinks constructed and wired but enabled=false (the production
+//            "compiled in, switched off" path the ≤2% CI gate covers),
+//   mode 2 — a live ObsSession (metrics + spans + profiler all recording).
+// CI runs tools/compare_bench.py --overhead obs_disabled vs obs_baseline;
+// obs_enabled is informational (it prices the instrumentation itself).
+void BM_ObsValidation(benchmark::State& state, int mode) {
+  DenseParams params;
+  params.num_members = static_cast<size_t>(state.range(0));
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
+  std::vector<Ged> sigma = DenseCliqueGeds();
+  ObsSession session;
+  ValidationOptions opts;
+  if (mode >= 1) {
+    opts.obs = session.Options();
+    opts.obs.enabled = mode == 2;
+  }
   size_t violations = 0;
   for (auto _ : state) {
     ValidationReport report = Validate(snapshot, sigma, opts);
@@ -159,3 +201,9 @@ BENCHMARK_CAPTURE(BM_DenseValidation, legacy, false)
     ->Arg(512)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_DenseValidation, intersection, true)
     ->Arg(512)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ObsValidation, obs_baseline, 0)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ObsValidation, obs_disabled, 1)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ObsValidation, obs_enabled, 2)
+    ->Arg(256)->Unit(benchmark::kMillisecond);

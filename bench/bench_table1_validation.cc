@@ -16,12 +16,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "gen/hardness.h"
 #include "gen/random_gen.h"
 #include "gen/scenarios.h"
+#include "obs/obs.h"
+#include "obs_profile_flag.h"
 #include "plan/plan.h"
 #include "reason/validation.h"
 
@@ -315,6 +318,41 @@ void BM_FreezeCost(benchmark::State& state) {
   state.counters["edges"] = static_cast<double>(g.NumEdges());
 }
 
+// --profile mode: the ScenarioPlanVsLegacy workload (the realistic
+// plan-sharing regime — Example1Geds + MusicKeys over a 200-product KB) run
+// once under an ObsSession, rendered as the EXPLAIN table plus JSON/Chrome
+// trace artifacts. This is the acceptance path for the observability layer:
+// per-rule checked/violations rollups and per-depth leapfrog counters for
+// every bucket Σ compiles into.
+void RunProfiledValidation(const std::string& base) {
+  KbParams params;
+  params.num_products = 200;
+  params.num_countries = 50;
+  params.num_species = 50;
+  params.num_families = 50;
+  KbInstance kb = GenKnowledgeBase(params);
+  std::vector<Ged> sigma = Example1Geds();
+  for (const Ged& phi : MusicKeys()) sigma.push_back(phi);
+
+  ObsSession session;
+  ValidationOptions opts;
+  opts.use_compiled_plan = true;
+  opts.obs = session.Options();
+
+  int64_t start_ns = MonotonicNowNs();
+  ValidationReport report = Validate(kb.graph, sigma, opts);
+  int64_t total_ns = MonotonicNowNs() - start_ns;
+
+  std::printf("validated %zu-node KB against %zu rules: %s, %zu violations, "
+              "%llu matches checked\n\n",
+              kb.graph.NumNodes(), sigma.size(),
+              report.satisfied ? "satisfied" : "violated",
+              report.violations.size(),
+              static_cast<unsigned long long>(report.matches_checked));
+  ProfileReport profile = session.Profiler().Finish(total_ns);
+  ged_bench::WriteProfileArtifacts(base, profile, &session);
+}
+
 }  // namespace
 
 BENCHMARK(BM_Validation_GraphSize)->Arg(50)->Arg(100)->Arg(200)->Arg(400);
@@ -342,3 +380,19 @@ BENCHMARK_CAPTURE(BM_Validation_SharedPlan, legacy, false)
 BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, legacy, 0);
 BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, compiled, 1);
 BENCHMARK_CAPTURE(BM_Validation_ScenarioPlanVsLegacy, precompiled, 2);
+
+// Custom main (instead of benchmark_main) so --profile can divert into the
+// EXPLAIN run before benchmark::Initialize rejects the unknown flag.
+int main(int argc, char** argv) {
+  std::string base;
+  if (ged_bench::ParseProfileFlag(&argc, argv, &base,
+                                  "bench_table1_validation")) {
+    RunProfiledValidation(base);
+    return 0;
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

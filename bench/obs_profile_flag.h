@@ -1,0 +1,83 @@
+// Shared --profile handling for the bench drivers that ship a custom main()
+// (bench_table1_validation, bench_incremental; see the CMake bench foreach,
+// which drops benchmark_main for exactly these targets — benchmark's own
+// main() rejects flags it does not know).
+//
+//   bench_table1_validation --profile           # artifacts under ./<target>.*
+//   bench_table1_validation --profile=/tmp/run  # artifacts under /tmp/run.*
+//
+// In profile mode the driver skips the timed benchmark loop entirely and
+// runs its representative workload once under an ObsSession, then:
+//   * prints the EXPLAIN table (ProfileReport::ToTable) to stdout,
+//   * writes <base>.profile.json — the gedlib_profile_v1 document that
+//     tools/render_profile.py re-renders,
+//   * writes <base>.trace.json — Chrome trace_event format, loadable in
+//     chrome://tracing or https://ui.perfetto.dev.
+
+#ifndef GEDLIB_BENCH_OBS_PROFILE_FLAG_H_
+#define GEDLIB_BENCH_OBS_PROFILE_FLAG_H_
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "obs/obs.h"
+
+namespace ged_bench {
+
+/// Strips `--profile` / `--profile=BASE` out of argv (so
+/// benchmark::Initialize never sees an unknown flag) and returns whether it
+/// was present. `*base` receives BASE, or `default_base` when the bare form
+/// was used.
+inline bool ParseProfileFlag(int* argc, char** argv, std::string* base,
+                             const std::string& default_base) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--profile") == 0) {
+      found = true;
+      *base = default_base;
+    } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+      found = true;
+      *base = arg + 10;
+      if (base->empty()) *base = default_base;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
+inline bool WriteFileOrComplain(const std::string& path,
+                                const std::string& body) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  out << body << "\n";
+  return true;
+}
+
+/// Prints the EXPLAIN table and drops the JSON artifacts next to `base`.
+inline void WriteProfileArtifacts(const std::string& base,
+                                  const ged::ProfileReport& report,
+                                  ged::ObsSession* session) {
+  std::printf("%s", report.ToTable().c_str());
+  const std::string profile_path = base + ".profile.json";
+  const std::string trace_path = base + ".trace.json";
+  if (WriteFileOrComplain(profile_path, report.ToJson())) {
+    std::printf("\nprofile json: %s\n", profile_path.c_str());
+  }
+  if (WriteFileOrComplain(trace_path, session->Trace().ToChromeTrace())) {
+    std::printf("chrome trace: %s (load in chrome://tracing)\n",
+                trace_path.c_str());
+  }
+}
+
+}  // namespace ged_bench
+
+#endif  // GEDLIB_BENCH_OBS_PROFILE_FLAG_H_

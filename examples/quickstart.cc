@@ -8,12 +8,14 @@
 // --expect-violations the seeded violation becomes the success condition:
 // exit 0 when it is found, non-zero only on genuine failure (parse error, or
 // the violation was missed). CI smoke-runs use that flag instead of
-// special-casing exit codes.
+// special-casing exit codes. --profile additionally prints the EXPLAIN
+// profile of the Validate call (the obs/ layer on its smallest workload).
 
 #include <iostream>
 #include <string_view>
 
 #include "ged/parser.h"
+#include "obs/obs.h"
 #include "reason/implication.h"
 #include "reason/satisfiability.h"
 #include "reason/validation.h"
@@ -21,8 +23,13 @@
 using namespace ged;
 
 int main(int argc, char** argv) {
-  bool expect_violations =
-      argc > 1 && std::string_view(argv[1]) == "--expect-violations";
+  bool expect_violations = false;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--expect-violations") expect_violations = true;
+    if (arg == "--profile") profile = true;
+  }
   // 1. A tiny knowledge-base fragment: who created which product.
   Graph g;
   NodeId game = g.AddNode("product");
@@ -45,8 +52,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 3. Validate: G ⊨ Σ?
-  ValidationReport report = Validate(g, rules.value());
+  // 3. Validate: G ⊨ Σ? (--profile runs the same call under an ObsSession
+  // and prints the per-rule / per-depth EXPLAIN tables afterwards.)
+  ObsSession session;
+  ValidationOptions vopts;
+  if (profile) vopts.obs = session.Options();
+  int64_t start_ns = MonotonicNowNs();
+  ValidationReport report = Validate(g, rules.value(), vopts);
+  int64_t validate_ns = MonotonicNowNs() - start_ns;
   std::cout << "graph satisfies phi1: " << std::boolalpha << report.satisfied
             << "\n";
   for (const Violation& v : report.violations) {
@@ -71,6 +84,10 @@ int main(int argc, char** argv) {
     })");
   std::cout << "phi1 implies the weaker variant: "
             << Implies(rules.value(), weaker.value()) << "\n";
+
+  if (profile) {
+    std::cout << "\n" << session.Profiler().Finish(validate_ns).ToTable();
+  }
   if (expect_violations) {
     if (report.violations.empty()) {
       std::cerr << "FAIL: expected the seeded phi1 violation, found none\n";

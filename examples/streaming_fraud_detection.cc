@@ -14,15 +14,22 @@
 //             have no order predicates)
 //
 //   ./build/examples/streaming_fraud_detection
+//   ./build/examples/streaming_fraud_detection --profile   # EXPLAIN rollup
+//
+// --profile runs the whole stream (seed validate + every commit) under an
+// ObsSession and prints the per-rule EXPLAIN table plus the commit.*
+// metric totals at the end.
 
 #include <algorithm>
 #include <iostream>
 #include <random>
+#include <string_view>
 
 #include "ext/gdc.h"
 #include "incr/delta.h"
 #include "incr/incremental.h"
 #include "match/matcher.h"
+#include "obs/obs.h"
 
 using namespace ged;
 
@@ -104,7 +111,9 @@ class GdcMonitor {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool profile =
+      argc > 1 && std::string_view(argv[1]) == "--profile";
   // Seed world: a few merchants, verified accounts, one flagged fraudster.
   Graph g;
   std::vector<NodeId> merchants;
@@ -119,7 +128,12 @@ int main() {
   NodeId burner = g.AddNode("device");
   g.AddEdge(fraudster, "uses", burner);
 
-  IncrementalValidator monitor(std::move(g), {RingGed(), EmbargoGed()});
+  ObsSession session;
+  ValidationOptions vopts;
+  if (profile) vopts.obs = session.Options();
+  int64_t start_ns = MonotonicNowNs();
+  IncrementalValidator monitor(std::move(g), {RingGed(), EmbargoGed()},
+                               vopts);
   GdcMonitor limit(LimitGdc());
   std::cout << "seed: " << monitor.graph().NumNodes() << " nodes, "
             << monitor.report().violations.size() << " GED violations\n\n";
@@ -198,5 +212,17 @@ int main() {
             << " (" << monitor.report().violations.size()
             << " GED violations, " << limit.violations().size()
             << " GDC violations)\n";
+
+  if (profile) {
+    int64_t total_ns = MonotonicNowNs() - start_ns;
+    const auto& totals = monitor.last_commit();
+    std::cout << "\n"
+              << session.Profiler().Finish(total_ns).ToTable()
+              << "\ncommit totals: " << totals.commits << " commits, "
+              << totals.total_touched << " nodes touched, "
+              << totals.total_retracted << " retracted, "
+              << totals.total_added << " added, "
+              << totals.total_matches_checked << " matches re-checked\n";
+  }
   return 0;
 }

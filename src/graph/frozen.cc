@@ -90,16 +90,29 @@ void GatherAdjacency(const Graph& g, bool out_dir,
 }  // namespace
 
 FrozenGraph FrozenGraph::Freeze(const Graph& g) {
+  return Freeze(g, ObsOptions{});
+}
+
+FrozenGraph FrozenGraph::Freeze(const Graph& g, const ObsOptions& obs) {
+  ScopedSpan span(obs.Trace(), "Freeze");
+  ScopedLatency lat(obs.Metrics(), EngineMetric::kFreezeWallNs);
+  ProfileCollector* profiler = obs.Profiler();
+  int64_t start_ns = profiler == nullptr ? 0 : MonotonicNowNs();
+
   FrozenGraph f;
   const size_t n = g.NumNodes();
   f.labels_.reserve(n);
   for (NodeId v = 0; v < n; ++v) f.labels_.push_back(g.label(v));
 
-  GatherAdjacency(g, /*out_dir=*/true, &f.out_offsets_, &f.out_edges_,
-                  &f.out_nbrs_);
-  GatherAdjacency(g, /*out_dir=*/false, &f.in_offsets_, &f.in_edges_,
-                  &f.in_nbrs_);
+  {
+    ScopedSpan adj_span(obs.Trace(), "Freeze.Adjacency");
+    GatherAdjacency(g, /*out_dir=*/true, &f.out_offsets_, &f.out_edges_,
+                    &f.out_nbrs_);
+    GatherAdjacency(g, /*out_dir=*/false, &f.in_offsets_, &f.in_edges_,
+                    &f.in_nbrs_);
+  }
 
+  ScopedSpan index_span(obs.Trace(), "Freeze.Indexes");
   // Dense label index: grouped node lists in increasing label, then id,
   // order (Graph's per-label insertion order is already increasing id).
   // Labels are dense interned symbols, so counting with a direct-indexed
@@ -138,6 +151,13 @@ FrozenGraph FrozenGraph::Freeze(const Graph& g) {
       f.attr_values_.push_back(val);
     }
   }
+
+  if (MetricsRegistry* metrics = obs.Metrics()) {
+    metrics->Inc(EngineMetric::kFreezeRuns);
+    metrics->Inc(EngineMetric::kFreezeNodes, f.NumNodes());
+    metrics->Inc(EngineMetric::kFreezeEdges, f.NumEdges());
+  }
+  if (profiler != nullptr) profiler->AddFreezeNs(MonotonicNowNs() - start_ns);
   return f;
 }
 

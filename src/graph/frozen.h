@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "obs/obs.h"
 
 namespace ged {
 
@@ -51,6 +52,12 @@ class FrozenGraph {
   /// Compiles a snapshot of `g`. The source graph is only read; later
   /// mutations of `g` do not affect the snapshot.
   static FrozenGraph Freeze(const Graph& g);
+
+  /// Freeze with observability: wraps the compilation in a "Freeze" trace
+  /// span (with per-phase child spans), feeds the freeze.* metrics and the
+  /// profiler's freeze wall time. Identical snapshot; `obs` disabled makes
+  /// this exactly Freeze(g).
+  static FrozenGraph Freeze(const Graph& g, const ObsOptions& obs);
 
   // ----- inspection (mirrors Graph's read surface) ---------------------
 

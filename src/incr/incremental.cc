@@ -12,6 +12,10 @@ IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
   // A capped report drops violations; maintaining the truncated list
   // incrementally would drift from the full-validation oracle.
   options_.max_violations_per_ged = 0;
+  // Likewise a step-truncated scan: a commit that misses violations can
+  // never be reconciled exactly, so the defense budget is full-validation
+  // only.
+  options_.max_steps_per_scan = 0;
   // Compile Σ once; every seed pass and commit re-scan shares it.
   if (options_.use_compiled_plan) plan_ = RulesetPlan::Compile(sigma_);
   report_ = RevalidateFull();
@@ -22,6 +26,11 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   Result<GraphDelta::Applied> applied = delta.Apply(&graph_);
   if (!applied.ok()) return applied;
   const GraphDelta::Applied& ap = applied.value();
+
+  // Observability: only successfully applied commits open the "Commit" span
+  // and feed the commit.* metrics (a rejected delta changes nothing).
+  ScopedSpan span(options_.obs.Trace(), "Commit");
+  ScopedLatency lat(options_.obs.Metrics(), EngineMetric::kCommitWallNs);
 
   // 1. Retract violations whose X→Y status may have flipped: an attribute
   //    change on a bound pre-existing node is the only cure mechanism under
@@ -36,25 +45,34 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   std::merge(ap.changed_nodes.begin(), ap.changed_nodes.end(),
              ap.new_nodes.begin(), ap.new_nodes.end(),
              std::back_inserter(rescan));
-  ValidationReport fresh =
-      options_.use_compiled_plan
-          ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
-          : ValidateTouching(graph_, sigma_, rescan, options_);
-  uint64_t checked = fresh.matches_checked;
-  std::vector<Violation> fresh_v = std::move(fresh.violations);
+  uint64_t checked = 0;
+  std::vector<Violation> fresh_v;
+  {
+    ScopedSpan touching_span(options_.obs.Trace(), "SeedTouching");
+    ValidationReport fresh =
+        options_.use_compiled_plan
+            ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
+            : ValidateTouching(graph_, sigma_, rescan, options_);
+    checked = fresh.matches_checked;
+    fresh_v = std::move(fresh.violations);
+  }
 
   //    (b) matches created by a new edge between two pre-existing nodes,
   //        found by pinning both endpoints onto each pattern edge. These
   //        may overlap (a) or re-find still-listed old violations
   //        (parallel edges), so reconcile by set-difference.
   if (!ap.cross_edges.empty()) {
-    std::vector<Violation> seeded =
-        options_.use_compiled_plan
-            ? FindViolationsSeededByEdgesWithPlan(graph_, plan_,
-                                                  ap.cross_edges, options_,
-                                                  &checked)
-            : FindViolationsSeededByEdges(graph_, sigma_, ap.cross_edges,
-                                          options_, &checked);
+    std::vector<Violation> seeded;
+    {
+      ScopedSpan edges_span(options_.obs.Trace(), "SeedEdges");
+      seeded = options_.use_compiled_plan
+                   ? FindViolationsSeededByEdgesWithPlan(
+                         graph_, plan_, ap.cross_edges, options_, &checked)
+                   : FindViolationsSeededByEdges(graph_, sigma_,
+                                                 ap.cross_edges, options_,
+                                                 &checked);
+    }
+    ScopedSpan reconcile_span(options_.obs.Trace(), "Reconcile");
     fresh_v.insert(fresh_v.end(), std::make_move_iterator(seeded.begin()),
                    std::make_move_iterator(seeded.end()));
     SortViolationList(&fresh_v);
@@ -74,6 +92,19 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   ++stats_.commits;
   stats_.touched = ap.touched.size();
   stats_.matches_checked = checked;
+  stats_.total_touched += stats_.touched;
+  stats_.total_retracted += stats_.retracted;
+  stats_.total_added += stats_.added;
+  stats_.total_matches_checked += checked;
+
+  if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+    metrics->Inc(EngineMetric::kCommitRuns);
+    metrics->Inc(EngineMetric::kCommitTouched, stats_.touched);
+    metrics->Inc(EngineMetric::kCommitRetracted, stats_.retracted);
+    metrics->Inc(EngineMetric::kCommitAdded, stats_.added);
+    metrics->Inc(EngineMetric::kCommitMatchesChecked, checked);
+    metrics->Set(EngineMetric::kLiveViolations, report_.violations.size());
+  }
   return applied;
 }
 

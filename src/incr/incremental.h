@@ -70,13 +70,21 @@ class IncrementalValidator {
   /// A fresh delta based on the current graph.
   GraphDelta NewDelta() const { return GraphDelta(graph_); }
 
-  /// Telemetry for the most recent commit.
+  /// Telemetry for the most recent commit, plus running totals across the
+  /// validator's whole life (the obs metrics registry mirrors the totals as
+  /// commit.* counters when ValidationOptions::obs is enabled).
   struct CommitStats {
     uint64_t commits = 0;          ///< total successful commits so far
     size_t touched = 0;            ///< delta-touched nodes (last commit)
     size_t retracted = 0;          ///< violations retracted (last commit)
     size_t added = 0;              ///< violations added back (last commit)
     uint64_t matches_checked = 0;  ///< matches inspected (last commit)
+    // Cumulative across all commits (the initial seeding Validate() is not
+    // a commit and does not count here).
+    uint64_t total_touched = 0;
+    uint64_t total_retracted = 0;
+    uint64_t total_added = 0;
+    uint64_t total_matches_checked = 0;
   };
   const CommitStats& last_commit() const { return stats_; }
 

@@ -28,7 +28,9 @@
 #define GEDLIB_MATCH_LEAPFROG_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
+#include <utility>
 
 #include "graph/graph.h"
 
@@ -62,16 +64,15 @@ inline const NodeId* GallopLowerBound(const NodeId* first, const NodeId* last,
   return first + lo;
 }
 
-/// Leapfrog-intersects k sorted duplicate-free spans, invoking emit(v) for
-/// every NodeId present in all of them, in increasing order. emit returns
-/// false to stop early; LeapfrogIntersect then returns false (true = ran to
-/// exhaustion). k = 0 is the empty intersection (no constraint would mean
-/// "all nodes", which the caller must handle — an unconstrained variable
-/// never reaches the kernel); k = 1 degenerates to a scan of the one span.
-///
-/// `lists` is reordered in place (the classic leapfrog cursor rotation).
-template <typename Emit>
-bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit) {
+namespace internal {
+
+// Shared body of the plain and counted LeapfrogIntersect flavors. The seek
+// counter is a compile-time policy, not a runtime pointer test, so the
+// uncounted kernel — the one every disabled-observability run executes —
+// carries zero instrumentation in its inner loop.
+template <bool kCounted, typename Emit>
+bool LeapfrogIntersectImpl(std::span<std::span<const NodeId>> lists,
+                           Emit&& emit, uint64_t* seeks) {
   const size_t k = lists.size();
   if (k == 0) return true;
   if (k == 1) {
@@ -90,6 +91,7 @@ bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit) {
   size_t at = 0;
   while (true) {
     std::span<const NodeId>& cur = lists[at];
+    if constexpr (kCounted) ++*seeks;
     const NodeId* pos = GallopLowerBound(cur.data(), cur.data() + cur.size(),
                                          target);
     if (pos == cur.data() + cur.size()) return true;  // one list exhausted
@@ -110,6 +112,32 @@ bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit) {
     cur = {pos, static_cast<size_t>(cur.data() + cur.size() - pos)};
     at = (at + 1) % k;
   }
+}
+
+}  // namespace internal
+
+/// Leapfrog-intersects k sorted duplicate-free spans, invoking emit(v) for
+/// every NodeId present in all of them, in increasing order. emit returns
+/// false to stop early; LeapfrogIntersect then returns false (true = ran to
+/// exhaustion). k = 0 is the empty intersection (no constraint would mean
+/// "all nodes", which the caller must handle — an unconstrained variable
+/// never reaches the kernel); k = 1 degenerates to a scan of the one span.
+///
+/// `lists` is reordered in place (the classic leapfrog cursor rotation).
+template <typename Emit>
+bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit) {
+  return internal::LeapfrogIntersectImpl<false>(
+      lists, std::forward<Emit>(emit), nullptr);
+}
+
+/// Counted flavor for the match profiler: identical semantics, plus every
+/// galloping seek the kernel issues is tallied into *seeks (must be
+/// non-null). The k = 1 degenerate scan issues no seeks.
+template <typename Emit>
+bool LeapfrogIntersect(std::span<std::span<const NodeId>> lists, Emit&& emit,
+                       uint64_t* seeks) {
+  return internal::LeapfrogIntersectImpl<true>(
+      lists, std::forward<Emit>(emit), seeks);
 }
 
 }  // namespace ged

@@ -104,12 +104,26 @@ class Search {
   Search& operator=(const Search&) = delete;
 
   MatchStats Run() {
+    // Observability: the search always tallies into its own local profile
+    // (when anything is listening) and publishes once at the end — external
+    // profiles may be shared across runs, and the metrics flush must see
+    // exactly this run's contribution.
+    if (external_profile_ != nullptr || metrics_ != nullptr) {
+      prof_ = &local_prof_;
+    }
+    RunInner();
+    Flush();
+    return stats_;
+  }
+
+ private:
+  void RunInner() {
     size_t n = q_.NumVars();
     if (n == 0) {
       // One empty homomorphism.
       stats_.matches = 1;
       cb_(Match{});
-      return stats_;
+      return;
     }
     BuildVarInfo();
     assignment_.assign(n, kUnbound);
@@ -121,7 +135,7 @@ class Search {
     restriction_storage_.clear();
     restriction_storage_.reserve(opts_.restricted.size());
     for (const auto& [x, allowed] : opts_.restricted) {
-      if (x >= n) return stats_;  // restriction on a nonexistent variable
+      if (x >= n) return;  // restriction on a nonexistent variable
       restriction_storage_.push_back(allowed);
       auto& sorted = restriction_storage_.back();
       std::sort(sorted.begin(), sorted.end());
@@ -136,12 +150,12 @@ class Search {
     }
     // Apply pinned bindings; they must be mutually consistent.
     for (const auto& [x, v] : opts_.pinned) {
-      if (x >= n || v >= g_.NumNodes()) return stats_;
+      if (x >= n || v >= g_.NumNodes()) return;
       if (assignment_[x] != kUnbound) {
-        if (assignment_[x] != v) return stats_;
+        if (assignment_[x] != v) return;
         continue;
       }
-      if (!NodeOk(x, v)) return stats_;
+      if (!NodeOk(x, v)) return;
       assignment_[x] = v;
       if (opts_.semantics == MatchSemantics::kIsomorphism) used_[v] = true;
     }
@@ -150,11 +164,37 @@ class Search {
     if constexpr (kIntersectable) {
       if (list_bufs_.size() < order_.size()) list_bufs_.resize(order_.size());
     }
+    // Pre-size the per-depth stats so hot sites index depths[] directly.
+    if (prof_ != nullptr && !order_.empty()) {
+      prof_->Depth(order_.size() - 1);
+    }
     Extend(0);
-    return stats_;
   }
 
- private:
+  // Publishes this run's counters: run totals into the local profile, the
+  // local profile into the external one (if any), and everything into the
+  // metrics registry (if any).
+  void Flush() {
+    if (prof_ == nullptr) return;
+    prof_->steps = stats_.steps;
+    prof_->matches = stats_.matches;
+    prof_->aborts = stats_.aborted ? 1 : 0;
+    if (metrics_ != nullptr) {
+      DepthStats t = prof_->Totals();
+      metrics_->Inc(EngineMetric::kMatchRuns);
+      metrics_->Inc(EngineMetric::kMatchSteps, stats_.steps);
+      metrics_->Inc(EngineMetric::kMatchMatches, stats_.matches);
+      metrics_->Inc(EngineMetric::kMatchCandidates, t.candidates);
+      metrics_->Inc(EngineMetric::kMatchLfRounds, t.lf_rounds);
+      metrics_->Inc(EngineMetric::kMatchLfSeeks, t.lf_seeks);
+      metrics_->Inc(EngineMetric::kMatchLfFanin, t.lf_fanin);
+      metrics_->Inc(EngineMetric::kMatchLinearSteps, t.linear_steps);
+      metrics_->Inc(EngineMetric::kMatchReorders, t.reorders);
+      if (stats_.aborted) metrics_->Inc(EngineMetric::kMatchAborts);
+    }
+    if (external_profile_ != nullptr) external_profile_->Merge(*prof_);
+  }
+
   void BuildVarInfo() {
     info_.assign(q_.NumVars(), VarInfo{});
     for (const Pattern::PEdge& e : q_.edges()) {
@@ -404,12 +444,26 @@ class Search {
       std::span<const NodeId> nodes = g_.NodesWithLabel(xl);
       if (nodes.size() < min_size) add(nodes);
     }
-    return LeapfrogIntersect(
-        std::span<std::span<const NodeId>>(lists.data(), lists.size()),
-        [&](NodeId v) {
-          if (!ResidualOk(x, v)) return true;
-          return try_node(v);
-        });
+    std::span<std::span<const NodeId>> span_lists(lists.data(), lists.size());
+    if (prof_ != nullptr) {
+      // Counted kernel + counting emit: one branch per depth, not per seek.
+      DepthStats& ds = prof_->depths[depth];
+      ++ds.lf_rounds;
+      ds.lf_fanin += lists.size();
+      return LeapfrogIntersect(
+          span_lists,
+          [&](NodeId v) {
+            ++ds.candidates;
+            if (!ResidualOk(x, v)) return true;
+            ++ds.accepted;
+            return try_node(v);
+          },
+          &ds.lf_seeks);
+    }
+    return LeapfrogIntersect(span_lists, [&](NodeId v) {
+      if (!ResidualOk(x, v)) return true;
+      return try_node(v);
+    });
   }
 
   // Candidate generation + recursion, legacy flavor: scan the single
@@ -422,8 +476,14 @@ class Search {
   template <typename TryNode>
   bool ExtendLegacy(VarId x, size_t depth, const TryNode& try_node) {
     const VarInfo& vi = info_[x];
+    DepthStats* ds = prof_ == nullptr ? nullptr : &prof_->depths[depth];
     auto deliver = [&](NodeId v) {
+      if (ds != nullptr) {
+        ++ds->linear_steps;
+        ++ds->candidates;
+      }
       if (!NodeOk(x, v)) return true;
+      if (ds != nullptr) ++ds->accepted;
       return try_node(v);
     };
     // Find the bound neighbor whose adjacency list is smallest. Only the
@@ -647,11 +707,15 @@ class Search {
       }
       return keep_going;
     }
+    if (prof_ != nullptr) ++prof_->depths[depth].extends;
     size_t pick = depth;
     if constexpr (kIntersectable) {
       if (opts_.use_intersection && opts_.smart_order &&
           depth + 1 < order_.size()) {
         pick = PickVarPosition(depth);
+        if (pick != depth && prof_ != nullptr) {
+          ++prof_->depths[depth].reorders;
+        }
         std::swap(order_[depth], order_[pick]);
       }
     }
@@ -709,6 +773,14 @@ class Search {
   std::vector<std::vector<NodeId>>& cand_bufs_;
   std::vector<std::vector<std::span<const NodeId>>>& list_bufs_;
   MatchStats stats_;
+  // Observability (all null when disabled — the hot path then only pays
+  // prof_ pointer tests). The local profile isolates this run's counters;
+  // Flush() merges it into the caller's shared profile and the registry.
+  MetricsRegistry* metrics_ = opts_.obs.Metrics();
+  MatchProfile* external_profile_ =
+      opts_.obs.enabled ? opts_.profile : nullptr;
+  MatchProfile local_prof_;
+  MatchProfile* prof_ = nullptr;
 };
 
 // ----- backend-generic implementations (instantiated for both views) --------

@@ -36,6 +36,7 @@
 #include "graph/frozen.h"
 #include "graph/graph.h"
 #include "graph/pattern.h"
+#include "obs/obs.h"
 
 namespace ged {
 
@@ -93,6 +94,16 @@ struct MatchOptions {
   /// discarding finished matches.
   VarId exclude_before_var = 0;
   const std::vector<NodeId>* exclude_nodes = nullptr;
+  /// Observability sinks (obs/obs.h). Default-disabled: the search then
+  /// carries no instrumentation beyond one pointer test per run, and the
+  /// leapfrog kernel compiles to its uncounted flavor.
+  ObsOptions obs;
+  /// EXPLAIN counter sink (obs/profile.h): when non-null and obs.enabled,
+  /// the search fills per-depth candidate-generation stats (leapfrog seeks,
+  /// intersection fan-in, linear scan steps, reorder decisions) and run
+  /// totals into it. Accumulates across enumerations sharing the pointer
+  /// (EnumerateMatchesTouching merges all its pinned runs into one).
+  MatchProfile* profile = nullptr;
 };
 
 /// Outcome counters of an enumeration.

@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+namespace ged {
+
+namespace {
+
+// (registry pointer, registry uid) -> shard, cached per thread. Entries for
+// dead registries are harmless: a reused address gets a fresh uid, so the
+// cache misses and re-resolves. The vector stays tiny (one entry per
+// registry a thread ever touches).
+struct TlsShardCache {
+  struct Entry {
+    const void* registry;
+    uint64_t uid;
+    void* shard;
+  };
+  std::vector<Entry> entries;
+};
+
+TlsShardCache& ShardCache() {
+  static thread_local TlsShardCache cache;
+  return cache;
+}
+
+std::atomic<uint64_t> g_registry_uid{1};
+
+const char* KindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// Bucket index for a histogram observation: floor(log2(value)), clamped.
+size_t BucketOf(uint64_t value) {
+  size_t b = 0;
+  while (value > 1 && b + 1 < MetricsRegistry::kHistogramBuckets) {
+    value >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+// Relaxed single-writer add: the owning thread is the only writer of its
+// shard's cells, so a load + store pair is a correct (and cheapest) add.
+inline void RelaxedAdd(std::atomic<uint64_t>& cell, uint64_t delta) {
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+}  // namespace
+
+int64_t MonotonicNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_registry_uid.fetch_add(1, std::memory_order_relaxed)) {
+  // Descriptors are read lock-free by Lookup while Register appends, so the
+  // vector must never reallocate: reserve the hard cap up front (each
+  // metric occupies at least one cell, so kMaxCells bounds the count).
+  metrics_.reserve(kMaxCells);
+  static constexpr struct {
+    EngineMetric metric;
+    const char* name;
+    MetricKind kind;
+  } kCatalog[] = {
+      {EngineMetric::kValidateRuns, "validate.runs", MetricKind::kCounter},
+      {EngineMetric::kValidateMatchesChecked, "validate.matches_checked",
+       MetricKind::kCounter},
+      {EngineMetric::kValidateViolations, "validate.violations",
+       MetricKind::kCounter},
+      {EngineMetric::kValidateAbortedGeds, "validate.aborted_geds",
+       MetricKind::kCounter},
+      {EngineMetric::kFreezeRuns, "freeze.runs", MetricKind::kCounter},
+      {EngineMetric::kFreezeNodes, "freeze.nodes", MetricKind::kCounter},
+      {EngineMetric::kFreezeEdges, "freeze.edges", MetricKind::kCounter},
+      {EngineMetric::kPlanCompiles, "plan.compiles", MetricKind::kCounter},
+      {EngineMetric::kPlanBuckets, "plan.buckets", MetricKind::kCounter},
+      {EngineMetric::kPlanRules, "plan.rules", MetricKind::kCounter},
+      {EngineMetric::kMatchRuns, "match.runs", MetricKind::kCounter},
+      {EngineMetric::kMatchSteps, "match.steps", MetricKind::kCounter},
+      {EngineMetric::kMatchMatches, "match.matches", MetricKind::kCounter},
+      {EngineMetric::kMatchCandidates, "match.candidates",
+       MetricKind::kCounter},
+      {EngineMetric::kMatchLfRounds, "match.lf_rounds", MetricKind::kCounter},
+      {EngineMetric::kMatchLfSeeks, "match.lf_seeks", MetricKind::kCounter},
+      {EngineMetric::kMatchLfFanin, "match.lf_fanin", MetricKind::kCounter},
+      {EngineMetric::kMatchLinearSteps, "match.linear_steps",
+       MetricKind::kCounter},
+      {EngineMetric::kMatchReorders, "match.reorders", MetricKind::kCounter},
+      {EngineMetric::kMatchAborts, "match.aborts", MetricKind::kCounter},
+      {EngineMetric::kCommitRuns, "commit.runs", MetricKind::kCounter},
+      {EngineMetric::kCommitTouched, "commit.touched", MetricKind::kCounter},
+      {EngineMetric::kCommitRetracted, "commit.retracted",
+       MetricKind::kCounter},
+      {EngineMetric::kCommitAdded, "commit.added", MetricKind::kCounter},
+      {EngineMetric::kCommitMatchesChecked, "commit.matches_checked",
+       MetricKind::kCounter},
+      {EngineMetric::kGraphNodes, "graph.nodes", MetricKind::kGauge},
+      {EngineMetric::kGraphEdges, "graph.edges", MetricKind::kGauge},
+      {EngineMetric::kLiveViolations, "incr.live_violations",
+       MetricKind::kGauge},
+      {EngineMetric::kValidateWallNs, "validate.wall_ns",
+       MetricKind::kHistogram},
+      {EngineMetric::kFreezeWallNs, "freeze.wall_ns", MetricKind::kHistogram},
+      {EngineMetric::kScanWallNs, "scan.wall_ns", MetricKind::kHistogram},
+      {EngineMetric::kCommitWallNs, "commit.wall_ns",
+       MetricKind::kHistogram},
+  };
+  static_assert(sizeof(kCatalog) / sizeof(kCatalog[0]) ==
+                    static_cast<size_t>(EngineMetric::kCount),
+                "EngineMetric catalog out of sync");
+  for (const auto& entry : kCatalog) {
+    Register(entry.name, entry.kind);
+  }
+}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::MetricId MetricsRegistry::Register(std::string name,
+                                                    MetricKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t num_cells =
+      kind == MetricKind::kHistogram ? kHistogramBuckets + 2 : 1;
+  if (next_cell_ + num_cells > kMaxCells) return SIZE_MAX;
+  MetricId id = metrics_.size();
+  metrics_.push_back(Descriptor{std::move(name), kind, next_cell_, num_cells});
+  next_cell_ += num_cells;
+  num_metrics_.store(metrics_.size(), std::memory_order_release);
+  return id;
+}
+
+size_t MetricsRegistry::NumMetrics() const {
+  return num_metrics_.load(std::memory_order_acquire);
+}
+
+const MetricsRegistry::Descriptor* MetricsRegistry::Lookup(
+    MetricId id) const {
+  // Lock-free: metrics_ is append-only and pre-reserved to its hard cap
+  // (constructor), so published descriptors never move; the acquire load
+  // pairs with Register's release store to make descriptor `id` visible.
+  if (id >= num_metrics_.load(std::memory_order_acquire)) return nullptr;
+  return &metrics_[id];
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  TlsShardCache& cache = ShardCache();
+  for (const auto& e : cache.entries) {
+    if (e.registry == this && e.uid == uid_) {
+      return static_cast<Shard*>(e.shard);
+    }
+  }
+  Shard* shard;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::make_unique<Shard>());
+    shard = shards_.back().get();
+  }
+  cache.entries.push_back({this, uid_, shard});
+  return shard;
+}
+
+void MetricsRegistry::Inc(MetricId id, uint64_t delta) {
+  const Descriptor* d = Lookup(id);
+  if (d == nullptr || d->kind != MetricKind::kCounter) return;
+  RelaxedAdd(LocalShard()->cells[d->cell_offset], delta);
+}
+
+void MetricsRegistry::Set(MetricId id, uint64_t value) {
+  const Descriptor* d = Lookup(id);
+  if (d == nullptr || d->kind != MetricKind::kGauge) return;
+  gauges_[d->cell_offset].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(MetricId id, uint64_t value) {
+  const Descriptor* d = Lookup(id);
+  if (d == nullptr || d->kind != MetricKind::kHistogram) return;
+  Shard* shard = LocalShard();
+  size_t base = d->cell_offset;
+  RelaxedAdd(shard->cells[base], 1);             // count
+  RelaxedAdd(shard->cells[base + 1], value);     // sum
+  RelaxedAdd(shard->cells[base + 2 + BucketOf(value)], 1);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.metrics.reserve(metrics_.size());
+  for (const Descriptor& d : metrics_) {
+    MetricValue v;
+    v.name = d.name;
+    v.kind = d.kind;
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        for (const auto& shard : shards_) {
+          v.value +=
+              shard->cells[d.cell_offset].load(std::memory_order_relaxed);
+        }
+        break;
+      case MetricKind::kGauge:
+        v.value = gauges_[d.cell_offset].load(std::memory_order_relaxed);
+        break;
+      case MetricKind::kHistogram: {
+        v.buckets.assign(kHistogramBuckets, 0);
+        for (const auto& shard : shards_) {
+          size_t base = d.cell_offset;
+          v.count += shard->cells[base].load(std::memory_order_relaxed);
+          v.sum += shard->cells[base + 1].load(std::memory_order_relaxed);
+          for (size_t b = 0; b < kHistogramBuckets; ++b) {
+            v.buckets[b] +=
+                shard->cells[base + 2 + b].load(std::memory_order_relaxed);
+          }
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(v));
+  }
+  return snap;
+}
+
+std::vector<const MetricValue*> MetricsSnapshot::NonZero() const {
+  std::vector<const MetricValue*> out;
+  for (const MetricValue& v : metrics) {
+    bool zero = v.kind == MetricKind::kHistogram ? v.count == 0
+                                                 : v.value == 0;
+    if (!zero) out.push_back(&v);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& v : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << v.name << "\",\"kind\":\"" << KindName(v.kind)
+       << "\"";
+    if (v.kind == MetricKind::kHistogram) {
+      os << ",\"count\":" << v.count << ",\"sum\":" << v.sum
+         << ",\"buckets\":[";
+      // Trailing all-zero buckets elided (the JSON stays readable; bucket
+      // i's bound is recoverable as 2^(i+1) ns).
+      size_t last = v.buckets.size();
+      while (last > 0 && v.buckets[last - 1] == 0) --last;
+      for (size_t b = 0; b < last; ++b) {
+        if (b > 0) os << ",";
+        os << v.buckets[b];
+      }
+      os << "]";
+    } else {
+      os << ",\"value\":" << v.value;
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+ScopedLatency::ScopedLatency(MetricsRegistry* registry, EngineMetric metric)
+    : registry_(registry),
+      metric_(metric),
+      start_ns_(registry == nullptr ? 0 : MonotonicNowNs()) {}
+
+ScopedLatency::~ScopedLatency() {
+  if (registry_ == nullptr) return;
+  registry_->Observe(metric_,
+                     static_cast<uint64_t>(std::max<int64_t>(
+                         0, MonotonicNowNs() - start_ns_)));
+}
+
+}  // namespace ged

@@ -1,0 +1,72 @@
+// Observability options + session (obs/ front door).
+//
+// ObsOptions is the small value type threaded through MatchOptions and
+// ValidationOptions: a master switch plus three optional sinks. Every
+// instrumentation site asks one of the accessors, which return null unless
+// `enabled` is set AND the sink exists — so a default ObsOptions (or one
+// with enabled=false) keeps every hot path on its uninstrumented branch.
+//
+// ObsSession bundles one of each sink with the right lifetimes for the
+// common "profile this run" use (bench --profile flags, examples).
+
+#ifndef GEDLIB_OBS_OBS_H_
+#define GEDLIB_OBS_OBS_H_
+
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace ged {
+
+/// Observability configuration carried by MatchOptions / ValidationOptions.
+/// Copyable; the pointed-to sinks are borrowed (caller-owned) and must
+/// outlive every run using them.
+struct ObsOptions {
+  /// Master switch. False = all accessors return null, regardless of sinks.
+  bool enabled = false;
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+  ProfileCollector* profiler = nullptr;
+
+  MetricsRegistry* Metrics() const { return enabled ? metrics : nullptr; }
+  Tracer* Trace() const { return enabled ? tracer : nullptr; }
+  ProfileCollector* Profiler() const { return enabled ? profiler : nullptr; }
+
+  /// True when at least one sink would receive data.
+  bool Active() const {
+    return enabled &&
+           (metrics != nullptr || tracer != nullptr || profiler != nullptr);
+  }
+};
+
+/// Owns one sink of each kind and hands out an enabled ObsOptions wired to
+/// them. Convenience for drivers that profile a whole run.
+class ObsSession {
+ public:
+  ObsSession() = default;
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  MetricsRegistry& Metrics() { return metrics_; }
+  Tracer& Trace() { return tracer_; }
+  ProfileCollector& Profiler() { return profiler_; }
+
+  ObsOptions Options() {
+    ObsOptions o;
+    o.enabled = true;
+    o.metrics = &metrics_;
+    o.tracer = &tracer_;
+    o.profiler = &profiler_;
+    return o;
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  Tracer tracer_;
+  ProfileCollector profiler_;
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_OBS_OBS_H_

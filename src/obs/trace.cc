@@ -1,0 +1,220 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+
+#include "obs/metrics.h"  // MonotonicNowNs
+
+namespace ged {
+
+namespace {
+
+// Same (pointer, uid) thread-local cache scheme as the metrics shards: a
+// dead tracer's entries never match a live tracer's uid, so address reuse
+// is harmless.
+struct TlsBufferCache {
+  struct Entry {
+    const void* tracer;
+    uint64_t uid;
+    void* buffer;
+  };
+  std::vector<Entry> entries;
+};
+
+TlsBufferCache& BufferCache() {
+  static thread_local TlsBufferCache cache;
+  return cache;
+}
+
+std::atomic<uint64_t> g_tracer_uid{1};
+
+void JsonEscape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) break;  // drop controls
+        os << c;
+    }
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : uid_(g_tracer_uid.fetch_add(1, std::memory_order_relaxed)),
+      epoch_ns_(MonotonicNowNs()) {}
+
+Tracer::~Tracer() = default;
+
+int64_t Tracer::NowNs() const { return MonotonicNowNs() - epoch_ns_; }
+
+Tracer::Buffer* Tracer::LocalBuffer() const {
+  TlsBufferCache& cache = BufferCache();
+  for (const auto& e : cache.entries) {
+    if (e.tracer == this && e.uid == uid_) {
+      return static_cast<Buffer*>(e.buffer);
+    }
+  }
+  Buffer* buffer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::make_unique<Buffer>());
+    buffer = buffers_.back().get();
+    buffer->tid = static_cast<uint32_t>(buffers_.size() - 1);
+  }
+  cache.entries.push_back({this, uid_, buffer});
+  return buffer;
+}
+
+void Tracer::Record(const char* name, std::string arg, int64_t start_ns,
+                    int64_t dur_ns, uint32_t depth) {
+  Buffer* buffer = LocalBuffer();
+  TraceEvent e;
+  e.name = name;
+  e.arg = std::move(arg);
+  e.tid = buffer->tid;
+  e.depth = depth;
+  e.start_ns = start_ns;
+  e.dur_ns = dur_ns;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(e));
+}
+
+uint32_t Tracer::OpenDepth() const { return LocalBuffer()->open_depth; }
+void Tracer::PushDepth() { ++LocalBuffer()->open_depth; }
+void Tracer::PopDepth() {
+  Buffer* b = LocalBuffer();
+  if (b->open_depth > 0) --b->open_depth;
+}
+
+std::vector<TraceEvent> Tracer::Merged() const {
+  std::vector<TraceEvent> all;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> block(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  // Parents before children: spans strictly nest within a thread, so a
+  // parent starts no later and lasts no shorter than its children.
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.dur_ns > b.dur_ns;
+            });
+  return all;
+}
+
+namespace {
+
+// Emits events[i..] as a JSON span array at `depth`, returning the index
+// one past the last sibling consumed. Events must be in Merged() order and
+// belong to one tid.
+size_t EmitSpanForest(const std::vector<TraceEvent>& events, size_t i,
+                      size_t end, uint32_t depth, std::ostringstream& os) {
+  os << "[";
+  bool first = true;
+  while (i < end && events[i].depth >= depth) {
+    if (events[i].depth > depth) {
+      // Malformed nesting (lost parent) — skip rather than misattach.
+      ++i;
+      continue;
+    }
+    if (!first) os << ",";
+    first = false;
+    const TraceEvent& e = events[i];
+    os << "{\"name\":\"";
+    JsonEscape(os, e.name);
+    os << "\"";
+    if (!e.arg.empty()) {
+      os << ",\"arg\":\"";
+      JsonEscape(os, e.arg);
+      os << "\"";
+    }
+    os << ",\"start_ns\":" << e.start_ns << ",\"dur_ns\":" << e.dur_ns
+       << ",\"children\":";
+    // Children: the following events nested inside [start, start+dur).
+    size_t j = i + 1;
+    int64_t end_ns = e.start_ns + e.dur_ns;
+    size_t child_end = j;
+    while (child_end < end && events[child_end].start_ns < end_ns) {
+      ++child_end;
+    }
+    i = EmitSpanForest(events, j, child_end, depth + 1, os);
+    // Consume any stragglers the recursion skipped.
+    if (i < child_end) i = child_end;
+    os << "}";
+  }
+  os << "]";
+  return i;
+}
+
+}  // namespace
+
+std::string Tracer::ToJson() const {
+  std::vector<TraceEvent> all = Merged();
+  std::ostringstream os;
+  os << "{\"threads\":[";
+  size_t i = 0;
+  bool first_thread = true;
+  while (i < all.size()) {
+    uint32_t tid = all[i].tid;
+    size_t end = i;
+    while (end < all.size() && all[end].tid == tid) ++end;
+    if (!first_thread) os << ",";
+    first_thread = false;
+    os << "{\"tid\":" << tid << ",\"spans\":";
+    EmitSpanForest(all, i, end, 0, os);
+    os << "}";
+    i = end;
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string Tracer::ToChromeTrace() const {
+  std::vector<TraceEvent> all = Merged();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : all) {
+    if (!first) os << ",";
+    first = false;
+    // Complete event; timestamps in microseconds (fractional for ns
+    // resolution).
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid << ",\"name\":\"";
+    JsonEscape(os, e.name);
+    os << "\",\"ts\":" << static_cast<double>(e.start_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0;
+    if (!e.arg.empty()) {
+      os << ",\"args\":{\"detail\":\"";
+      JsonEscape(os, e.arg);
+      os << "\"}";
+    }
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+ScopedSpan::ScopedSpan(Tracer* tracer, const char* name, std::string arg)
+    : tracer_(tracer), name_(name), arg_(std::move(arg)) {
+  if (tracer_ == nullptr) return;
+  depth_ = tracer_->OpenDepth();
+  tracer_->PushDepth();
+  start_ns_ = tracer_->NowNs();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ == nullptr) return;
+  int64_t dur = tracer_->NowNs() - start_ns_;
+  tracer_->PopDepth();
+  tracer_->Record(name_, std::move(arg_), start_ns_, dur, depth_);
+}
+
+}  // namespace ged

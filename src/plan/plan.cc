@@ -73,6 +73,7 @@ RulesetPlan RulesetPlan::Compile(const std::vector<Ged>& sigma) {
     PlanBucket& bucket = plan.buckets[it->second];
     PlanRule rule;
     rule.ged_index = i;
+    rule.name = phi.name();
     rule.x_plan = RemapLiterals(phi.X(), form.to_canonical);
     rule.y_plan = RemapLiterals(phi.Y(), form.to_canonical);
     rule.forbidding = phi.is_forbidding();

@@ -38,6 +38,8 @@ namespace ged {
 struct PlanRule {
   /// Index of this rule in the compiled Σ.
   size_t ged_index = 0;
+  /// The rule's name (Ged::name; diagnostics and the match profiler).
+  std::string name;
   /// to_plan[x] is the bucket variable bound where the rule's own variable x
   /// is bound: rule_match[x] = bucket_match[to_plan[x]].
   std::vector<VarId> to_plan;

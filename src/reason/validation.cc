@@ -4,7 +4,9 @@
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
+#include <utility>
 
 namespace ged {
 
@@ -16,35 +18,144 @@ MatchOptions BaseMatchOptions(const ValidationOptions& vopts) {
   mopts.degree_filter = vopts.degree_filter;
   mopts.smart_order = vopts.smart_order;
   mopts.use_intersection = vopts.use_intersection;
+  mopts.max_steps = vopts.max_steps_per_scan;
+  mopts.obs = vopts.obs;
   return mopts;
 }
 
-// Sorts, applies the deterministic per-GED cap, and sets `satisfied`.
+// Per-worker accumulator threaded through every scan flavor: the violation
+// buffer, the (match, rule) counter, and the GED indices whose scan hit the
+// per-scan step budget.
+struct WorkerState {
+  std::vector<Violation> violations;
+  uint64_t checked = 0;
+  std::vector<size_t> aborted;
+};
+
+// Short human-readable pattern shape for profile rows.
+std::string PatternDesc(const Pattern& q) {
+  return "vars=" + std::to_string(q.NumVars()) +
+         ",edges=" + std::to_string(q.edges().size());
+}
+
+// Per-scan-task observability, shared by every scan flavor: opens the
+// "Match" trace span, wires the profiler's MatchProfile sink into the
+// MatchOptions (one profile per task — pinned sub-runs accumulate into it),
+// and on Finish() hands profile + wall time to the collector / metrics.
+// All clock reads are skipped when nothing listens.
+class ScanObs {
+ public:
+  ScanObs(const ValidationOptions& vopts, const char* kind, size_t bucket_id,
+          MatchOptions* mopts)
+      : profiler_(vopts.obs.Profiler()),
+        metrics_(vopts.obs.Metrics()),
+        bucket_id_(bucket_id),
+        span_(vopts.obs.Trace(), "Match",
+              vopts.obs.Trace() == nullptr
+                  ? std::string{}
+                  : std::string(kind) + "=" + std::to_string(bucket_id)) {
+    if (profiler_ != nullptr) mopts->profile = &prof_;
+    if (profiler_ != nullptr || metrics_ != nullptr) {
+      start_ns_ = MonotonicNowNs();
+      timed_ = true;
+    }
+  }
+
+  ProfileCollector* profiler() const { return profiler_; }
+
+  void Finish() {
+    if (!timed_) return;
+    int64_t wall = std::max<int64_t>(0, MonotonicNowNs() - start_ns_);
+    if (metrics_ != nullptr) {
+      metrics_->Observe(EngineMetric::kScanWallNs,
+                        static_cast<uint64_t>(wall));
+    }
+    if (profiler_ != nullptr) profiler_->AddScan(bucket_id_, prof_, wall);
+  }
+
+ private:
+  ProfileCollector* profiler_;
+  MetricsRegistry* metrics_;
+  size_t bucket_id_;
+  ScopedSpan span_;
+  MatchProfile prof_;
+  bool timed_ = false;
+  int64_t start_ns_ = 0;
+};
+
+// Sorts, applies the deterministic per-GED cap, dedups the aborted-GED
+// list, and sets `satisfied` — under the "ViolationEmit" span.
 void FinalizeReport(ValidationReport* report,
                     const ValidationOptions& options) {
+  ScopedSpan span(options.obs.Trace(), "ViolationEmit");
+  ProfileCollector* profiler = options.obs.Profiler();
+  int64_t start_ns = profiler == nullptr ? 0 : MonotonicNowNs();
   SortViolationList(&report->violations);
   TruncateViolationsPerGed(&report->violations,
                            options.max_violations_per_ged);
+  std::sort(report->aborted_geds.begin(), report->aborted_geds.end());
+  report->aborted_geds.erase(
+      std::unique(report->aborted_geds.begin(), report->aborted_geds.end()),
+      report->aborted_geds.end());
   report->satisfied = report->violations.empty();
+  if (profiler != nullptr) profiler->AddEmitNs(MonotonicNowNs() - start_ns);
+}
+
+// Converts an accumulated WorkerState into the final sorted report.
+ValidationReport ReportFromWorker(WorkerState ws,
+                                  const ValidationOptions& options) {
+  ValidationReport report;
+  report.violations = std::move(ws.violations);
+  report.matches_checked = ws.checked;
+  report.aborted_geds = std::move(ws.aborted);
+  FinalizeReport(&report, options);
+  return report;
 }
 
 // ----- legacy per-GED scans (use_compiled_plan = false) ---------------------
 
-// Serial scan of one GED, optionally restricted by a pinned first variable.
+// One scan task of one GED: an unpinned full run when `pins` is empty,
+// otherwise one pinned run per pin (all under one scan-task profile/span).
+// The profiler keys the legacy path by ged_index — one GED = one "bucket".
 template <typename GView>
 void ScanGed(const GView& g, const Ged& phi, size_t ged_index,
-             const ValidationOptions& vopts,
-             const std::vector<std::pair<VarId, NodeId>>& pinned,
-             std::vector<Violation>* out, uint64_t* checked) {
+             const ValidationOptions& vopts, VarId pin_var,
+             const std::vector<NodeId>& pins, WorkerState* ws) {
   MatchOptions mopts = BaseMatchOptions(vopts);
-  mopts.pinned = pinned;
-  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
-    ++*checked;
+  ScanObs obs(vopts, "ged", ged_index, &mopts);
+  size_t viol_start = ws->violations.size();
+  MatchStats stats;
+  auto cb = [&](const Match& h) {
+    ++ws->checked;
     if (!SatisfiesAll(g, h, phi.X())) return true;
     bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
-    if (!y_ok) out->push_back(Violation{ged_index, h});
+    if (!y_ok) ws->violations.push_back(Violation{ged_index, h});
     return true;
-  });
+  };
+  auto run = [&]() {
+    MatchStats s = EnumerateMatches(phi.pattern(), g, mopts, cb);
+    stats.matches += s.matches;
+    stats.steps += s.steps;
+    stats.aborted |= s.aborted;
+  };
+  if (pins.empty()) {
+    run();
+  } else {
+    mopts.pinned.resize(1);
+    for (NodeId pin : pins) {
+      mopts.pinned[0] = {pin_var, pin};
+      run();
+    }
+  }
+  if (stats.aborted) ws->aborted.push_back(ged_index);
+  if (ProfileCollector* profiler = obs.profiler()) {
+    profiler->DeclareBucket(ged_index, PatternDesc(phi.pattern()));
+    profiler->DeclareRule(ged_index, phi.name(), ged_index);
+    profiler->AddRuleCounts(ged_index, stats.matches,
+                            ws->violations.size() - viol_start,
+                            stats.aborted);
+  }
+  obs.Finish();
 }
 
 // Builds the MatchOptions of one touching run: variable x restricted to the
@@ -78,35 +189,89 @@ template <typename GView>
 void ScanGedTouching(const GView& g, const Ged& phi, size_t ged_index,
                      const ValidationOptions& vopts, VarId x,
                      const std::vector<NodeId>& pins,
-                     const std::vector<NodeId>& touched,
-                     std::vector<Violation>* out, uint64_t* checked) {
+                     const std::vector<NodeId>& touched, WorkerState* ws) {
   MatchOptions mopts;
   if (!TouchingRunOptions(g, phi.pattern(), vopts, x, pins, touched, &mopts)) {
     return;
   }
-  EnumerateMatches(phi.pattern(), g, mopts, [&](const Match& h) {
-    ++*checked;
+  ScanObs obs(vopts, "ged", ged_index, &mopts);
+  size_t viol_start = ws->violations.size();
+  MatchStats stats = EnumerateMatches(phi.pattern(), g, mopts,
+                                      [&](const Match& h) {
+    ++ws->checked;
     if (!SatisfiesAll(g, h, phi.X())) return true;
     bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
-    if (!y_ok) out->push_back(Violation{ged_index, h});
+    if (!y_ok) ws->violations.push_back(Violation{ged_index, h});
     return true;
   });
+  if (stats.aborted) ws->aborted.push_back(ged_index);
+  if (ProfileCollector* profiler = obs.profiler()) {
+    profiler->DeclareBucket(ged_index, PatternDesc(phi.pattern()));
+    profiler->DeclareRule(ged_index, phi.name(), ged_index);
+    profiler->AddRuleCounts(ged_index, stats.matches,
+                            ws->violations.size() - viol_start,
+                            stats.aborted);
+  }
+  obs.Finish();
 }
 
 // ----- compiled bucket scans (plan/ScanBucket wrappers) ---------------------
 
+// Post-scan accounting shared by the bucket scan flavors: a step-budget
+// abort taints every member rule, and the profiler gets per-rule checked
+// counts (= enumerated matches — every match checks every member rule) plus
+// the violations this scan appended at [viol_start..).
+void AccountBucketScan(const PlanBucket& bucket, size_t bucket_id,
+                       const MatchStats& stats, WorkerState* ws,
+                       size_t viol_start, ProfileCollector* profiler) {
+  if (stats.aborted) {
+    for (const PlanRule& r : bucket.rules) ws->aborted.push_back(r.ged_index);
+  }
+  if (profiler == nullptr) return;
+  profiler->DeclareBucket(bucket_id, PatternDesc(bucket.pattern));
+  for (const PlanRule& r : bucket.rules) {
+    profiler->DeclareRule(r.ged_index, r.name, bucket_id);
+    uint64_t viols = 0;
+    for (size_t i = viol_start; i < ws->violations.size(); ++i) {
+      if (ws->violations[i].ged_index == r.ged_index) ++viols;
+    }
+    profiler->AddRuleCounts(r.ged_index, stats.matches, viols, stats.aborted);
+  }
+}
+
+// One scan task of one bucket: an unpinned full run when `pins` is empty,
+// otherwise one pinned run per pin (all under one scan-task profile/span).
 template <typename GView>
 void ScanBucketInto(const GView& g, const PlanBucket& bucket,
-                    const ValidationOptions& vopts,
-                    const std::vector<std::pair<VarId, NodeId>>& pinned,
-                    std::vector<Violation>* out, uint64_t* checked) {
+                    size_t bucket_id, const ValidationOptions& vopts,
+                    VarId pin_var, const std::vector<NodeId>& pins,
+                    WorkerState* ws) {
   MatchOptions mopts = BaseMatchOptions(vopts);
-  mopts.pinned = pinned;
-  ScanBucket(g, bucket, mopts, checked,
-             [&](size_t ged_index, const Match& rule_match) {
-               out->push_back(Violation{ged_index, rule_match});
-               return true;
-             });
+  ScanObs obs(vopts, "bucket", bucket_id, &mopts);
+  size_t viol_start = ws->violations.size();
+  auto on_violation = [&](size_t ged_index, const Match& rule_match) {
+    ws->violations.push_back(Violation{ged_index, rule_match});
+    return true;
+  };
+  MatchStats stats;
+  auto run = [&]() {
+    MatchStats s = ScanBucket(g, bucket, mopts, &ws->checked, on_violation);
+    stats.matches += s.matches;
+    stats.steps += s.steps;
+    stats.aborted |= s.aborted;
+  };
+  if (pins.empty()) {
+    run();
+  } else {
+    mopts.pinned.resize(1);
+    for (NodeId pin : pins) {
+      mopts.pinned[0] = {pin_var, pin};
+      run();
+    }
+  }
+  AccountBucketScan(bucket, bucket_id, stats, ws, viol_start,
+                    obs.profiler());
+  obs.Finish();
 }
 
 // Bucket-level twin of ScanGedTouching: one restricted run per bucket
@@ -114,49 +279,55 @@ void ScanBucketInto(const GView& g, const PlanBucket& bucket,
 // checked per match.
 template <typename GView>
 void ScanBucketTouching(const GView& g, const PlanBucket& bucket,
-                        const ValidationOptions& vopts, VarId x,
-                        const std::vector<NodeId>& pins,
-                        const std::vector<NodeId>& touched,
-                        std::vector<Violation>* out, uint64_t* checked) {
+                        size_t bucket_id, const ValidationOptions& vopts,
+                        VarId x, const std::vector<NodeId>& pins,
+                        const std::vector<NodeId>& touched, WorkerState* ws) {
   MatchOptions mopts;
   if (!TouchingRunOptions(g, bucket.pattern, vopts, x, pins, touched,
                           &mopts)) {
     return;
   }
-  ScanBucket(g, bucket, mopts, checked,
-             [&](size_t ged_index, const Match& rule_match) {
-               out->push_back(Violation{ged_index, rule_match});
-               return true;
-             });
+  ScanObs obs(vopts, "bucket", bucket_id, &mopts);
+  size_t viol_start = ws->violations.size();
+  MatchStats stats =
+      ScanBucket(g, bucket, mopts, &ws->checked,
+                 [&](size_t ged_index, const Match& rule_match) {
+                   ws->violations.push_back(Violation{ged_index, rule_match});
+                   return true;
+                 });
+  AccountBucketScan(bucket, bucket_id, stats, ws, viol_start,
+                    obs.profiler());
+  obs.Finish();
 }
 
 // ----- parallel driver ------------------------------------------------------
 
 // Drains `num_items` indexed work items across options.num_threads workers.
-// Each worker accumulates violations into a local buffer merged under one
-// mutex. `scan(item, out, checked)` performs one item's scan. Deterministic:
-// items partition the match space exactly, and the merged report is sorted
-// (and cap-truncated to the smallest) afterwards.
+// Each worker accumulates into a local WorkerState merged under one mutex.
+// `scan(item, ws)` performs one item's scan. Deterministic: items partition
+// the match space exactly, and the merged report is sorted (and
+// cap-truncated to the smallest) afterwards.
 ValidationReport RunParallelScan(
     size_t num_items, const ValidationOptions& options,
-    const std::function<void(size_t, std::vector<Violation>*, uint64_t*)>&
-        scan) {
+    const std::function<void(size_t, WorkerState*)>& scan) {
   std::atomic<size_t> next{0};
   std::mutex mu;
-  ValidationReport report;
+  WorkerState merged;
 
   auto worker = [&]() {
-    std::vector<Violation> local;
-    uint64_t checked = 0;
+    WorkerState local;
     while (true) {
       size_t k = next.fetch_add(1);
       if (k >= num_items) break;
-      scan(k, &local, &checked);
+      scan(k, &local);
     }
     std::lock_guard<std::mutex> lock(mu);
-    report.violations.insert(report.violations.end(), local.begin(),
-                             local.end());
-    report.matches_checked += checked;
+    merged.violations.insert(merged.violations.end(),
+                             std::make_move_iterator(local.violations.begin()),
+                             std::make_move_iterator(local.violations.end()));
+    merged.checked += local.checked;
+    merged.aborted.insert(merged.aborted.end(), local.aborted.begin(),
+                          local.aborted.end());
   };
 
   std::vector<std::thread> threads;
@@ -165,8 +336,7 @@ ValidationReport RunParallelScan(
   }
   for (auto& t : threads) t.join();
 
-  FinalizeReport(&report, options);
-  return report;
+  return ReportFromWorker(std::move(merged), options);
 }
 
 // Candidate nodes for pinning variable `pin` of `q` in `g`.
@@ -189,13 +359,11 @@ template <typename GView>
 ValidationReport ValidateSerialLegacy(const GView& g,
                                       const std::vector<Ged>& sigma,
                                       const ValidationOptions& options) {
-  ValidationReport report;
+  WorkerState ws;
   for (size_t i = 0; i < sigma.size(); ++i) {
-    ScanGed(g, sigma[i], i, options, {}, &report.violations,
-            &report.matches_checked);
+    ScanGed(g, sigma[i], i, options, 0, {}, &ws);
   }
-  FinalizeReport(&report, options);
-  return report;
+  return ReportFromWorker(std::move(ws), options);
 }
 
 template <typename GView>
@@ -231,20 +399,12 @@ ValidationReport ValidateParallelLegacy(const GView& g,
     }
   }
 
-  return RunParallelScan(
-      items.size(), options,
-      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
-        const WorkItem& item = items[k];
-        if (item.pins.empty()) {
-          ScanGed(g, sigma[item.ged_index], item.ged_index, options, {}, v,
-                  checked);
-        } else {
-          for (NodeId pin : item.pins) {
-            ScanGed(g, sigma[item.ged_index], item.ged_index, options,
-                    {{item.pin_var, pin}}, v, checked);
-          }
-        }
-      });
+  return RunParallelScan(items.size(), options,
+                         [&](size_t k, WorkerState* ws) {
+                           const WorkItem& item = items[k];
+                           ScanGed(g, sigma[item.ged_index], item.ged_index,
+                                   options, item.pin_var, item.pins, ws);
+                         });
 }
 
 // ----- compiled Validate ----------------------------------------------------
@@ -252,13 +412,11 @@ ValidationReport ValidateParallelLegacy(const GView& g,
 template <typename GView>
 ValidationReport ValidateSerialPlan(const GView& g, const RulesetPlan& plan,
                                     const ValidationOptions& options) {
-  ValidationReport report;
-  for (const PlanBucket& bucket : plan.buckets) {
-    ScanBucketInto(g, bucket, options, {}, &report.violations,
-                   &report.matches_checked);
+  WorkerState ws;
+  for (size_t b = 0; b < plan.buckets.size(); ++b) {
+    ScanBucketInto(g, plan.buckets[b], b, options, 0, {}, &ws);
   }
-  FinalizeReport(&report, options);
-  return report;
+  return ReportFromWorker(std::move(ws), options);
 }
 
 template <typename GView>
@@ -269,14 +427,16 @@ ValidationReport ValidateParallelPlan(const GView& g, const RulesetPlan& plan,
   // exactly, so any item partition is race-free and deterministic.
   struct WorkItem {
     const PlanBucket* bucket;
+    size_t bucket_id;
     VarId pin_var;
     std::vector<NodeId> pins;  // empty = single run without pinning
   };
   std::vector<WorkItem> items;
   size_t chunks_per_bucket = std::max<size_t>(1, 8 * options.num_threads);
-  for (const PlanBucket& bucket : plan.buckets) {
+  for (size_t b = 0; b < plan.buckets.size(); ++b) {
+    const PlanBucket& bucket = plan.buckets[b];
     if (bucket.pattern.NumVars() == 0) {
-      items.push_back(WorkItem{&bucket, 0, {}});  // single empty match
+      items.push_back(WorkItem{&bucket, b, 0, {}});  // single empty match
       continue;
     }
     VarId pin_var = SelectPinVariable(bucket.pattern, g);
@@ -285,25 +445,19 @@ ValidationReport ValidateParallelPlan(const GView& g, const RulesetPlan& plan,
     for (size_t begin = 0; begin < candidates.size(); begin += chunk) {
       size_t end = std::min(candidates.size(), begin + chunk);
       items.push_back(
-          WorkItem{&bucket, pin_var,
+          WorkItem{&bucket, b, pin_var,
                    std::vector<NodeId>(candidates.begin() + begin,
                                        candidates.begin() + end)});
     }
   }
 
-  return RunParallelScan(
-      items.size(), options,
-      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
-        const WorkItem& item = items[k];
-        if (item.pins.empty()) {
-          ScanBucketInto(g, *item.bucket, options, {}, v, checked);
-        } else {
-          for (NodeId pin : item.pins) {
-            ScanBucketInto(g, *item.bucket, options, {{item.pin_var, pin}}, v,
-                           checked);
-          }
-        }
-      });
+  return RunParallelScan(items.size(), options,
+                         [&](size_t k, WorkerState* ws) {
+                           const WorkItem& item = items[k];
+                           ScanBucketInto(g, *item.bucket, item.bucket_id,
+                                          options, item.pin_var, item.pins,
+                                          ws);
+                         });
 }
 
 // ----- seeded-scan restriction builder --------------------------------------
@@ -359,44 +513,126 @@ bool ShouldFreeze(const Graph& g, const ValidationOptions& options) {
   return options.freeze_snapshot && g.Size() >= kFreezeSizeCutoff;
 }
 
+// RulesetPlan::Compile under the "PlanCompile" span, with plan-shape
+// metrics and the profiler's compile wall time.
+RulesetPlan CompileWithObs(const std::vector<Ged>& sigma,
+                           const ValidationOptions& options) {
+  ScopedSpan span(options.obs.Trace(), "PlanCompile");
+  ProfileCollector* profiler = options.obs.Profiler();
+  int64_t start_ns = profiler == nullptr ? 0 : MonotonicNowNs();
+  RulesetPlan plan = RulesetPlan::Compile(sigma);
+  if (MetricsRegistry* metrics = options.obs.Metrics()) {
+    metrics->Inc(EngineMetric::kPlanCompiles);
+    metrics->Inc(EngineMetric::kPlanBuckets, plan.buckets.size());
+    metrics->Inc(EngineMetric::kPlanRules, plan.num_rules);
+  }
+  if (profiler != nullptr) {
+    profiler->AddPlanCompileNs(MonotonicNowNs() - start_ns);
+  }
+  return plan;
+}
+
+// Dispatch bodies of the public entries, without the run-level "Validate"
+// span — the public overloads chain (Graph → FrozenGraph, Validate →
+// ValidateWithPlan), so the span and run metrics are opened exactly once at
+// the outermost public call and the chain runs through these.
+template <typename GView>
+ValidationReport ValidateWithPlanNoObs(const GView& g, const RulesetPlan& plan,
+                                       const ValidationOptions& options) {
+  if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
+  return ValidateParallelPlan(g, plan, options);
+}
+
+template <typename GView>
+ValidationReport ValidateNoObs(const GView& g, const std::vector<Ged>& sigma,
+                               const ValidationOptions& options) {
+  if (options.use_compiled_plan) {
+    return ValidateWithPlanNoObs(g, CompileWithObs(sigma, options), options);
+  }
+  if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
+  return ValidateParallelLegacy(g, sigma, options);
+}
+
+// Run-level observability of one public Validate / ValidateWithPlan call:
+// the "Validate" trace span, the validate.* run counters, the graph-size
+// gauges, and the wall-time histogram. Observe(report) flushes the report's
+// totals before the scope closes.
+class ValidateObsScope {
+ public:
+  ValidateObsScope(const ValidationOptions& options, size_t nodes,
+                   size_t edges)
+      : metrics_(options.obs.Metrics()),
+        span_(options.obs.Trace(), "Validate"),
+        lat_(options.obs.Metrics(), EngineMetric::kValidateWallNs) {
+    if (metrics_ != nullptr) {
+      metrics_->Inc(EngineMetric::kValidateRuns);
+      metrics_->Set(EngineMetric::kGraphNodes, nodes);
+      metrics_->Set(EngineMetric::kGraphEdges, edges);
+    }
+  }
+
+  void Observe(const ValidationReport& report) {
+    if (metrics_ == nullptr) return;
+    metrics_->Inc(EngineMetric::kValidateMatchesChecked,
+                  report.matches_checked);
+    metrics_->Inc(EngineMetric::kValidateViolations,
+                  report.violations.size());
+    metrics_->Inc(EngineMetric::kValidateAbortedGeds,
+                  report.aborted_geds.size());
+  }
+
+ private:
+  MetricsRegistry* metrics_;
+  ScopedSpan span_;
+  ScopedLatency lat_;
+};
+
 }  // namespace
 
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options) {
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report;
   if (ShouldFreeze(g, options)) {
     // Freeze once; serial and parallel workers all scan the CSR arrays.
-    return Validate(FrozenGraph::Freeze(g), sigma, options);
+    FrozenGraph frozen = FrozenGraph::Freeze(g, options.obs);
+    report = ValidateNoObs(frozen, sigma, options);
+  } else {
+    report = ValidateNoObs(g, sigma, options);
   }
-  if (options.use_compiled_plan) {
-    return ValidateWithPlan(g, RulesetPlan::Compile(sigma), options);
-  }
-  if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
-  return ValidateParallelLegacy(g, sigma, options);
+  scope.Observe(report);
+  return report;
 }
 
 ValidationReport Validate(const FrozenGraph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options) {
-  if (options.use_compiled_plan) {
-    return ValidateWithPlan(g, RulesetPlan::Compile(sigma), options);
-  }
-  if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
-  return ValidateParallelLegacy(g, sigma, options);
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report = ValidateNoObs(g, sigma, options);
+  scope.Observe(report);
+  return report;
 }
 
 ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
                                   const ValidationOptions& options) {
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report;
   if (ShouldFreeze(g, options)) {
-    return ValidateWithPlan(FrozenGraph::Freeze(g), plan, options);
+    FrozenGraph frozen = FrozenGraph::Freeze(g, options.obs);
+    report = ValidateWithPlanNoObs(frozen, plan, options);
+  } else {
+    report = ValidateWithPlanNoObs(g, plan, options);
   }
-  if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
-  return ValidateParallelPlan(g, plan, options);
+  scope.Observe(report);
+  return report;
 }
 
 ValidationReport ValidateWithPlan(const FrozenGraph& g,
                                   const RulesetPlan& plan,
                                   const ValidationOptions& options) {
-  if (options.num_threads <= 1) return ValidateSerialPlan(g, plan, options);
-  return ValidateParallelPlan(g, plan, options);
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report = ValidateWithPlanNoObs(g, plan, options);
+  scope.Observe(report);
+  return report;
 }
 
 void SortViolationList(std::vector<Violation>* violations) {
@@ -455,15 +691,14 @@ ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
   if (touched.empty()) return report;
 
   if (options.num_threads <= 1) {
+    WorkerState ws;
     for (size_t i = 0; i < sigma.size(); ++i) {
       const Pattern& q = sigma[i].pattern();
       for (VarId x = 0; x < q.NumVars(); ++x) {
-        ScanGedTouching(g, sigma[i], i, options, x, touched, touched,
-                        &report.violations, &report.matches_checked);
+        ScanGedTouching(g, sigma[i], i, options, x, touched, touched, &ws);
       }
     }
-    FinalizeReport(&report, options);
-    return report;
+    return ReportFromWorker(std::move(ws), options);
   }
 
   // Parallel: one work item per (GED, pin variable, touched-node chunk);
@@ -490,11 +725,10 @@ ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
   }
 
   return RunParallelScan(
-      items.size(), options,
-      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+      items.size(), options, [&](size_t k, WorkerState* ws) {
         const WorkItem& item = items[k];
         ScanGedTouching(g, sigma[item.ged_index], item.ged_index, options,
-                        item.var, item.pins, touched, v, checked);
+                        item.var, item.pins, touched, ws);
       });
 }
 
@@ -505,31 +739,33 @@ ValidationReport ValidateTouchingWithPlan(
   if (touched.empty()) return report;
 
   if (options.num_threads <= 1) {
-    for (const PlanBucket& bucket : plan.buckets) {
+    WorkerState ws;
+    for (size_t b = 0; b < plan.buckets.size(); ++b) {
+      const PlanBucket& bucket = plan.buckets[b];
       for (VarId x = 0; x < bucket.pattern.NumVars(); ++x) {
-        ScanBucketTouching(g, bucket, options, x, touched, touched,
-                           &report.violations, &report.matches_checked);
+        ScanBucketTouching(g, bucket, b, options, x, touched, touched, &ws);
       }
     }
-    FinalizeReport(&report, options);
-    return report;
+    return ReportFromWorker(std::move(ws), options);
   }
 
   // Parallel: one work item per (bucket, pin variable, touched-node chunk).
   struct WorkItem {
     const PlanBucket* bucket;
+    size_t bucket_id;
     VarId var;
     std::vector<NodeId> pins;
   };
   std::vector<WorkItem> items;
   size_t chunk = std::max<size_t>(
       1, touched.size() / std::max<size_t>(1, 4 * options.num_threads));
-  for (const PlanBucket& bucket : plan.buckets) {
+  for (size_t b = 0; b < plan.buckets.size(); ++b) {
+    const PlanBucket& bucket = plan.buckets[b];
     for (VarId x = 0; x < bucket.pattern.NumVars(); ++x) {
       for (size_t begin = 0; begin < touched.size(); begin += chunk) {
         size_t end = std::min(touched.size(), begin + chunk);
         items.push_back(WorkItem{
-            &bucket, x,
+            &bucket, b, x,
             std::vector<NodeId>(touched.begin() + begin,
                                 touched.begin() + end)});
       }
@@ -537,11 +773,10 @@ ValidationReport ValidateTouchingWithPlan(
   }
 
   return RunParallelScan(
-      items.size(), options,
-      [&](size_t k, std::vector<Violation>* v, uint64_t* checked) {
+      items.size(), options, [&](size_t k, WorkerState* ws) {
         const WorkItem& item = items[k];
-        ScanBucketTouching(g, *item.bucket, options, item.var, item.pins,
-                           touched, v, checked);
+        ScanBucketTouching(g, *item.bucket, item.bucket_id, options, item.var,
+                           item.pins, touched, ws);
       });
 }
 
@@ -553,24 +788,41 @@ std::vector<Violation> FindViolationsSeededByEdges(
     return FindViolationsSeededByEdgesWithPlan(g, RulesetPlan::Compile(sigma),
                                                seeds, options, checked);
   }
-  std::vector<Violation> out;
-  MatchOptions mopts = BaseMatchOptions(options);
+  WorkerState ws;
+  MatchOptions base = BaseMatchOptions(options);
+  // A truncated seeded re-scan would break the set-difference reconciliation
+  // that keeps incremental maintenance exact — the step budget never applies
+  // here.
+  base.max_steps = 0;
   std::vector<NodeId> srcs, dsts;
   for (size_t i = 0; i < sigma.size(); ++i) {
     const Ged& phi = sigma[i];
     const Pattern& q = phi.pattern();
     for (const Pattern::PEdge& pe : q.edges()) {
       if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
+      MatchOptions mopts = base;
       mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
-      EnumerateMatches(q, g, mopts, [&](const Match& h) {
-        ++*checked;
+      ScanObs obs(options, "ged", i, &mopts);
+      size_t viol_start = ws.violations.size();
+      MatchStats stats = EnumerateMatches(q, g, mopts, [&](const Match& h) {
+        ++ws.checked;
         if (!SatisfiesAll(g, h, phi.X())) return true;
         bool y_ok = !phi.is_forbidding() && SatisfiesAll(g, h, phi.Y());
-        if (!y_ok) out.push_back(Violation{i, h});
+        if (!y_ok) ws.violations.push_back(Violation{i, h});
         return true;
       });
+      if (ProfileCollector* profiler = obs.profiler()) {
+        profiler->DeclareBucket(i, PatternDesc(q));
+        profiler->DeclareRule(i, phi.name(), i);
+        profiler->AddRuleCounts(i, stats.matches,
+                                ws.violations.size() - viol_start,
+                                stats.aborted);
+      }
+      obs.Finish();
     }
   }
+  *checked += ws.checked;
+  std::vector<Violation> out = std::move(ws.violations);
   SortViolationList(&out);
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
@@ -580,21 +832,33 @@ std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
     const Graph& g, const RulesetPlan& plan,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked) {
-  std::vector<Violation> out;
-  MatchOptions mopts = BaseMatchOptions(options);
+  WorkerState ws;
+  MatchOptions base = BaseMatchOptions(options);
+  // See the legacy path above: the step budget never applies to seeded
+  // re-scans.
+  base.max_steps = 0;
   std::vector<NodeId> srcs, dsts;
-  for (const PlanBucket& bucket : plan.buckets) {
+  for (size_t b = 0; b < plan.buckets.size(); ++b) {
+    const PlanBucket& bucket = plan.buckets[b];
     const Pattern& q = bucket.pattern;
     for (const Pattern::PEdge& pe : q.edges()) {
       if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
+      MatchOptions mopts = base;
       mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
-      ScanBucket(g, bucket, mopts, checked,
-                 [&](size_t ged_index, const Match& rule_match) {
-                   out.push_back(Violation{ged_index, rule_match});
-                   return true;
-                 });
+      ScanObs obs(options, "bucket", b, &mopts);
+      size_t viol_start = ws.violations.size();
+      MatchStats stats =
+          ScanBucket(g, bucket, mopts, &ws.checked,
+                     [&](size_t ged_index, const Match& rule_match) {
+                       ws.violations.push_back(Violation{ged_index, rule_match});
+                       return true;
+                     });
+      AccountBucketScan(bucket, b, stats, &ws, viol_start, obs.profiler());
+      obs.Finish();
     }
   }
+  *checked += ws.checked;
+  std::vector<Violation> out = std::move(ws.violations);
   SortViolationList(&out);
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;

@@ -92,6 +92,18 @@ struct ValidationOptions {
   /// overloads are already frozen. false = match straight over the mutable
   /// adjacency (ablation and freeze-cost studies).
   bool freeze_snapshot = true;
+  /// Step budget per matcher scan (0 = unlimited): each enumeration task
+  /// aborts after this many search-tree nodes, and the GEDs whose scans
+  /// were truncated are listed in ValidationReport::aborted_geds. A
+  /// truncated report may miss violations — this is a defense bound for
+  /// adversarial patterns, not a sampling knob. IncrementalValidator forces
+  /// it to 0, and the edge-seeded incremental scans ignore it (a truncated
+  /// re-scan would break exact maintenance).
+  uint64_t max_steps_per_scan = 0;
+  /// Observability sinks (obs/obs.h): metrics registry, trace spans and the
+  /// EXPLAIN profiler. Default-disabled; enabling must not change any
+  /// report (pinned by tests/obs_test.cc).
+  ObsOptions obs;
 };
 
 /// Validation outcome.
@@ -104,6 +116,10 @@ struct ValidationReport {
   /// the compiled and legacy paths: a bucket of r rules counts each
   /// enumerated match r times, exactly as r per-GED scans would.
   uint64_t matches_checked = 0;
+  /// GED indices (sorted, distinct) whose scan hit
+  /// ValidationOptions::max_steps_per_scan — their violation lists may be
+  /// incomplete. Empty when the budget is 0 or never reached.
+  std::vector<size_t> aborted_geds;
 };
 
 /// Checks G ⊨ Σ, reporting violations. With options.freeze_snapshot (the

@@ -30,6 +30,21 @@ Two modes:
          --slower  'BM_DensePattern/clique4_legacy/512' \
          --min-ratio 1.5
 
+3. Overhead gate (--overhead): assert one benchmark is at most a small
+   fraction slower than another inside a single JSON file. Used by the PR
+   perf smoke job to pin the observability acceptance bar (the obs-disabled
+   validate path ≤ 2% over the no-sinks baseline):
+
+     compare_bench.py --overhead fresh.json \
+         --base 'BM_ObsValidation/obs_baseline/256' \
+         --test 'BM_ObsValidation/obs_disabled/256' \
+         --max-overhead 0.02
+
+Input files are Google Benchmark JSON, optionally stamped with a top-level
+"gedlib_bench_schema" version (bench/baselines are stamped when refreshed;
+unstamped files are treated as version 1). A file from a newer schema than
+this tool knows is a hard error — upgrade the tool, don't mis-gate.
+
 Exit status: 0 ok, 1 gate failed, 2 usage/input error.
 """
 
@@ -38,10 +53,15 @@ import json
 import sys
 
 # Counters that measure deterministic algorithmic work (identical run to
-# run); everything else (rates, sizes) is informational.
+# run); everything else (rates, sizes) is informational. lf_seeks / lf_fanin
+# come from an untimed profiled pass in bench_matcher_ablation — they pin
+# the leapfrog kernel's shape, not just its wall time.
 DETERMINISTIC_COUNTERS = ("search_steps", "matches", "matches_checked",
-                          "violations")
+                          "violations", "lf_seeks", "lf_fanin")
 COUNTER_SLACK = 0.01
+
+# Highest BENCH_*.json schema this tool understands (absent field = 1).
+KNOWN_BENCH_SCHEMA = 2
 
 
 def load(path):
@@ -50,6 +70,11 @@ def load(path):
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"error: cannot read {path}: {e}")
+    schema = doc.get("gedlib_bench_schema", 1)
+    if not isinstance(schema, int) or schema > KNOWN_BENCH_SCHEMA:
+        sys.exit(f"error: {path} has gedlib_bench_schema={schema!r}; this "
+                 f"tool understands <= {KNOWN_BENCH_SCHEMA} — update "
+                 "tools/compare_bench.py before gating on it")
     benches = {}
     for b in doc.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
@@ -154,6 +179,22 @@ def speedup_mode(args):
     return 0 if ok else 1
 
 
+def overhead_mode(args):
+    _, benches = load(args.fresh)
+    try:
+        base, test = benches[args.base], benches[args.test]
+    except KeyError as e:
+        sys.exit(f"error: benchmark {e} not in {args.fresh}")
+    base_s = real_seconds(base)
+    overhead = real_seconds(test) / base_s - 1.0 if base_s > 0 else float(
+        "inf")
+    ok = overhead <= args.max_overhead
+    print(f"{args.test} vs {args.base}: {overhead * 100:+.2f}% "
+          f"(allowed <= {args.max_overhead * 100:.2f}%) -> "
+          f"{'ok' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline", nargs="?",
@@ -172,12 +213,26 @@ def main():
     ap.add_argument("--slower", help="benchmark name expected to be slower")
     ap.add_argument("--min-ratio", type=float, default=1.5,
                     help="required slower/faster time ratio (default 1.5)")
+    ap.add_argument("--overhead", action="store_true",
+                    help="overhead-gate mode (single JSON)")
+    ap.add_argument("--base", help="overhead mode: baseline benchmark name")
+    ap.add_argument("--test", help="overhead mode: benchmark that must stay "
+                                   "within --max-overhead of --base")
+    ap.add_argument("--max-overhead", type=float, default=0.02,
+                    help="allowed fractional slowdown of --test over --base "
+                         "(default 0.02 = 2%%)")
     args = ap.parse_args()
 
+    if args.speedup and args.overhead:
+        ap.error("--speedup and --overhead are mutually exclusive")
     if args.speedup:
         if not (args.faster and args.slower):
             ap.error("--speedup requires --faster and --slower")
         sys.exit(speedup_mode(args))
+    if args.overhead:
+        if not (args.base and args.test):
+            ap.error("--overhead requires --base and --test")
+        sys.exit(overhead_mode(args))
     if args.baseline is None:
         ap.error("diff mode requires baseline and fresh JSON paths")
     sys.exit(diff_mode(args))

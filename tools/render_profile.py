@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Render a gedlib_profile_v1 document (the <base>.profile.json written by
+`bench_table1_validation --profile` / `bench_incremental --profile` /
+`quickstart --profile`) as the same EXPLAIN tables the binaries print, so
+saved artifacts can be re-read without re-running the workload.
+
+Usage:
+  tools/render_profile.py RUN.profile.json            # full report
+  tools/render_profile.py RUN.profile.json --rules    # per-rule table only
+  tools/render_profile.py RUN.profile.json --summary  # run summary only
+  tools/render_profile.py A.profile.json B.profile.json
+                                                      # per-rule diff A -> B
+
+The schema (mirrors ProfileReport::ToJson in src/obs/profile.cc):
+  { schema: "gedlib_profile_v1",
+    total_ns, freeze_ns, plan_compile_ns, emit_ns,
+    matches_checked, violations, aborted_geds,
+    rules:   [{ged_index, name, bucket, checked, violations, aborted}],
+    buckets: [{id, pattern, scans, wall_ns, steps, matches, aborts,
+               depths: [{depth, extends, candidates, accepted, lf_rounds,
+                         lf_seeks, lf_fanin, linear_steps, reorders}]}] }
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "gedlib_profile_v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if schema != SCHEMA:
+        sys.exit(f"{path}: schema {schema!r} is not {SCHEMA!r} "
+                 "(is this a .profile.json artifact?)")
+    return doc
+
+
+def ms(ns):
+    return f"{ns / 1e6:.3f}"
+
+
+def table(rows, headers, left_cols=()):
+    """Aligned text table: right-aligned numerics, left-aligned names."""
+    rows = [[str(c) for c in r] for r in rows]
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    out = []
+    for r in [headers] + rows:
+        cells = []
+        for i, c in enumerate(r):
+            cells.append(c.ljust(widths[i]) if i in left_cols
+                         else c.rjust(widths[i]))
+        out.append("  ".join(cells).rstrip())
+    return "\n".join(out)
+
+
+def print_summary(doc):
+    print("== profile: run summary ==")
+    print(f"  total          {ms(doc['total_ns'])} ms")
+    if doc.get("freeze_ns", 0) > 0:
+        print(f"  freeze         {ms(doc['freeze_ns'])} ms")
+    if doc.get("plan_compile_ns", 0) > 0:
+        print(f"  plan compile   {ms(doc['plan_compile_ns'])} ms")
+    if doc.get("emit_ns", 0) > 0:
+        print(f"  violation emit {ms(doc['emit_ns'])} ms")
+    print(f"  matches checked {doc['matches_checked']}, "
+          f"violations {doc['violations']}, "
+          f"aborted geds {doc['aborted_geds']}")
+
+
+def print_rules(doc):
+    rules = doc.get("rules", [])
+    if not rules:
+        return
+    print("\n== profile: per rule ==")
+    rows = [[r["name"], r["ged_index"], r["bucket"], r["checked"],
+             r["violations"], "yes" if r["aborted"] else "-"]
+            for r in rules]
+    print(table(rows, ["rule", "ged", "bucket", "checked", "violations",
+                       "aborted"], left_cols={0}))
+
+
+def print_buckets(doc):
+    for b in doc.get("buckets", []):
+        if b["scans"] == 0 and not b["pattern"]:
+            continue
+        name = f" ({b['pattern']})" if b["pattern"] else ""
+        print(f"\n== profile: bucket {b['id']}{name} ==")
+        line = (f"  scans {b['scans']}, wall {ms(b['wall_ns'])} ms, "
+                f"steps {b['steps']}, matches {b['matches']}")
+        if b.get("aborts", 0) > 0:
+            line += f", aborts {b['aborts']}"
+        print(line)
+        if not b.get("depths"):
+            continue
+        rows = []
+        for d in b["depths"]:
+            fanin = (f"{d['lf_fanin'] / d['lf_rounds']:.2f}"
+                     if d["lf_rounds"] > 0 else "-")
+            rows.append([d["depth"], d["extends"], d["candidates"],
+                         d["accepted"], d["lf_rounds"], d["lf_seeks"], fanin,
+                         d["linear_steps"], d["reorders"]])
+        print(table(rows, ["depth", "extends", "cands", "accepted",
+                           "lf_rounds", "lf_seeks", "avg_fanin", "lin_steps",
+                           "reorders"]))
+
+
+def print_diff(a, b, a_path, b_path):
+    print(f"== profile diff: {a_path} -> {b_path} ==")
+    print(f"  total   {ms(a['total_ns'])} ms -> {ms(b['total_ns'])} ms")
+    print(f"  checked {a['matches_checked']} -> {b['matches_checked']}")
+    a_rules = {r["name"]: r for r in a.get("rules", [])}
+    b_rules = {r["name"]: r for r in b.get("rules", [])}
+    rows = []
+    for name in sorted(a_rules | b_rules):
+        ra, rb = a_rules.get(name), b_rules.get(name)
+        ca = ra["checked"] if ra else "-"
+        cb = rb["checked"] if rb else "-"
+        va = ra["violations"] if ra else "-"
+        vb = rb["violations"] if rb else "-"
+        note = ""
+        if ra is None:
+            note = "added"
+        elif rb is None:
+            note = "removed"
+        elif ra["checked"] != rb["checked"] or \
+                ra["violations"] != rb["violations"]:
+            note = "changed"
+        rows.append([name, ca, cb, va, vb, note])
+    print(table(rows, ["rule", "checked(a)", "checked(b)", "viol(a)",
+                       "viol(b)", ""], left_cols={0, 5}))
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render gedlib profile JSON as EXPLAIN tables.")
+    ap.add_argument("profile", help="a .profile.json artifact")
+    ap.add_argument("other", nargs="?",
+                    help="second artifact: print a per-rule diff instead")
+    ap.add_argument("--summary", action="store_true",
+                    help="run summary only")
+    ap.add_argument("--rules", action="store_true",
+                    help="per-rule table only")
+    args = ap.parse_args()
+
+    doc = load(args.profile)
+    if args.other:
+        print_diff(doc, load(args.other), args.profile, args.other)
+        return
+    if args.summary:
+        print_summary(doc)
+        return
+    if args.rules:
+        print_rules(doc)
+        return
+    print_summary(doc)
+    print_rules(doc)
+    print_buckets(doc)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. `render_profile.py ... | head`
+        sys.exit(0)
