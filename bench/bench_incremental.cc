@@ -23,14 +23,21 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "gen/scenarios.h"
 #include "incr/delta.h"
 #include "incr/incremental.h"
+#include "obs/exporter.h"
 #include "obs/obs.h"
 #include "obs_profile_flag.h"
 #include "reason/validation.h"
@@ -417,12 +424,207 @@ void RunProfiledIncremental(const std::string& base) {
   ged_bench::WriteProfileArtifacts(base, profile, &session);
 }
 
+// ----- soak mode (serving-telemetry acceptance driver) ----------------------
+//
+// `bench_incremental --soak[=SECONDS] [--soak-out=BASE]` runs a sustained
+// KB delta stream through one IncrementalValidator with the full telemetry
+// stack live: a MetricsExporter ticking at 2 Hz, a debug-level structured
+// logger, and a flight recorder whose thresholds are calibrated from warmup
+// commit latencies (10× the median, floor 1 ms). Every quarter of the run
+// an intentionally oversized delta is injected — a "stall" — and grown
+// until the recorder captures it, proving end-to-end slow-operation
+// capture on any host speed. Artifacts:
+//   <BASE>.prom           — last Prometheus exposition (atomically renamed)
+//   <BASE>.metrics.jsonl  — per-tick gedlib_metrics_v1 time series
+//   <BASE>.log.jsonl      — structured log lines
+//   <BASE>.flight.json    — gedlib_flight_v1 flight-recorder dump
+// Exit 0 requires (a) the exporter's summed interval deltas to equal the
+// final cumulative snapshot exactly and (b) at least one flight capture —
+// the two invariants the CI soak-smoke job re-asserts from the artifacts.
+
+// Strips --soak[=SECONDS] / --soak-out=BASE from argv (same contract as
+// ParseProfileFlag). Returns whether soak mode was requested.
+bool ParseSoakFlags(int* argc, char** argv, int* seconds, std::string* base) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--soak") == 0) {
+      found = true;
+    } else if (std::strncmp(arg, "--soak=", 7) == 0) {
+      found = true;
+      *seconds = std::atoi(arg + 7);
+      if (*seconds <= 0) *seconds = 30;
+    } else if (std::strncmp(arg, "--soak-out=", 11) == 0) {
+      *base = arg + 11;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
+}
+
+// True iff two snapshots agree exactly — counters, gauges skipped (no delta
+// semantics), histogram count/sum/every bucket.
+bool SnapshotsAgree(const MetricsSnapshot& a, const MetricsSnapshot& b,
+                    std::string* why) {
+  if (a.metrics.size() != b.metrics.size()) {
+    *why = "metric count mismatch";
+    return false;
+  }
+  for (size_t i = 0; i < a.metrics.size(); ++i) {
+    const MetricValue& x = a.metrics[i];
+    const MetricValue& y = b.metrics[i];
+    if (x.kind == MetricKind::kGauge) continue;
+    if (x.kind == MetricKind::kCounter) {
+      if (x.value != y.value) {
+        *why = x.name + ": " + std::to_string(x.value) + " vs " +
+               std::to_string(y.value);
+        return false;
+      }
+      continue;
+    }
+    if (x.count != y.count || x.sum != y.sum || x.buckets != y.buckets) {
+      *why = x.name + ": histogram mismatch";
+      return false;
+    }
+  }
+  return true;
+}
+
+int RunSoak(int seconds, const std::string& base) {
+  using Clock = std::chrono::steady_clock;
+  KbInstance kb = GenKnowledgeBase(KbAtScale(400));
+
+  ObsSession session;
+  auto log_file =
+      std::make_shared<std::ofstream>(base + ".log.jsonl", std::ios::trunc);
+  LoggerOptions lopts;
+  lopts.min_level = LogLevel::kDebug;
+  lopts.max_per_window = 256;
+  lopts.sink = [log_file](const std::string& line) {
+    *log_file << line << "\n";
+  };
+  session.Log().Configure(std::move(lopts));
+
+  ExporterOptions eopts;
+  eopts.interval_ns = 500'000'000;  // 2 Hz
+  eopts.prometheus_path = base + ".prom";
+  eopts.jsonl_path = base + ".metrics.jsonl";
+  eopts.logger = &session.Log();
+  std::remove(eopts.jsonl_path.c_str());
+  MetricsExporter exporter(&session.Metrics(), std::move(eopts));
+  exporter.Start();
+
+  ValidationOptions opts;
+  opts.obs = session.Options();
+  opts.num_threads = 2;
+  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds(), opts);
+  std::mt19937 rng(42);
+  size_t base_nodes = kb.graph.NumNodes();
+
+  // Calibrate the slow-op thresholds from warmup commits: the injected
+  // stalls must trip them on any host, routine commits must not.
+  std::vector<int64_t> warmup_ns;
+  for (int c = 0; c < 16; ++c) {
+    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
+    int64_t t0 = MonotonicNowNs();
+    if (!v.Commit(d).ok()) {
+      std::fprintf(stderr, "soak: warmup commit %d rejected\n", c);
+      return 1;
+    }
+    warmup_ns.push_back(MonotonicNowNs() - t0);
+  }
+  std::sort(warmup_ns.begin(), warmup_ns.end());
+  int64_t median = warmup_ns[warmup_ns.size() / 2];
+  int64_t threshold = std::max<int64_t>(10 * median, 1'000'000);
+  session.Recorder().set_commit_threshold_ns(threshold);
+  session.Recorder().set_scan_threshold_ns(threshold);
+  session.Log().Log(LogLevel::kInfo, "soak.calibrated",
+                    {{"median_commit_ns", median},
+                     {"threshold_ns", threshold}});
+
+  const auto deadline = Clock::now() + std::chrono::seconds(seconds);
+  const auto stall_every = std::chrono::seconds(std::max(1, seconds / 4));
+  auto next_stall = Clock::now() + stall_every;
+  uint64_t commits = 0, stalls = 0;
+  while (Clock::now() < deadline) {
+    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds(), opts);
+    }
+    if (Clock::now() >= next_stall) {
+      // Injected stall: an oversized delta, doubled until the recorder
+      // actually captures it (robust to host speed).
+      uint64_t before = session.Recorder().total_captures();
+      size_t products = 1024;
+      while (session.Recorder().total_captures() == before &&
+             products <= 65536) {
+        GraphDelta d = MakeKbDelta(v.graph(), products, &rng);
+        if (!v.Commit(d).ok()) {
+          std::fprintf(stderr, "soak: stall commit rejected\n");
+          return 1;
+        }
+        products *= 2;
+      }
+      ++stalls;
+      next_stall = Clock::now() + stall_every;
+      // The jumbo delta bloats the instance; reseed promptly.
+      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds(), opts);
+      continue;
+    }
+    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
+    if (!v.Commit(d).ok()) {
+      std::fprintf(stderr, "soak: commit rejected\n");
+      return 1;
+    }
+    ++commits;
+  }
+
+  exporter.Stop();
+  log_file->flush();
+
+  // Acceptance invariant 1: summed interval deltas ≡ final cumulative
+  // snapshot, exactly. (No metric writes happen after Stop's final tick.)
+  std::string why;
+  bool sums_ok =
+      SnapshotsAgree(exporter.SummedDeltas(), session.Metrics().Snapshot(),
+                     &why);
+  // Acceptance invariant 2: the injected stalls produced flight captures.
+  uint64_t captures = session.Recorder().total_captures();
+  ged_bench::WriteFileOrComplain(base + ".flight.json",
+                                 session.Recorder().DumpJson());
+
+  std::printf("soak: %llu routine commits, %llu stalls injected, "
+              "%llu flight captures (%llu evicted), %llu exporter ticks\n",
+              static_cast<unsigned long long>(commits),
+              static_cast<unsigned long long>(stalls),
+              static_cast<unsigned long long>(captures),
+              static_cast<unsigned long long>(session.Recorder().evicted()),
+              static_cast<unsigned long long>(exporter.ticks()));
+  std::printf("soak: delta-sum identity %s%s%s\n", sums_ok ? "OK" : "FAILED",
+              sums_ok ? "" : ": ", sums_ok ? "" : why.c_str());
+  std::printf("soak: artifacts %s.{prom,metrics.jsonl,log.jsonl,flight.json}\n",
+              base.c_str());
+  if (!sums_ok) return 1;
+  if (captures == 0) {
+    std::fprintf(stderr, "soak: no flight captures despite injected stalls\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-// Custom main (instead of benchmark_main) so --profile can divert into the
-// EXPLAIN run before benchmark::Initialize rejects the unknown flag.
+// Custom main (instead of benchmark_main) so --profile / --soak can divert
+// before benchmark::Initialize rejects the unknown flags.
 int main(int argc, char** argv) {
   std::string base;
+  int soak_seconds = 30;
+  std::string soak_base = "bench_incremental_soak";
+  if (ParseSoakFlags(&argc, argv, &soak_seconds, &soak_base)) {
+    return RunSoak(soak_seconds, soak_base);
+  }
   if (ged_bench::ParseProfileFlag(&argc, argv, &base, "bench_incremental")) {
     RunProfiledIncremental(base);
     return 0;

@@ -14,10 +14,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <memory>
+
 #include "gen/random_gen.h"
 #include "gen/scenarios.h"
 #include "graph/frozen.h"
 #include "match/matcher.h"
+#include "obs/exporter.h"
 #include "obs/obs.h"
 #include "reason/validation.h"
 
@@ -145,9 +149,14 @@ void BM_DenseValidation(benchmark::State& state, bool intersection) {
 //   mode 0 — a default ObsOptions (no sinks; the pre-obs baseline),
 //   mode 1 — sinks constructed and wired but enabled=false (the production
 //            "compiled in, switched off" path the ≤2% CI gate covers),
-//   mode 2 — a live ObsSession (metrics + spans + profiler all recording).
-// CI runs tools/compare_bench.py --overhead obs_disabled vs obs_baseline;
-// obs_enabled is informational (it prices the instrumentation itself).
+//   mode 2 — a live ObsSession (metrics + spans + profiler all recording),
+//   mode 3 — mode 2 plus the serving-telemetry layer running: a
+//            MetricsExporter ticking in the background and a debug-level
+//            StructuredLogger wired in (flight recorder present but with
+//            default never-fire thresholds — its steady-state cost).
+// CI runs tools/compare_bench.py --overhead obs_disabled vs obs_baseline
+// (≤2%) and telemetry_enabled vs obs_baseline (≤5%); obs_enabled is
+// informational (it prices the instrumentation itself).
 void BM_ObsValidation(benchmark::State& state, int mode) {
   DenseParams params;
   params.num_members = static_cast<size_t>(state.range(0));
@@ -158,7 +167,23 @@ void BM_ObsValidation(benchmark::State& state, int mode) {
   ValidationOptions opts;
   if (mode >= 1) {
     opts.obs = session.Options();
-    opts.obs.enabled = mode == 2;
+    opts.obs.enabled = mode >= 2;
+  }
+  std::unique_ptr<MetricsExporter> exporter;
+  if (mode == 3) {
+    LoggerOptions lopts;
+    lopts.min_level = LogLevel::kDebug;
+    lopts.sink = [](const std::string&) {};  // count, don't spend I/O
+    session.Log().Configure(std::move(lopts));
+    ExporterOptions eopts;
+    eopts.interval_ns = 50'000'000;  // 20 Hz: well above any real deploy
+    eopts.prometheus_path = "/tmp/gedlib_bench_telemetry.prom";
+    eopts.jsonl_path = "/tmp/gedlib_bench_telemetry.jsonl";
+    eopts.logger = &session.Log();
+    exporter =
+        std::make_unique<MetricsExporter>(&session.Metrics(), std::move(eopts));
+    std::remove("/tmp/gedlib_bench_telemetry.jsonl");
+    exporter->Start();
   }
   size_t violations = 0;
   for (auto _ : state) {
@@ -166,6 +191,7 @@ void BM_ObsValidation(benchmark::State& state, int mode) {
     violations = report.violations.size();
     benchmark::DoNotOptimize(report.satisfied);
   }
+  if (exporter != nullptr) exporter->Stop();
   state.counters["violations"] = static_cast<double>(violations);
 }
 
@@ -206,4 +232,6 @@ BENCHMARK_CAPTURE(BM_ObsValidation, obs_baseline, 0)
 BENCHMARK_CAPTURE(BM_ObsValidation, obs_disabled, 1)
     ->Arg(256)->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_ObsValidation, obs_enabled, 2)
+    ->Arg(256)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_ObsValidation, telemetry_enabled, 3)
     ->Arg(256)->Unit(benchmark::kMillisecond);

@@ -86,7 +86,9 @@ int main(int argc, char** argv) {
             << Implies(rules.value(), weaker.value()) << "\n";
 
   if (profile) {
-    std::cout << "\n" << session.Profiler().Finish(validate_ns).ToTable();
+    std::cout << "\n"
+              << session.Profiler().Finish(validate_ns).ToTable() << "\n"
+              << session.Metrics().Snapshot().ToTable();
   }
   if (expect_violations) {
     if (report.violations.empty()) {

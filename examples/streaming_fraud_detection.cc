@@ -217,7 +217,8 @@ int main(int argc, char** argv) {
     int64_t total_ns = MonotonicNowNs() - start_ns;
     const auto& totals = monitor.last_commit();
     std::cout << "\n"
-              << session.Profiler().Finish(total_ns).ToTable()
+              << session.Profiler().Finish(total_ns).ToTable() << "\n"
+              << session.Metrics().Snapshot().ToTable()
               << "\ncommit totals: " << totals.commits << " commits, "
               << totals.total_touched << " nodes touched, "
               << totals.total_retracted << " retracted, "

@@ -177,6 +177,14 @@ size_t SigmaSize(const std::vector<Ged>& sigma) {
 
 ChaseResult Chase(const Graph& base, const std::vector<Ged>& sigma,
                   const EqRel* init, const ChaseOptions& options) {
+  ScopedSpan span(options.obs.Trace(), "Chase",
+                  options.obs.Trace() == nullptr
+                      ? std::string{}
+                      : "sigma=" + std::to_string(sigma.size()));
+  ScopedLatency lat(options.obs.Metrics(), EngineMetric::kChaseWallNs);
+  if (MetricsRegistry* m = options.obs.Metrics()) {
+    m->Inc(EngineMetric::kChaseRuns);
+  }
   ChaseResult res{.consistent = false,
                   .conflict_reason = "",
                   .eq = init ? *init : EqRel(base),
@@ -184,6 +192,15 @@ ChaseResult Chase(const Graph& base, const std::vector<Ged>& sigma,
                   .journal = {},
                   .num_steps = 0,
                   .capped = false};
+  // Fires on every return path (the chase has several) with the final step
+  // count; nothing per applied step touches the registry.
+  struct StepsObs {
+    MetricsRegistry* m;
+    const uint64_t* steps;
+    ~StepsObs() {
+      if (m != nullptr && *steps > 0) m->Inc(EngineMetric::kChaseSteps, *steps);
+    }
+  } steps_obs{options.obs.Metrics(), &res.num_steps};
   EqRel& eq = res.eq;
   if (eq.inconsistent()) {
     res.conflict_reason = "initial Eq inconsistent: " + eq.conflict_reason();

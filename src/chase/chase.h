@@ -22,6 +22,7 @@
 #include "chase/equivalence.h"
 #include "ged/ged.h"
 #include "graph/graph.h"
+#include "obs/obs.h"
 
 namespace ged {
 
@@ -56,6 +57,9 @@ struct ChaseOptions {
   unsigned order_seed = 0;
   /// Record the journal of applied steps (needed by the proof generator).
   bool record_journal = true;
+  /// Observability sinks (entry-point instrumentation only: a "Chase" span,
+  /// chase.runs/chase.steps counters, chase.wall_ns — no per-step hooks).
+  ObsOptions obs;
 };
 
 /// Result of chasing: chase(G, Σ) per Theorem 1.

@@ -170,6 +170,10 @@ bool SatisfiesAllGdc(const Graph& g, const Match& h,
 std::vector<Match> FindGdcViolations(const Graph& g, const Gdc& phi,
                                      uint64_t max_violations,
                                      const MatchOptions& base_options) {
+  ScopedSpan span(base_options.obs.Trace(), "GdcScan", phi.name());
+  if (MetricsRegistry* m = base_options.obs.Metrics()) {
+    m->Inc(EngineMetric::kGdcScans);
+  }
   std::vector<Match> out;
   EnumerateMatches(phi.pattern(), g, base_options, [&](const Match& h) {
     if (!SatisfiesAllGdc(g, h, phi.X())) return true;
@@ -185,6 +189,10 @@ std::vector<Match> FindGdcViolations(const Graph& g, const Gdc& phi,
 
 bool ValidateGdcs(const Graph& g, const std::vector<Gdc>& sigma,
                   const MatchOptions& base_options) {
+  ScopedSpan span(base_options.obs.Trace(), "GdcValidate",
+                  base_options.obs.Trace() == nullptr
+                      ? std::string{}
+                      : "sigma=" + std::to_string(sigma.size()));
   for (const Gdc& phi : sigma) {
     if (!FindGdcViolations(g, phi, 1, base_options).empty()) return false;
   }

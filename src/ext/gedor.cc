@@ -66,6 +66,10 @@ bool SatisfiesDisjunction(const Graph& g, const Match& h,
 std::vector<Match> FindGedOrViolations(const Graph& g, const GedOr& psi,
                                        uint64_t max_violations,
                                        const MatchOptions& base_options) {
+  ScopedSpan span(base_options.obs.Trace(), "GedOrScan", psi.name());
+  if (MetricsRegistry* m = base_options.obs.Metrics()) {
+    m->Inc(EngineMetric::kGedOrScans);
+  }
   std::vector<Match> out;
   EnumerateMatches(psi.pattern(), g, base_options, [&](const Match& h) {
     if (!SatisfiesAll(g, h, psi.X())) return true;
@@ -80,6 +84,10 @@ std::vector<Match> FindGedOrViolations(const Graph& g, const GedOr& psi,
 
 bool ValidateGedOrs(const Graph& g, const std::vector<GedOr>& sigma,
                     const MatchOptions& base_options) {
+  ScopedSpan span(base_options.obs.Trace(), "GedOrValidate",
+                  base_options.obs.Trace() == nullptr
+                      ? std::string{}
+                      : "sigma=" + std::to_string(sigma.size()));
   for (const GedOr& psi : sigma) {
     if (!FindGedOrViolations(g, psi, 1, base_options).empty()) return false;
   }

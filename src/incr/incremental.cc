@@ -31,6 +31,15 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   // and feed the commit.* metrics (a rejected delta changes nothing).
   ScopedSpan span(options_.obs.Trace(), "Commit");
   ScopedLatency lat(options_.obs.Metrics(), EngineMetric::kCommitWallNs);
+  FlightRecorder* recorder = options_.obs.Recorder();
+  StructuredLogger* logger = options_.obs.Log();
+  Tracer* tracer = options_.obs.Trace();
+  int64_t start_ns =
+      (recorder != nullptr || logger != nullptr) ? MonotonicNowNs() : 0;
+  // Tracer-epoch timestamp of this commit's start: the slow-commit capture
+  // window (the Commit span itself is still open at capture time, so the
+  // window holds its children).
+  int64_t trace_start = tracer != nullptr ? tracer->NowNs() : 0;
 
   // 1. Retract violations whose X→Y status may have flipped: an attribute
   //    change on a bound pre-existing node is the only cure mechanism under
@@ -104,6 +113,41 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
     metrics->Inc(EngineMetric::kCommitAdded, stats_.added);
     metrics->Inc(EngineMetric::kCommitMatchesChecked, checked);
     metrics->Set(EngineMetric::kLiveViolations, report_.violations.size());
+  }
+
+  if (recorder != nullptr || logger != nullptr) {
+    int64_t wall = std::max<int64_t>(0, MonotonicNowNs() - start_ns);
+    if (logger != nullptr) {
+      logger->Log(LogLevel::kDebug, "commit",
+                  {{"seq", stats_.commits},
+                   {"wall_ns", wall},
+                   {"touched", stats_.touched},
+                   {"retracted", stats_.retracted},
+                   {"added", stats_.added},
+                   {"matches_checked", checked},
+                   {"live_violations", report_.violations.size()}});
+    }
+    if (recorder != nullptr &&
+        recorder->ShouldCapture(FlightRecorder::Kind::kCommit, wall)) {
+      std::string detail = "{\"stats\":{\"touched\":" +
+                           std::to_string(stats_.touched) +
+                           ",\"retracted\":" + std::to_string(stats_.retracted) +
+                           ",\"added\":" + std::to_string(stats_.added) +
+                           ",\"matches_checked\":" + std::to_string(checked) +
+                           "},\"spans\":" +
+                           (tracer != nullptr ? tracer->ToJsonSince(trace_start)
+                                              : std::string("null")) +
+                           "}";
+      recorder->Record(FlightRecorder::Kind::kCommit,
+                       "commit=" + std::to_string(stats_.commits), wall,
+                       std::move(detail));
+      if (logger != nullptr) {
+        logger->Log(LogLevel::kWarn, "slow_commit",
+                    {{"seq", stats_.commits},
+                     {"wall_ns", wall},
+                     {"threshold_ns", recorder->commit_threshold_ns()}});
+      }
+    }
   }
   return applied;
 }

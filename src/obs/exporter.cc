@@ -1,0 +1,239 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "obs/log.h"
+
+namespace ged {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool WriteWholeFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = n == body.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool AppendLine(const std::string& path, const std::string& line) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return false;
+  size_t n = std::fwrite(line.data(), 1, line.size(), f);
+  bool ok = n == line.size();
+  ok = std::fputc('\n', f) != EOF && ok;
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace
+
+std::string IntervalRecord::ToJsonLine() const {
+  std::ostringstream os;
+  os << "{\"schema\":\"gedlib_metrics_v1\",\"seq\":" << seq
+     << ",\"ts_ns\":" << ts_ns << ",\"interval_ns\":" << interval_ns
+     << ",\"metrics\":{";
+  bool first = true;
+  for (size_t i = 0; i < deltas.size(); ++i) {
+    const MetricDelta& d = deltas[i];
+    const MetricValue& c = cumulative.metrics[i];
+    // Elide metrics that have never moved (cumulative zero): the line stays
+    // proportional to the active metric set.
+    bool zero_cum =
+        c.kind == MetricKind::kHistogram ? c.count == 0 : c.value == 0;
+    if (zero_cum && d.delta == 0) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << JsonEscapeString(d.name) << "\":";
+    switch (d.kind) {
+      case MetricKind::kCounter:
+        os << "{\"delta\":" << d.delta << ",\"total\":" << d.value
+           << ",\"rate\":" << FmtDouble(d.rate) << "}";
+        break;
+      case MetricKind::kGauge:
+        os << d.value;
+        break;
+      case MetricKind::kHistogram:
+        os << "{\"delta_count\":" << d.delta << ",\"count\":" << c.count
+           << ",\"sum\":" << c.sum
+           << ",\"p50\":" << FmtDouble(c.Quantile(0.50))
+           << ",\"p95\":" << FmtDouble(c.Quantile(0.95))
+           << ",\"p99\":" << FmtDouble(c.Quantile(0.99)) << "}";
+        break;
+    }
+  }
+  os << "}}";
+  return os.str();
+}
+
+MetricsExporter::MetricsExporter(MetricsRegistry* registry,
+                                 ExporterOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+// Deliberately no baseline snapshot here: the first tick's delta must be
+// the full cumulative value so summed deltas telescope to the final
+// snapshot exactly.
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Start() {
+  std::lock_guard<std::mutex> lock(run_mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsExporter::Stop() {
+  std::thread t;
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!running_) return;
+    stop_ = true;
+    running_ = false;
+    t.swap(thread_);
+  }
+  cv_.notify_all();
+  if (t.joinable()) t.join();
+  Tick();  // final flush: outputs reflect the end state
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::nanoseconds(options_.interval_ns),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    Tick();
+    lock.lock();
+  }
+}
+
+IntervalRecord MetricsExporter::Tick() {
+  int64_t now = options_.clock ? options_.clock() : MonotonicNowNs();
+  MetricsSnapshot snap = registry_->Snapshot();
+
+  IntervalRecord rec;
+  rec.ts_ns = now;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rec.seq = ++seq_;
+    rec.interval_ns = have_last_ ? now - last_ts_ns_ : 0;
+    double secs = rec.interval_ns > 0
+                      ? static_cast<double>(rec.interval_ns) / 1e9
+                      : 0.0;
+
+    if (summed_.metrics.size() < snap.metrics.size()) {
+      // Late-registered metrics: grow the accumulators with zeroed entries
+      // of the right shape.
+      for (size_t i = summed_.metrics.size(); i < snap.metrics.size(); ++i) {
+        MetricValue z;
+        z.name = snap.metrics[i].name;
+        z.kind = snap.metrics[i].kind;
+        if (z.kind == MetricKind::kHistogram) {
+          z.buckets.assign(snap.metrics[i].buckets.size(), 0);
+        }
+        summed_.metrics.push_back(z);
+        last_.metrics.push_back(std::move(z));
+      }
+    }
+
+    rec.deltas.reserve(snap.metrics.size());
+    for (size_t i = 0; i < snap.metrics.size(); ++i) {
+      const MetricValue& cur = snap.metrics[i];
+      MetricValue& prev = last_.metrics[i];
+      MetricValue& acc = summed_.metrics[i];
+      MetricDelta d;
+      d.name = cur.name;
+      d.kind = cur.kind;
+      switch (cur.kind) {
+        case MetricKind::kCounter: {
+          d.delta = cur.value - prev.value;
+          d.value = cur.value;
+          d.rate = secs > 0.0 ? static_cast<double>(d.delta) / secs : 0.0;
+          acc.value += d.delta;
+          break;
+        }
+        case MetricKind::kGauge:
+          // Gauges are point-in-time: no delta semantics; the accumulator
+          // just tracks the latest value.
+          d.value = cur.value;
+          acc.value = cur.value;
+          break;
+        case MetricKind::kHistogram: {
+          d.delta = cur.count - prev.count;
+          d.value = cur.count;
+          d.sum_delta = cur.sum - prev.sum;
+          acc.count += d.delta;
+          acc.sum += d.sum_delta;
+          if (acc.buckets.size() < cur.buckets.size()) {
+            acc.buckets.resize(cur.buckets.size(), 0);
+          }
+          for (size_t b = 0; b < cur.buckets.size(); ++b) {
+            uint64_t pb = b < prev.buckets.size() ? prev.buckets[b] : 0;
+            acc.buckets[b] += cur.buckets[b] - pb;
+          }
+          break;
+        }
+      }
+      rec.deltas.push_back(std::move(d));
+    }
+
+    rec.cumulative = snap;
+    last_ = std::move(snap);
+    last_ts_ns_ = now;
+    have_last_ = true;
+  }
+
+  WriteOutputs(rec);
+  return rec;
+}
+
+void MetricsExporter::WriteOutputs(const IntervalRecord& rec) {
+  bool prom_ok = true, jsonl_ok = true;
+  if (!options_.prometheus_path.empty()) {
+    // Write-then-rename so a concurrent scraper never sees a torn file.
+    std::string tmp = options_.prometheus_path + ".tmp";
+    prom_ok = WriteWholeFile(tmp, rec.cumulative.ToPrometheus()) &&
+              std::rename(tmp.c_str(), options_.prometheus_path.c_str()) == 0;
+  }
+  if (!options_.jsonl_path.empty()) {
+    jsonl_ok = AppendLine(options_.jsonl_path, rec.ToJsonLine());
+  }
+  if (options_.logger != nullptr) {
+    if (!prom_ok || !jsonl_ok) {
+      options_.logger->Log(LogLevel::kWarn, "exporter.write_failed",
+                           {{"prometheus_ok", prom_ok},
+                            {"jsonl_ok", jsonl_ok},
+                            {"seq", rec.seq}});
+    } else {
+      options_.logger->Log(LogLevel::kDebug, "exporter.tick",
+                           {{"seq", rec.seq},
+                            {"interval_ns", rec.interval_ns},
+                            {"metrics", rec.deltas.size()}});
+    }
+  }
+}
+
+uint64_t MetricsExporter::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+MetricsSnapshot MetricsExporter::SummedDeltas() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return summed_;
+}
+
+}  // namespace ged

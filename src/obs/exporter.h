@@ -1,0 +1,126 @@
+// Continuous metrics export (serving-telemetry layer).
+//
+// A MetricsExporter owns a background thread that, every `interval_ns`,
+// takes a cumulative MetricsRegistry::Snapshot and turns it into an
+// *interval record*: per-metric deltas against the previous tick, derived
+// rates (delta / interval seconds), and histogram quantile estimates. Each
+// tick is rendered two ways:
+//
+//   * Prometheus text exposition, atomically replacing `prometheus_path`
+//     (written to a .tmp sibling, then renamed) — a scrape target;
+//   * one JSON line appended to `jsonl_path` ("gedlib_metrics_v1") — an
+//     append-only time series for offline analysis.
+//
+// Correctness invariant (tested): the exporter takes NO baseline snapshot
+// at construction, so the first tick's delta is the full cumulative value
+// and the telescoping sum of all interval deltas equals the final
+// cumulative snapshot *exactly* — counters, histogram counts, sums and
+// buckets — no matter how writers race the ticks (each snapshot is a
+// consistent-enough monotone sample; deltas telescope regardless).
+//
+// Tick() is public so tests drive the exporter with a fake clock and no
+// thread; Start()/Stop() run the real loop (Stop flushes one final tick, so
+// a stopped exporter's outputs always reflect the end state).
+
+#ifndef GEDLIB_OBS_EXPORTER_H_
+#define GEDLIB_OBS_EXPORTER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ged {
+
+class StructuredLogger;
+
+struct ExporterOptions {
+  int64_t interval_ns = 1'000'000'000;
+  /// Scrape file (Prometheus text exposition); empty disables the file.
+  std::string prometheus_path;
+  /// Append-only JSONL time series; empty disables the file.
+  std::string jsonl_path;
+  /// Optional logger: the exporter emits a debug "exporter.tick" line per
+  /// tick and warns on write failures.
+  StructuredLogger* logger = nullptr;
+  /// Timestamp source (tests inject a fake clock). Default: MonotonicNowNs.
+  std::function<int64_t()> clock;
+};
+
+/// One metric's movement over a tick interval.
+struct MetricDelta {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t delta = 0;  ///< counters: interval increase; histograms: d(count)
+  uint64_t value = 0;  ///< cumulative value (counters/gauges) or count
+  uint64_t sum_delta = 0;  ///< histograms: interval increase of sum
+  double rate = 0.0;       ///< counters: delta per second over the interval
+};
+
+/// One exporter tick: the cumulative snapshot plus interval deltas.
+struct IntervalRecord {
+  int64_t ts_ns = 0;
+  int64_t interval_ns = 0;  ///< actual elapsed time since the previous tick
+  uint64_t seq = 0;         ///< 1-based tick number
+  MetricsSnapshot cumulative;
+  std::vector<MetricDelta> deltas;
+
+  /// {"schema":"gedlib_metrics_v1","seq":...,"metrics":{...}} — one line,
+  /// nonzero metrics only.
+  std::string ToJsonLine() const;
+};
+
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(MetricsRegistry* registry,
+                           ExporterOptions options = {});
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Starts the background tick loop. Idempotent.
+  void Start();
+  /// Stops the loop (prompt: condition variable, not a sleep), joins, and
+  /// runs one final flush tick. Idempotent; also run by the destructor.
+  void Stop();
+
+  /// Takes one snapshot, computes deltas vs the previous tick, accumulates
+  /// them into SummedDeltas(), and writes the configured outputs. Public so
+  /// fake-clock tests tick deterministically without the thread.
+  IntervalRecord Tick();
+
+  uint64_t ticks() const;
+  /// The running sum of every tick's deltas — by the telescoping identity
+  /// this equals the registry's cumulative snapshot as of the last tick.
+  MetricsSnapshot SummedDeltas() const;
+
+ private:
+  void Loop();
+  void WriteOutputs(const IntervalRecord& rec);
+
+  MetricsRegistry* const registry_;
+  ExporterOptions options_;
+
+  mutable std::mutex mu_;
+  MetricsSnapshot last_;    // previous tick's cumulative snapshot
+  MetricsSnapshot summed_;  // accumulated deltas (telescopes to cumulative)
+  uint64_t seq_ = 0;
+  int64_t last_ts_ns_ = 0;
+  bool have_last_ = false;
+
+  std::mutex run_mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace ged
+
+#endif  // GEDLIB_OBS_EXPORTER_H_

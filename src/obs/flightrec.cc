@@ -1,0 +1,87 @@
+#include "obs/flightrec.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/log.h"      // JsonEscapeString
+#include "obs/metrics.h"  // MonotonicNowNs
+
+namespace ged {
+
+const char* FlightKindName(FlightRecorder::Kind kind) {
+  switch (kind) {
+    case FlightRecorder::Kind::kScan: return "scan";
+    case FlightRecorder::Kind::kCommit: return "commit";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::Record(Kind kind, std::string arg, int64_t dur_ns,
+                            std::string detail_json) {
+  Capture c;
+  c.kind = kind;
+  c.arg = std::move(arg);
+  c.ts_ns = MonotonicNowNs();
+  c.dur_ns = dur_ns;
+  c.detail_json = std::move(detail_json);
+  std::lock_guard<std::mutex> lock(mu_);
+  c.seq = ++seq_;
+  ring_.push_back(std::move(c));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++evicted_;
+  }
+}
+
+size_t FlightRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t FlightRecorder::total_captures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+uint64_t FlightRecorder::evicted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evicted_;
+}
+
+std::vector<FlightRecorder::Capture> FlightRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Capture>(ring_.begin(), ring_.end());
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::string FlightRecorder::DumpJson() const {
+  std::ostringstream os;
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"schema\":\"gedlib_flight_v1\""
+     << ",\"capacity\":" << capacity_
+     << ",\"scan_threshold_ns\":" << scan_threshold_ns()
+     << ",\"commit_threshold_ns\":" << commit_threshold_ns()
+     << ",\"total_captures\":" << seq_ << ",\"evicted\":" << evicted_
+     << ",\"captures\":[";
+  bool first = true;
+  for (const Capture& c : ring_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"seq\":" << c.seq << ",\"kind\":\"" << FlightKindName(c.kind)
+       << "\",\"arg\":\"" << JsonEscapeString(c.arg)
+       << "\",\"ts_ns\":" << c.ts_ns << ",\"dur_ns\":" << c.dur_ns
+       << ",\"detail\":"
+       << (c.detail_json.empty() ? std::string("{}") : c.detail_json) << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ged

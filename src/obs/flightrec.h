@@ -1,0 +1,100 @@
+// Slow-operation flight recorder (serving-telemetry layer).
+//
+// A bounded ring buffer of "captures": when a per-bucket/per-GED scan or an
+// incremental commit finishes slower than its configured threshold, the
+// instrumentation site (ScanObs in reason/validation.cc, Commit in
+// incr/incremental.cc) serializes the evidence it already holds — the
+// scan's per-depth EXPLAIN profile, the commit's child span tree and stats
+// — and Records it here. The ring evicts oldest, so a long-running service
+// always holds the most recent outliers; DumpJson() produces the
+// gedlib_flight_v1 document tools/render_profile.py renders.
+//
+// Cost discipline: ShouldCapture is one relaxed atomic load + compare, paid
+// only when a recorder is wired at all (ObsOptions::Recorder() is null
+// otherwise). Everything else — serialization, the mutex, the ring — runs
+// only on the slow path it exists to document. Default thresholds are
+// INT64_MAX: a wired but unconfigured recorder captures nothing.
+
+#ifndef GEDLIB_OBS_FLIGHTREC_H_
+#define GEDLIB_OBS_FLIGHTREC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ged {
+
+class FlightRecorder {
+ public:
+  enum class Kind { kScan, kCommit };
+
+  struct Capture {
+    uint64_t seq = 0;       ///< monotone capture number (1-based)
+    Kind kind = Kind::kScan;
+    std::string arg;        ///< site label, e.g. "bucket=3" or "commit=17"
+    int64_t ts_ns = 0;      ///< MonotonicNowNs at capture
+    int64_t dur_ns = 0;     ///< the offending operation's wall time
+    std::string detail_json;  ///< site-provided JSON object (evidence)
+  };
+
+  explicit FlightRecorder(size_t capacity = 32);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Thresholds in nanoseconds; INT64_MAX (the default) disables the kind.
+  /// Settable at any time (drivers calibrate against observed latencies).
+  void set_scan_threshold_ns(int64_t ns) {
+    scan_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  void set_commit_threshold_ns(int64_t ns) {
+    commit_threshold_ns_.store(ns, std::memory_order_relaxed);
+  }
+  int64_t scan_threshold_ns() const {
+    return scan_threshold_ns_.load(std::memory_order_relaxed);
+  }
+  int64_t commit_threshold_ns() const {
+    return commit_threshold_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// The hot-path gate: one relaxed load + compare.
+  bool ShouldCapture(Kind kind, int64_t dur_ns) const {
+    return dur_ns >= (kind == Kind::kScan ? scan_threshold_ns()
+                                          : commit_threshold_ns());
+  }
+
+  /// Appends a capture, evicting the oldest when full. `detail_json` must
+  /// be a valid JSON object (it is embedded verbatim by DumpJson).
+  void Record(Kind kind, std::string arg, int64_t dur_ns,
+              std::string detail_json);
+
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  /// Captures ever recorded / evicted (total_captures - evicted = size).
+  uint64_t total_captures() const;
+  uint64_t evicted() const;
+
+  std::vector<Capture> Snapshot() const;
+  /// {"schema":"gedlib_flight_v1", thresholds, captures:[...]}
+  std::string DumpJson() const;
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  std::atomic<int64_t> scan_threshold_ns_{INT64_MAX};
+  std::atomic<int64_t> commit_threshold_ns_{INT64_MAX};
+
+  mutable std::mutex mu_;
+  std::deque<Capture> ring_;  // guarded by mu_
+  uint64_t seq_ = 0;          // guarded by mu_
+  uint64_t evicted_ = 0;      // guarded by mu_
+};
+
+const char* FlightKindName(FlightRecorder::Kind kind);
+
+}  // namespace ged
+
+#endif  // GEDLIB_OBS_FLIGHTREC_H_

@@ -1,0 +1,122 @@
+#include "obs/log.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"  // MonotonicNowNs
+
+namespace ged {
+
+namespace {
+
+void StderrSink(const std::string& line) {
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "?";
+}
+
+std::string JsonEscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+  }
+  return out;
+}
+
+LogField::LogField(std::string k, bool v)
+    : key(std::move(k)), json(v ? "true" : "false") {}
+
+LogField::LogField(std::string k, double v) : key(std::move(k)) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  json = buf;
+}
+
+LogField::LogField(std::string k, const char* v)
+    : key(std::move(k)), json('"' + JsonEscapeString(v) + '"') {}
+
+LogField::LogField(std::string k, const std::string& v)
+    : key(std::move(k)), json('"' + JsonEscapeString(v) + '"') {}
+
+StructuredLogger::StructuredLogger(LoggerOptions options)
+    : options_(std::move(options)),
+      min_level_(static_cast<int>(options_.min_level)) {}
+
+void StructuredLogger::Configure(LoggerOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_ = std::move(options);
+  windows_.clear();
+  min_level_.store(static_cast<int>(options_.min_level),
+                   std::memory_order_relaxed);
+}
+
+void StructuredLogger::Log(LogLevel level, const char* event,
+                           std::initializer_list<LogField> fields) {
+  if (!Enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t now = options_.clock ? options_.clock() : MonotonicNowNs();
+
+  EventWindow& w = windows_[event];
+  if (now - w.window_start_ns >= options_.window_ns) {
+    // Roll the window; the overflow of the closing window is reported on
+    // this (first) line of the new one.
+    w.suppressed_prev =
+        w.count > options_.max_per_window ? w.count - options_.max_per_window
+                                          : 0;
+    w.window_start_ns = now;
+    w.count = 0;
+  }
+  ++w.count;
+  if (w.count > options_.max_per_window) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  std::string line;
+  line.reserve(96);
+  line += "{\"ts_ns\":";
+  line += std::to_string(now);
+  line += ",\"level\":\"";
+  line += LogLevelName(level);
+  line += "\",\"event\":\"";
+  line += JsonEscapeString(event);
+  line += '"';
+  if (w.suppressed_prev > 0) {
+    line += ",\"suppressed_prev_window\":";
+    line += std::to_string(w.suppressed_prev);
+    w.suppressed_prev = 0;
+  }
+  for (const LogField& f : fields) {
+    line += ",\"";
+    line += JsonEscapeString(f.key);
+    line += "\":";
+    line += f.json;
+  }
+  line += '}';
+
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.sink) {
+    options_.sink(line);
+  } else {
+    StderrSink(line);
+  }
+}
+
+}  // namespace ged

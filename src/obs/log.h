@@ -1,0 +1,121 @@
+// Leveled, rate-limited structured JSON logger (serving-telemetry layer).
+//
+// One log call = one JSON line handed to a caller-provided sink:
+//
+//   {"ts_ns":123,"level":"warn","event":"slow_commit","wall_ns":4200,...}
+//
+// Design constraints, in order:
+//   * the engine's hot paths only ever pay one pointer test — call sites go
+//     through ObsOptions::Log(), which returns null unless obs is enabled
+//     and a logger is wired (the same discipline as the other sinks);
+//   * bounded output under pathological load: every (event) key gets at
+//     most `max_per_window` lines per `window_ns`; the overflow is counted
+//     and reported on the first line of the next window
+//     ("suppressed_prev_window"), so a log storm degrades to a rate, never
+//     to an unbounded file;
+//   * injectable clock and sink, so tests drive windows deterministically
+//     and drivers route lines to files, stderr, or counters.
+//
+// The logger serializes emission under a mutex — it is a cold-path sink
+// (commit summaries, exporter ticks, flight-recorder captures), not a
+// per-match tracepoint; the per-metric work belongs in MetricsRegistry.
+
+#ifndef GEDLIB_OBS_LOG_H_
+#define GEDLIB_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <unordered_map>
+
+namespace ged {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* LogLevelName(LogLevel level);
+
+/// One key/value pair of a structured log line. The value is encoded to
+/// JSON at construction, so Log() only concatenates.
+struct LogField {
+  std::string key;
+  std::string json;  ///< already-encoded JSON value
+
+  LogField(std::string k, bool v);
+  LogField(std::string k, double v);
+  LogField(std::string k, const char* v);
+  LogField(std::string k, const std::string& v);
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  LogField(std::string k, T v) : key(std::move(k)), json(std::to_string(v)) {}
+};
+
+struct LoggerOptions {
+  LogLevel min_level = LogLevel::kInfo;
+  /// Rate limit: at most this many lines per event name per window.
+  uint32_t max_per_window = 64;
+  int64_t window_ns = 1'000'000'000;
+  /// Receives each emitted line (no trailing newline). Default: stderr.
+  std::function<void(const std::string&)> sink;
+  /// Timestamp source (tests inject a fake clock). Default: MonotonicNowNs.
+  std::function<int64_t()> clock;
+};
+
+/// Thread-safe structured logger. Cheap to query (Enabled is one relaxed
+/// atomic load), mutex-serialized to emit.
+class StructuredLogger {
+ public:
+  explicit StructuredLogger(LoggerOptions options = {});
+
+  StructuredLogger(const StructuredLogger&) = delete;
+  StructuredLogger& operator=(const StructuredLogger&) = delete;
+
+  /// Replaces the options (sink, clock, level, limits) and resets the
+  /// rate-limit windows. Not meant to race in-flight Log() calls beyond
+  /// basic safety (both take the mutex).
+  void Configure(LoggerOptions options);
+
+  /// True when `level` passes the min-level filter (lock-free pre-check so
+  /// disabled-level call sites skip field construction).
+  bool Enabled(LogLevel level) const {
+    return static_cast<int>(level) >=
+           min_level_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits one structured line (subject to level filter and per-event rate
+  /// limit). `event` should be a stable snake_case identifier.
+  void Log(LogLevel level, const char* event,
+           std::initializer_list<LogField> fields = {});
+
+  /// Lines handed to the sink / dropped by the rate limiter (level-filtered
+  /// calls count in neither).
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct EventWindow {
+    int64_t window_start_ns = 0;
+    uint32_t count = 0;           // lines emitted this window
+    uint64_t suppressed_prev = 0; // overflow of the previous window
+  };
+
+  mutable std::mutex mu_;
+  LoggerOptions options_;                                 // guarded by mu_
+  std::unordered_map<std::string, EventWindow> windows_;  // guarded by mu_
+  std::atomic<int> min_level_;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding quotes).
+std::string JsonEscapeString(const std::string& s);
+
+}  // namespace ged
+
+#endif  // GEDLIB_OBS_LOG_H_

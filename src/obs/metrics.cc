@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <sstream>
 
 namespace ged {
+
+static_assert(sizeof(LatencyHistogram{}.buckets) / sizeof(uint64_t) ==
+                  MetricsRegistry::kHistogramBuckets,
+              "LatencyHistogram bucket layout out of sync with the registry");
 
 namespace {
 
@@ -105,6 +111,14 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kCommitAdded, "commit.added", MetricKind::kCounter},
       {EngineMetric::kCommitMatchesChecked, "commit.matches_checked",
        MetricKind::kCounter},
+      {EngineMetric::kChaseRuns, "chase.runs", MetricKind::kCounter},
+      {EngineMetric::kChaseSteps, "chase.steps", MetricKind::kCounter},
+      {EngineMetric::kImplicationRuns, "reason.implication_runs",
+       MetricKind::kCounter},
+      {EngineMetric::kSatisfiabilityRuns, "reason.satisfiability_runs",
+       MetricKind::kCounter},
+      {EngineMetric::kGdcScans, "ext.gdc_scans", MetricKind::kCounter},
+      {EngineMetric::kGedOrScans, "ext.gedor_scans", MetricKind::kCounter},
       {EngineMetric::kGraphNodes, "graph.nodes", MetricKind::kGauge},
       {EngineMetric::kGraphEdges, "graph.edges", MetricKind::kGauge},
       {EngineMetric::kLiveViolations, "incr.live_violations",
@@ -115,6 +129,7 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kScanWallNs, "scan.wall_ns", MetricKind::kHistogram},
       {EngineMetric::kCommitWallNs, "commit.wall_ns",
        MetricKind::kHistogram},
+      {EngineMetric::kChaseWallNs, "chase.wall_ns", MetricKind::kHistogram},
   };
   static_assert(sizeof(kCatalog) / sizeof(kCatalog[0]) ==
                     static_cast<size_t>(EngineMetric::kCount),
@@ -265,6 +280,131 @@ std::string MetricsSnapshot::ToJson() const {
     os << "}";
   }
   os << "]}";
+  return os.str();
+}
+
+double HistogramQuantile(const uint64_t* buckets, size_t num_buckets,
+                         uint64_t count, double q) {
+  if (count == 0 || num_buckets == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Target rank in (0, count]; rank r falls in the bucket whose cumulative
+  // count first reaches r.
+  double target = q * static_cast<double>(count);
+  if (target < 1.0) target = 1.0;
+  double cum = 0.0;
+  for (size_t b = 0; b < num_buckets; ++b) {
+    double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket == 0.0) continue;
+    if (cum + in_bucket >= target) {
+      double frac = (target - cum) / in_bucket;  // position within bucket
+      if (b == 0) return 2.0 * frac;             // bucket 0 spans [0, 2)
+      // Bucket b spans [2^b, 2^(b+1)): interpolate geometrically, matching
+      // the buckets' own log spacing.
+      return std::pow(2.0, static_cast<double>(b) + frac);
+    }
+    cum += in_bucket;
+  }
+  // Rounding fallthrough: the last nonempty bucket's upper bound.
+  for (size_t b = num_buckets; b-- > 0;) {
+    if (buckets[b] != 0) return std::pow(2.0, static_cast<double>(b) + 1.0);
+  }
+  return 0.0;
+}
+
+double MetricValue::Quantile(double q) const {
+  if (kind != MetricKind::kHistogram || buckets.empty()) return 0.0;
+  return HistogramQuantile(buckets.data(), buckets.size(), count, q);
+}
+
+void LatencyHistogram::Observe(uint64_t value) {
+  ++count;
+  sum += value;
+  ++buckets[BucketOf(value)];
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  count += other.count;
+  sum += other.sum;
+  for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+}
+
+namespace {
+
+// Prometheus metric name: catalog names are dotted ("scan.wall_ns"); the
+// exposition grammar wants [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "gedlib_";
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FmtMsD(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream os;
+  for (const MetricValue& v : metrics) {
+    std::string name = PrometheusName(v.name);
+    switch (v.kind) {
+      case MetricKind::kCounter:
+        os << "# TYPE " << name << "_total counter\n"
+           << name << "_total " << v.value << "\n";
+        break;
+      case MetricKind::kGauge:
+        os << "# TYPE " << name << " gauge\n" << name << " " << v.value
+           << "\n";
+        break;
+      case MetricKind::kHistogram: {
+        os << "# TYPE " << name << " histogram\n";
+        uint64_t cum = 0;
+        size_t last = v.buckets.size();
+        while (last > 0 && v.buckets[last - 1] == 0) --last;
+        for (size_t b = 0; b < last; ++b) {
+          cum += v.buckets[b];
+          os << name << "_bucket{le=\"" << (uint64_t{1} << (b + 1)) << "\"} "
+             << cum << "\n";
+        }
+        os << name << "_bucket{le=\"+Inf\"} " << v.count << "\n"
+           << name << "_sum " << v.sum << "\n"
+           << name << "_count " << v.count << "\n";
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToTable() const {
+  std::ostringstream os;
+  os << "-- metrics "
+     << "-----------------------------------------------------------\n";
+  for (const MetricValue* v : NonZero()) {
+    char line[160];
+    if (v->kind == MetricKind::kHistogram) {
+      std::snprintf(line, sizeof(line),
+                    "%-28s count=%-8llu sum=%sms p50=%sms p95=%sms p99=%sms\n",
+                    v->name.c_str(),
+                    static_cast<unsigned long long>(v->count),
+                    FmtMsD(static_cast<double>(v->sum)).c_str(),
+                    FmtMsD(v->Quantile(0.50)).c_str(),
+                    FmtMsD(v->Quantile(0.95)).c_str(),
+                    FmtMsD(v->Quantile(0.99)).c_str());
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %llu%s\n", v->name.c_str(),
+                    static_cast<unsigned long long>(v->value),
+                    v->kind == MetricKind::kGauge ? " (gauge)" : "");
+    }
+    os << line;
+  }
   return os.str();
 }
 

@@ -68,6 +68,12 @@ enum class EngineMetric : size_t {
   kCommitRetracted,         ///< violations retracted (cumulative)
   kCommitAdded,             ///< violations added (cumulative)
   kCommitMatchesChecked,    ///< matches inspected by commits (cumulative)
+  kChaseRuns,               ///< Chase() calls (reasoning substrate)
+  kChaseSteps,              ///< applied chase steps (cumulative)
+  kImplicationRuns,         ///< CheckImplication calls
+  kSatisfiabilityRuns,      ///< CheckSatisfiability calls
+  kGdcScans,                ///< GDC violation scans (FindGdcViolations)
+  kGedOrScans,              ///< GED-OR violation scans (FindGedOrViolations)
   // ----- gauges (last value wins) -------------------------------------
   kGraphNodes,              ///< nodes of the most recently scanned graph
   kGraphEdges,              ///< edges of the most recently scanned graph
@@ -77,11 +83,21 @@ enum class EngineMetric : size_t {
   kFreezeWallNs,            ///< wall time per freeze
   kScanWallNs,              ///< wall time per per-bucket/per-GED scan
   kCommitWallNs,            ///< wall time per incremental commit
+  kChaseWallNs,             ///< wall time per Chase() call
   kCount                    ///< number of catalog entries (not a metric)
 };
 
 /// What a registered metric is; determines its cell layout and merge rule.
 enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Estimates the q-quantile (q in [0,1]) of a power-of-two bucketed
+/// histogram by log-linear interpolation: the target rank's position inside
+/// its bucket is mapped geometrically across the bucket's [2^i, 2^(i+1))
+/// range (linearly for bucket 0, which covers [0,2)). Exact sample sets
+/// recover their quantiles to within the containing bucket's bounds.
+/// Returns 0 when count is 0.
+double HistogramQuantile(const uint64_t* buckets, size_t num_buckets,
+                         uint64_t count, double q);
 
 /// Merged-on-read value of one metric (Snapshot output).
 struct MetricValue {
@@ -95,6 +111,9 @@ struct MetricValue {
   uint64_t count = 0;
   uint64_t sum = 0;
   std::vector<uint64_t> buckets;
+
+  /// Histogram quantile estimate (0 for non-histograms / empty histograms).
+  double Quantile(double q) const;
 };
 
 /// A merged snapshot of every registered metric, in registration order.
@@ -104,6 +123,28 @@ struct MetricsSnapshot {
   std::vector<const MetricValue*> NonZero() const;
   /// {"metrics": [{name, kind, value | count/sum/buckets}, ...]}
   std::string ToJson() const;
+  /// Prometheus text exposition format (metric names sanitized and prefixed
+  /// with "gedlib_"; counters get a "_total" suffix; histograms emit
+  /// cumulative _bucket{le=...} series plus _sum and _count).
+  std::string ToPrometheus() const;
+  /// Human-readable table of the nonzero metrics; histogram rows include
+  /// p50/p95/p99 estimates. Used by the examples' --profile exit summary.
+  std::string ToTable() const;
+};
+
+/// A plain single-threaded latency histogram with the registry's bucket
+/// layout; used where a per-object histogram is wanted without registry
+/// machinery (e.g. per-bucket scan latencies in the EXPLAIN profile).
+struct LatencyHistogram {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, 40> buckets{};  // == MetricsRegistry::kHistogramBuckets
+
+  void Observe(uint64_t value);
+  void Merge(const LatencyHistogram& other);
+  double Quantile(double q) const {
+    return HistogramQuantile(buckets.data(), buckets.size(), count, q);
+  }
 };
 
 /// Thread-safe registry of named metrics with thread-local write shards.

@@ -12,6 +12,8 @@
 #ifndef GEDLIB_OBS_OBS_H_
 #define GEDLIB_OBS_OBS_H_
 
+#include "obs/flightrec.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
 #include "obs/trace.h"
@@ -27,20 +29,27 @@ struct ObsOptions {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
   ProfileCollector* profiler = nullptr;
+  FlightRecorder* recorder = nullptr;
+  StructuredLogger* logger = nullptr;
 
   MetricsRegistry* Metrics() const { return enabled ? metrics : nullptr; }
   Tracer* Trace() const { return enabled ? tracer : nullptr; }
   ProfileCollector* Profiler() const { return enabled ? profiler : nullptr; }
+  FlightRecorder* Recorder() const { return enabled ? recorder : nullptr; }
+  StructuredLogger* Log() const { return enabled ? logger : nullptr; }
 
   /// True when at least one sink would receive data.
   bool Active() const {
     return enabled &&
-           (metrics != nullptr || tracer != nullptr || profiler != nullptr);
+           (metrics != nullptr || tracer != nullptr || profiler != nullptr ||
+            recorder != nullptr || logger != nullptr);
   }
 };
 
 /// Owns one sink of each kind and hands out an enabled ObsOptions wired to
-/// them. Convenience for drivers that profile a whole run.
+/// them. Convenience for drivers that profile a whole run. The flight
+/// recorder is inert until a threshold is set; the logger defaults to
+/// info-level stderr until Configure()d.
 class ObsSession {
  public:
   ObsSession() = default;
@@ -51,6 +60,8 @@ class ObsSession {
   MetricsRegistry& Metrics() { return metrics_; }
   Tracer& Trace() { return tracer_; }
   ProfileCollector& Profiler() { return profiler_; }
+  FlightRecorder& Recorder() { return recorder_; }
+  StructuredLogger& Log() { return logger_; }
 
   ObsOptions Options() {
     ObsOptions o;
@@ -58,6 +69,8 @@ class ObsSession {
     o.metrics = &metrics_;
     o.tracer = &tracer_;
     o.profiler = &profiler_;
+    o.recorder = &recorder_;
+    o.logger = &logger_;
     return o;
   }
 
@@ -65,6 +78,8 @@ class ObsSession {
   MetricsRegistry metrics_;
   Tracer tracer_;
   ProfileCollector profiler_;
+  FlightRecorder recorder_;
+  StructuredLogger logger_;
 };
 
 }  // namespace ged

@@ -109,6 +109,7 @@ void ProfileCollector::AddScan(size_t bucket_id, const MatchProfile& prof,
   ProfileReport::Bucket& b = report_.buckets[bucket_id];
   b.scans += 1;
   b.wall_ns += wall_ns;
+  b.scan_ns.Observe(static_cast<uint64_t>(std::max<int64_t>(0, wall_ns)));
   b.prof.Merge(prof);
 }
 
@@ -173,6 +174,40 @@ void ProfileCollector::Reset() {
   report_ = ProfileReport{};
 }
 
+namespace {
+
+void EmitDepths(std::ostringstream& os, const MatchProfile& prof) {
+  os << "\"depths\":[";
+  for (size_t d = 0; d < prof.depths.size(); ++d) {
+    const DepthStats& s = prof.depths[d];
+    if (d > 0) os << ",";
+    os << "{\"depth\":" << d << ",\"extends\":" << s.extends
+       << ",\"candidates\":" << s.candidates
+       << ",\"accepted\":" << s.accepted << ",\"lf_rounds\":" << s.lf_rounds
+       << ",\"lf_seeks\":" << s.lf_seeks << ",\"lf_fanin\":" << s.lf_fanin
+       << ",\"linear_steps\":" << s.linear_steps
+       << ",\"reorders\":" << s.reorders << "}";
+  }
+  os << "]";
+}
+
+std::string FmtNsAsMs(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ns / 1e6);
+  return buf;
+}
+
+}  // namespace
+
+std::string MatchProfileToJson(const MatchProfile& prof) {
+  std::ostringstream os;
+  os << "{\"steps\":" << prof.steps << ",\"matches\":" << prof.matches
+     << ",\"aborts\":" << prof.aborts << ",";
+  EmitDepths(os, prof);
+  os << "}";
+  return os.str();
+}
+
 std::string ProfileReport::ToJson() const {
   std::ostringstream os;
   os << "{\"schema\":\"gedlib_profile_v1\""
@@ -199,20 +234,20 @@ std::string ProfileReport::ToJson() const {
     if (!first_bucket) os << ",";
     first_bucket = false;
     os << "{\"id\":" << b.id << ",\"pattern\":" << JsonString(b.pattern)
-       << ",\"scans\":" << b.scans << ",\"wall_ns\":" << b.wall_ns
-       << ",\"steps\":" << b.prof.steps << ",\"matches\":" << b.prof.matches
-       << ",\"aborts\":" << b.prof.aborts << ",\"depths\":[";
-    for (size_t d = 0; d < b.prof.depths.size(); ++d) {
-      const DepthStats& s = b.prof.depths[d];
-      if (d > 0) os << ",";
-      os << "{\"depth\":" << d << ",\"extends\":" << s.extends
-         << ",\"candidates\":" << s.candidates
-         << ",\"accepted\":" << s.accepted << ",\"lf_rounds\":" << s.lf_rounds
-         << ",\"lf_seeks\":" << s.lf_seeks << ",\"lf_fanin\":" << s.lf_fanin
-         << ",\"linear_steps\":" << s.linear_steps
-         << ",\"reorders\":" << s.reorders << "}";
+       << ",\"scans\":" << b.scans << ",\"wall_ns\":" << b.wall_ns;
+    if (b.scan_ns.count > 0) {
+      char qbuf[96];
+      std::snprintf(qbuf, sizeof(qbuf),
+                    ",\"scan_ns_p50\":%.0f,\"scan_ns_p95\":%.0f"
+                    ",\"scan_ns_p99\":%.0f",
+                    b.scan_ns.Quantile(0.50), b.scan_ns.Quantile(0.95),
+                    b.scan_ns.Quantile(0.99));
+      os << qbuf;
     }
-    os << "]}";
+    os << ",\"steps\":" << b.prof.steps << ",\"matches\":" << b.prof.matches
+       << ",\"aborts\":" << b.prof.aborts << ",";
+    EmitDepths(os, b.prof);
+    os << "}";
   }
   os << "]}";
   return os.str();
@@ -261,6 +296,11 @@ std::string ProfileReport::ToTable() const {
        << " ms, steps " << b.prof.steps << ", matches " << b.prof.matches;
     if (b.prof.aborts > 0) os << ", aborts " << b.prof.aborts;
     os << "\n";
+    if (b.scan_ns.count > 0) {
+      os << "  scan latency p50 " << FmtNsAsMs(b.scan_ns.Quantile(0.50))
+         << " ms, p95 " << FmtNsAsMs(b.scan_ns.Quantile(0.95)) << " ms, p99 "
+         << FmtNsAsMs(b.scan_ns.Quantile(0.99)) << " ms\n";
+    }
     if (b.prof.depths.empty()) continue;
     Cell(os, "depth", 5);
     Cell(os, "extends", 10);

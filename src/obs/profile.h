@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"  // LatencyHistogram
+
 namespace ged {
 
 /// Per-search-depth matcher counters. Depth d covers the candidate
@@ -64,6 +66,11 @@ struct MatchProfile {
   DepthStats Totals() const;
 };
 
+/// Standalone JSON rendering of one MatchProfile ({"steps","matches",
+/// "aborts","depths":[...]}); the flight recorder embeds this as the
+/// evidence of a slow scan.
+std::string MatchProfileToJson(const MatchProfile& prof);
+
 /// The finished EXPLAIN output of one Validate / Commit run.
 struct ProfileReport {
   /// One shared enumeration (a plan bucket, or a single GED on the legacy
@@ -73,6 +80,9 @@ struct ProfileReport {
     std::string pattern;     ///< human-readable pattern shape
     uint64_t scans = 0;      ///< enumeration calls merged into `prof`
     int64_t wall_ns = 0;     ///< summed scan wall time (across workers)
+    /// Per-scan latency distribution (one observation per AddScan), so the
+    /// EXPLAIN tables report p50/p95/p99 scan latencies per bucket.
+    LatencyHistogram scan_ns;
     MatchProfile prof;
   };
   /// One rule's rollup. Enumeration effort is shared bucket-wide; checked /

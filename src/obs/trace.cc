@@ -177,6 +177,40 @@ std::string Tracer::ToJson() const {
   return os.str();
 }
 
+std::string Tracer::ToJsonSince(int64_t since_rel_ns) const {
+  std::vector<TraceEvent> all = Merged();
+  // Keep the window, then re-base each thread's depths: a window that opens
+  // inside live ancestors (say an unfinished Commit span) sees only
+  // descendants, whose recorded depths start above 0.
+  std::vector<TraceEvent> window;
+  window.reserve(all.size());
+  for (TraceEvent& e : all) {
+    if (e.start_ns >= since_rel_ns) window.push_back(std::move(e));
+  }
+  std::ostringstream os;
+  os << "{\"threads\":[";
+  size_t i = 0;
+  bool first_thread = true;
+  while (i < window.size()) {
+    uint32_t tid = window[i].tid;
+    size_t end = i;
+    uint32_t min_depth = UINT32_MAX;
+    while (end < window.size() && window[end].tid == tid) {
+      min_depth = std::min(min_depth, window[end].depth);
+      ++end;
+    }
+    for (size_t j = i; j < end; ++j) window[j].depth -= min_depth;
+    if (!first_thread) os << ",";
+    first_thread = false;
+    os << "{\"tid\":" << tid << ",\"spans\":";
+    EmitSpanForest(window, i, end, 0, os);
+    os << "}";
+    i = end;
+  }
+  os << "]}";
+  return os.str();
+}
+
 std::string Tracer::ToChromeTrace() const {
   std::vector<TraceEvent> all = Merged();
   std::ostringstream os;

@@ -79,6 +79,14 @@ class Tracer {
   /// "children":[...]}]}]}
   std::string ToJson() const;
 
+  /// Same shape as ToJson(), restricted to spans with start_ns >=
+  /// `since_rel_ns` (tracer-epoch-relative, i.e. comparable to NowNs()).
+  /// Depths are normalized per thread to the window's shallowest span, so
+  /// children of a still-open ancestor (e.g. spans inside an unfinished
+  /// Commit) form a proper forest. Used by the flight recorder to attach
+  /// "what happened during this operation" evidence.
+  std::string ToJsonSince(int64_t since_rel_ns) const;
+
   /// Chrome trace_event JSON ({"traceEvents":[...]}): one "ph":"X"
   /// complete event per span, timestamps in microseconds. Load the file in
   /// chrome://tracing or https://ui.perfetto.dev.

@@ -5,6 +5,10 @@ namespace ged {
 ImplicationResult CheckImplication(const std::vector<Ged>& sigma,
                                    const Ged& phi,
                                    const ChaseOptions& options) {
+  ScopedSpan span(options.obs.Trace(), "Implication", phi.name());
+  if (MetricsRegistry* m = options.obs.Metrics()) {
+    m->Inc(EngineMetric::kImplicationRuns);
+  }
   Graph gq = phi.pattern().ToGraph();
   EqRel eqx = BuildEqX(gq, phi.X());
   ChaseResult chase = Chase(gq, sigma, &eqx, options);

@@ -4,6 +4,13 @@ namespace ged {
 
 SatisfiabilityResult CheckSatisfiability(const std::vector<Ged>& sigma,
                                          const ChaseOptions& options) {
+  ScopedSpan span(options.obs.Trace(), "Satisfiability",
+                  options.obs.Trace() == nullptr
+                      ? std::string{}
+                      : "sigma=" + std::to_string(sigma.size()));
+  if (MetricsRegistry* m = options.obs.Metrics()) {
+    m->Inc(EngineMetric::kSatisfiabilityRuns);
+  }
   CanonicalGraph canonical = BuildCanonicalGraph(sigma);
   ChaseResult chase = Chase(canonical.graph, sigma, nullptr, options);
   SatisfiabilityResult out{.satisfiable = chase.consistent,

@@ -49,13 +49,18 @@ class ScanObs {
           MatchOptions* mopts)
       : profiler_(vopts.obs.Profiler()),
         metrics_(vopts.obs.Metrics()),
+        recorder_(vopts.obs.Recorder()),
+        logger_(vopts.obs.Log()),
+        kind_(kind),
         bucket_id_(bucket_id),
         span_(vopts.obs.Trace(), "Match",
               vopts.obs.Trace() == nullptr
                   ? std::string{}
                   : std::string(kind) + "=" + std::to_string(bucket_id)) {
-    if (profiler_ != nullptr) mopts->profile = &prof_;
-    if (profiler_ != nullptr || metrics_ != nullptr) {
+    // The flight recorder needs the profile too — it is the evidence a
+    // slow-scan capture serializes.
+    if (profiler_ != nullptr || recorder_ != nullptr) mopts->profile = &prof_;
+    if (profiler_ != nullptr || metrics_ != nullptr || recorder_ != nullptr) {
       start_ns_ = MonotonicNowNs();
       timed_ = true;
     }
@@ -71,11 +76,27 @@ class ScanObs {
                         static_cast<uint64_t>(wall));
     }
     if (profiler_ != nullptr) profiler_->AddScan(bucket_id_, prof_, wall);
+    if (recorder_ != nullptr &&
+        recorder_->ShouldCapture(FlightRecorder::Kind::kScan, wall)) {
+      std::string arg = std::string(kind_) + "=" + std::to_string(bucket_id_);
+      recorder_->Record(FlightRecorder::Kind::kScan, arg, wall,
+                        MatchProfileToJson(prof_));
+      if (logger_ != nullptr) {
+        logger_->Log(LogLevel::kWarn, "slow_scan",
+                     {{"scan", arg},
+                      {"wall_ns", wall},
+                      {"steps", prof_.steps},
+                      {"matches", prof_.matches}});
+      }
+    }
   }
 
  private:
   ProfileCollector* profiler_;
   MetricsRegistry* metrics_;
+  FlightRecorder* recorder_;
+  StructuredLogger* logger_;
+  const char* kind_;
   size_t bucket_id_;
   ScopedSpan span_;
   MatchProfile prof_;

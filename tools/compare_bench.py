@@ -30,15 +30,18 @@ Two modes:
          --slower  'BM_DensePattern/clique4_legacy/512' \
          --min-ratio 1.5
 
-3. Overhead gate (--overhead): assert one benchmark is at most a small
-   fraction slower than another inside a single JSON file. Used by the PR
-   perf smoke job to pin the observability acceptance bar (the obs-disabled
-   validate path ≤ 2% over the no-sinks baseline):
+3. Overhead gate (--overhead): assert benchmarks are at most a small
+   fraction slower than a baseline inside a single JSON file. --test /
+   --max-overhead repeat to gate several series against the same --base in
+   one invocation (when there are fewer --max-overhead values than --test
+   names, the last one carries over). Used by the PR perf smoke job to pin
+   the observability acceptance bars (obs-disabled ≤ 2%, the full serving
+   telemetry stack ≤ 5% over the no-sinks baseline):
 
      compare_bench.py --overhead fresh.json \
          --base 'BM_ObsValidation/obs_baseline/256' \
-         --test 'BM_ObsValidation/obs_disabled/256' \
-         --max-overhead 0.02
+         --test 'BM_ObsValidation/obs_disabled/256'      --max-overhead 0.02 \
+         --test 'BM_ObsValidation/telemetry_enabled/256' --max-overhead 0.05
 
 Input files are Google Benchmark JSON, optionally stamped with a top-level
 "gedlib_bench_schema" version (bench/baselines are stamped when refreshed;
@@ -182,17 +185,26 @@ def speedup_mode(args):
 def overhead_mode(args):
     _, benches = load(args.fresh)
     try:
-        base, test = benches[args.base], benches[args.test]
+        base = benches[args.base]
     except KeyError as e:
         sys.exit(f"error: benchmark {e} not in {args.fresh}")
     base_s = real_seconds(base)
-    overhead = real_seconds(test) / base_s - 1.0 if base_s > 0 else float(
-        "inf")
-    ok = overhead <= args.max_overhead
-    print(f"{args.test} vs {args.base}: {overhead * 100:+.2f}% "
-          f"(allowed <= {args.max_overhead * 100:.2f}%) -> "
-          f"{'ok' if ok else 'FAIL'}")
-    return 0 if ok else 1
+    limits = args.max_overhead or [0.02]
+    failed = False
+    for i, test_name in enumerate(args.test):
+        try:
+            test = benches[test_name]
+        except KeyError as e:
+            sys.exit(f"error: benchmark {e} not in {args.fresh}")
+        limit = limits[min(i, len(limits) - 1)]
+        overhead = (real_seconds(test) / base_s - 1.0 if base_s > 0
+                    else float("inf"))
+        ok = overhead <= limit
+        failed |= not ok
+        print(f"{test_name} vs {args.base}: {overhead * 100:+.2f}% "
+              f"(allowed <= {limit * 100:.2f}%) -> "
+              f"{'ok' if ok else 'FAIL'}")
+    return 1 if failed else 0
 
 
 def main():
@@ -216,11 +228,13 @@ def main():
     ap.add_argument("--overhead", action="store_true",
                     help="overhead-gate mode (single JSON)")
     ap.add_argument("--base", help="overhead mode: baseline benchmark name")
-    ap.add_argument("--test", help="overhead mode: benchmark that must stay "
-                                   "within --max-overhead of --base")
-    ap.add_argument("--max-overhead", type=float, default=0.02,
-                    help="allowed fractional slowdown of --test over --base "
-                         "(default 0.02 = 2%%)")
+    ap.add_argument("--test", action="append",
+                    help="overhead mode: benchmark that must stay within "
+                         "its --max-overhead of --base (repeatable)")
+    ap.add_argument("--max-overhead", action="append", type=float,
+                    help="allowed fractional slowdown of the matching --test "
+                         "over --base (repeatable, pairs up positionally; "
+                         "the last value carries over; default 0.02 = 2%%)")
     args = ap.parse_args()
 
     if args.speedup and args.overhead:

@@ -2,7 +2,9 @@
 """Render a gedlib_profile_v1 document (the <base>.profile.json written by
 `bench_table1_validation --profile` / `bench_incremental --profile` /
 `quickstart --profile`) as the same EXPLAIN tables the binaries print, so
-saved artifacts can be re-read without re-running the workload.
+saved artifacts can be re-read without re-running the workload. Also
+renders gedlib_flight_v1 flight-recorder dumps (the <base>.flight.json
+written by `bench_incremental --soak` or FlightRecorder::DumpJson).
 
 Usage:
   tools/render_profile.py RUN.profile.json            # full report
@@ -10,15 +12,23 @@ Usage:
   tools/render_profile.py RUN.profile.json --summary  # run summary only
   tools/render_profile.py A.profile.json B.profile.json
                                                       # per-rule diff A -> B
+  tools/render_profile.py SOAK.flight.json            # flight captures
 
-The schema (mirrors ProfileReport::ToJson in src/obs/profile.cc):
+The profile schema (mirrors ProfileReport::ToJson in src/obs/profile.cc):
   { schema: "gedlib_profile_v1",
     total_ns, freeze_ns, plan_compile_ns, emit_ns,
     matches_checked, violations, aborted_geds,
     rules:   [{ged_index, name, bucket, checked, violations, aborted}],
-    buckets: [{id, pattern, scans, wall_ns, steps, matches, aborts,
+    buckets: [{id, pattern, scans, wall_ns,
+               scan_ns_p50?, scan_ns_p95?, scan_ns_p99?,
+               steps, matches, aborts,
                depths: [{depth, extends, candidates, accepted, lf_rounds,
                          lf_seeks, lf_fanin, linear_steps, reorders}]}] }
+
+The flight schema (mirrors FlightRecorder::DumpJson in src/obs/flightrec.cc):
+  { schema: "gedlib_flight_v1", capacity,
+    scan_threshold_ns, commit_threshold_ns, total_captures, evicted,
+    captures: [{seq, kind, arg, ts_ns, dur_ns, detail}] }
 """
 
 import argparse
@@ -26,15 +36,16 @@ import json
 import sys
 
 SCHEMA = "gedlib_profile_v1"
+FLIGHT_SCHEMA = "gedlib_flight_v1"
 
 
 def load(path):
     with open(path) as f:
         doc = json.load(f)
     schema = doc.get("schema", "")
-    if schema != SCHEMA:
-        sys.exit(f"{path}: schema {schema!r} is not {SCHEMA!r} "
-                 "(is this a .profile.json artifact?)")
+    if schema not in (SCHEMA, FLIGHT_SCHEMA):
+        sys.exit(f"{path}: schema {schema!r} is not {SCHEMA!r} or "
+                 f"{FLIGHT_SCHEMA!r} (is this a gedlib artifact?)")
     return doc
 
 
@@ -94,6 +105,10 @@ def print_buckets(doc):
         if b.get("aborts", 0) > 0:
             line += f", aborts {b['aborts']}"
         print(line)
+        if "scan_ns_p50" in b:  # absent in pre-quantile artifacts
+            print(f"  scan latency p50 {ms(b['scan_ns_p50'])} ms, "
+                  f"p95 {ms(b['scan_ns_p95'])} ms, "
+                  f"p99 {ms(b['scan_ns_p99'])} ms")
         if not b.get("depths"):
             continue
         rows = []
@@ -134,10 +149,54 @@ def print_diff(a, b, a_path, b_path):
                        "viol(b)", ""], left_cols={0, 5}))
 
 
+def _detail_summary(detail):
+    """One-line gist of a capture's evidence JSON."""
+    if not isinstance(detail, dict) or not detail:
+        return "-"
+    if "stats" in detail:  # slow commit: commit stats + span window
+        s = detail["stats"]
+        parts = [f"{k}={s[k]}" for k in
+                 ("touched", "retracted", "added", "matches_checked")
+                 if k in s]
+        spans = detail.get("spans")
+        nthreads = len(spans.get("threads", [])) if isinstance(spans, dict) \
+            else 0
+        parts.append(f"span_threads={nthreads}")
+        return " ".join(parts)
+    if "steps" in detail:  # slow scan: its MatchProfile
+        return (f"steps={detail.get('steps', 0)} "
+                f"matches={detail.get('matches', 0)} "
+                f"aborts={detail.get('aborts', 0)} "
+                f"depths={len(detail.get('depths', []))}")
+    return ",".join(sorted(detail)) or "-"
+
+
+def threshold_str(ns):
+    return "off" if ns >= 2**63 - 1 else f"{ms(ns)} ms"
+
+
+def print_flight(doc):
+    print("== flight recorder ==")
+    print(f"  capacity {doc['capacity']}, "
+          f"scan threshold {threshold_str(doc['scan_threshold_ns'])}, "
+          f"commit threshold {threshold_str(doc['commit_threshold_ns'])}")
+    print(f"  {doc['total_captures']} captures total, "
+          f"{doc['evicted']} evicted, {len(doc['captures'])} retained")
+    if not doc["captures"]:
+        return
+    rows = [[c["seq"], c["kind"], c["arg"], ms(c["dur_ns"]),
+             _detail_summary(c.get("detail"))]
+            for c in doc["captures"]]
+    print(table(rows, ["seq", "kind", "arg", "dur_ms", "detail"],
+                left_cols={1, 2, 4}))
+
+
 def main():
     ap = argparse.ArgumentParser(
-        description="Render gedlib profile JSON as EXPLAIN tables.")
-    ap.add_argument("profile", help="a .profile.json artifact")
+        description="Render gedlib profile / flight-recorder JSON as "
+                    "EXPLAIN tables.")
+    ap.add_argument("profile",
+                    help="a .profile.json or .flight.json artifact")
     ap.add_argument("other", nargs="?",
                     help="second artifact: print a per-rule diff instead")
     ap.add_argument("--summary", action="store_true",
@@ -147,6 +206,11 @@ def main():
     args = ap.parse_args()
 
     doc = load(args.profile)
+    if doc.get("schema") == FLIGHT_SCHEMA:
+        if args.other or args.summary or args.rules:
+            sys.exit("flight dumps support no diff/section flags")
+        print_flight(doc)
+        return
     if args.other:
         print_diff(doc, load(args.other), args.profile, args.other)
         return
