@@ -30,6 +30,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <random>
 #include <string>
 #include <vector>
@@ -204,24 +205,25 @@ BENCHMARK(BM_Full_KbRevalidate)
 
 void BM_Incr_KbCommit(benchmark::State& state) {
   KbInstance kb = GenKnowledgeBase(KbAtScale(state.range(0)));
-  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds());
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(kb.graph), Example1Geds());
   std::mt19937 rng(42);
   size_t base_nodes = kb.graph.NumNodes();
   for (auto _ : state) {
-    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
-      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds());
+    if (v->graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v.emplace(WithHeadroom(kb.graph), Example1Geds());
     }
     auto start = std::chrono::steady_clock::now();
-    GraphDelta d = MakeKbDelta(v.graph(), state.range(1), &rng);
-    benchmark::DoNotOptimize(v.Commit(d));
+    GraphDelta d = MakeKbDelta(v->graph(), state.range(1), &rng);
+    benchmark::DoNotOptimize(v->Commit(d));
     auto end = std::chrono::steady_clock::now();
     state.SetIterationTime(std::chrono::duration<double>(end - start).count());
   }
   state.counters["violations"] =
-      static_cast<double>(v.report().violations.size());
+      static_cast<double>(v->report().violations.size());
   state.counters["matches_checked"] =
-      static_cast<double>(v.last_commit().matches_checked);
-  state.counters["nodes"] = static_cast<double>(v.graph().NumNodes());
+      static_cast<double>(v->last_commit().matches_checked);
+  state.counters["nodes"] = static_cast<double>(v->graph().NumNodes());
 }
 BENCHMARK(BM_Incr_KbCommit)
     ->Args({400, 8})
@@ -267,24 +269,25 @@ void BM_Incr_SocialCommit(benchmark::State& state) {
   sp.num_accounts = static_cast<size_t>(state.range(0));
   sp.num_blogs = sp.num_accounts * 2;
   SocialInstance social = GenSocialNetwork(sp);
-  IncrementalValidator v(WithHeadroom(social.graph),
-                         {SpamGed(sp.k, Value("free money"))});
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(social.graph),
+            std::vector<Ged>{SpamGed(sp.k, Value("free money"))});
   std::mt19937 rng(42);
   size_t base_nodes = social.graph.NumNodes();
   for (auto _ : state) {
-    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
-      v = IncrementalValidator(WithHeadroom(social.graph),
-                               {SpamGed(sp.k, Value("free money"))});
+    if (v->graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v.emplace(WithHeadroom(social.graph),
+                std::vector<Ged>{SpamGed(sp.k, Value("free money"))});
     }
     auto start = std::chrono::steady_clock::now();
-    GraphDelta d = MakeSocialDelta(v.graph(), state.range(1), sp.k, &rng);
-    benchmark::DoNotOptimize(v.Commit(d));
+    GraphDelta d = MakeSocialDelta(v->graph(), state.range(1), sp.k, &rng);
+    benchmark::DoNotOptimize(v->Commit(d));
     auto end = std::chrono::steady_clock::now();
     state.SetIterationTime(std::chrono::duration<double>(end - start).count());
   }
   state.counters["violations"] =
-      static_cast<double>(v.report().violations.size());
-  state.counters["nodes"] = static_cast<double>(v.graph().NumNodes());
+      static_cast<double>(v->report().violations.size());
+  state.counters["nodes"] = static_cast<double>(v->graph().NumNodes());
 }
 BENCHMARK(BM_Incr_SocialCommit)
     ->Args({800, 16})
@@ -331,22 +334,23 @@ void BM_Incr_MusicCommit(benchmark::State& state) {
   MusicParams mp;
   mp.num_artists = static_cast<size_t>(state.range(0));
   MusicInstance music = GenMusicBase(mp);
-  IncrementalValidator v(WithHeadroom(music.graph), MusicKeys());
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(music.graph), MusicKeys());
   std::mt19937 rng(42);
   size_t base_nodes = music.graph.NumNodes();
   for (auto _ : state) {
-    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
-      v = IncrementalValidator(WithHeadroom(music.graph), MusicKeys());
+    if (v->graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v.emplace(WithHeadroom(music.graph), MusicKeys());
     }
     auto start = std::chrono::steady_clock::now();
-    GraphDelta d = MakeMusicDelta(v.graph(), state.range(1), &rng);
-    benchmark::DoNotOptimize(v.Commit(d));
+    GraphDelta d = MakeMusicDelta(v->graph(), state.range(1), &rng);
+    benchmark::DoNotOptimize(v->Commit(d));
     auto end = std::chrono::steady_clock::now();
     state.SetIterationTime(std::chrono::duration<double>(end - start).count());
   }
   state.counters["violations"] =
-      static_cast<double>(v.report().violations.size());
-  state.counters["nodes"] = static_cast<double>(v.graph().NumNodes());
+      static_cast<double>(v->report().violations.size());
+  state.counters["nodes"] = static_cast<double>(v->graph().NumNodes());
 }
 BENCHMARK(BM_Incr_MusicCommit)
     ->Args({100, 4})
@@ -363,25 +367,189 @@ void BM_Incr_KbCommitThreads(benchmark::State& state) {
   KbInstance kb = GenKnowledgeBase(KbAtScale(6400));
   ValidationOptions opts;
   opts.num_threads = static_cast<unsigned>(state.range(0));
-  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds(), opts);
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
   std::mt19937 rng(42);
   size_t base_nodes = kb.graph.NumNodes();
   for (auto _ : state) {
-    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
-      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds(), opts);
+    if (v->graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
     }
     auto start = std::chrono::steady_clock::now();
-    GraphDelta d = MakeKbDelta(v.graph(), 1024, &rng);
-    benchmark::DoNotOptimize(v.Commit(d));
+    GraphDelta d = MakeKbDelta(v->graph(), 1024, &rng);
+    benchmark::DoNotOptimize(v->Commit(d));
     auto end = std::chrono::steady_clock::now();
     state.SetIterationTime(std::chrono::duration<double>(end - start).count());
   }
-  state.counters["nodes"] = static_cast<double>(v.graph().NumNodes());
+  state.counters["nodes"] = static_cast<double>(v->graph().NumNodes());
 }
 BENCHMARK(BM_Incr_KbCommitThreads)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+
+// ----- overlay serving snapshots (BM_OverlayCommit) -------------------------
+//
+// High-ingest commit streams with the serving overlay on (use_overlay: scans
+// run on frozen CSR + delta side-index, leapfrog engaged, background
+// re-freeze past the cutoff) vs off (scans on the mutable graph — the
+// pre-overlay behavior). Each iteration replays an identical fixed stream
+// against a freshly seeded validator, so the deterministic counters
+// (violations, matches_checked) never depend on how many iterations the
+// harness schedules; the timed region covers delta construction + Commit
+// only, identically in both rows. The CI perf-smoke job pins
+// overlay ≥ 1.3× mutable on the dense-community series.
+
+// A dense-community ingest burst: a few joiners wired densely into block 0
+// plus an intra-community follow burst among existing members.
+GraphDelta MakeDenseBurst(const Graph& g, size_t community,
+                          std::mt19937* rng) {
+  static const Label kMember = Sym("member"), kFollows = Sym("follows");
+  static const AttrId kTier = Sym("tier");
+  GraphDelta d(g);
+  for (size_t i = 0; i < 4; ++i) {
+    NodeId v = d.AddNode(kMember);
+    d.SetAttr(v, kTier, Value(int64_t{1}));
+    for (size_t j = 0; j < 6; ++j) {
+      d.AddEdge(v, kFollows, static_cast<NodeId>((*rng)() % community));
+      d.AddEdge(static_cast<NodeId>((*rng)() % community), kFollows, v);
+    }
+  }
+  for (size_t k = 0; k < 24; ++k) {
+    d.AddEdge(static_cast<NodeId>((*rng)() % community), kFollows,
+              static_cast<NodeId>((*rng)() % community));
+  }
+  return d;
+}
+
+void RunOverlayCommitDense(benchmark::State& state, bool use_overlay) {
+  DenseParams dp;
+  dp.num_members = static_cast<size_t>(state.range(0));
+  dp.community_size = 64;
+  dp.follows_per_member = 24;
+  DenseInstance dense = GenDenseCommunity(dp);
+  ValidationOptions opts;
+  opts.use_overlay = use_overlay;
+  constexpr int kCommitsPerIter = 4;
+  size_t violations = 0;
+  uint64_t checked = 0;
+  uint64_t refreezes = 0;
+  for (auto _ : state) {
+    std::optional<IncrementalValidator> v;
+    v.emplace(WithHeadroom(dense.graph), DenseCliqueGeds(), opts);
+    std::mt19937 rng(42);
+    double secs = 0;
+    uint64_t checked_iter = 0;
+    for (int c = 0; c < kCommitsPerIter; ++c) {
+      auto start = std::chrono::steady_clock::now();
+      GraphDelta d = MakeDenseBurst(v->graph(), dp.community_size, &rng);
+      benchmark::DoNotOptimize(v->Commit(d));
+      auto end = std::chrono::steady_clock::now();
+      secs += std::chrono::duration<double>(end - start).count();
+      checked_iter += v->last_commit().matches_checked;
+    }
+    state.SetIterationTime(secs);
+    violations = v->report().violations.size();
+    checked = checked_iter;
+    refreezes = v->last_commit().refreezes_started;
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["matches_checked"] = static_cast<double>(checked);
+  state.counters["refreezes"] = static_cast<double>(refreezes);
+}
+
+void BM_OverlayCommit_Dense(benchmark::State& state) {
+  RunOverlayCommitDense(state, /*use_overlay=*/true);
+}
+void BM_MutableCommit_Dense(benchmark::State& state) {
+  RunOverlayCommitDense(state, /*use_overlay=*/false);
+}
+BENCHMARK(BM_OverlayCommit_Dense)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+BENCHMARK(BM_MutableCommit_Dense)
+    ->Arg(256)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+
+// A CARDS-style release wave: new revisions of random packages, each
+// depending on several heavily-shared core revisions (dense in-neighborhoods
+// — the shared-dependency patterns put multiple bound neighbors on one
+// variable, the intersection regime).
+GraphDelta MakeCardsRelease(const Graph& g, const CardsInstance& cards,
+                            const CardsParams& cp, std::mt19937* rng) {
+  static const Label kRevision = Sym("revision"),
+                     kHasRevision = Sym("has_revision"),
+                     kDependsOn = Sym("depends_on");
+  static const AttrId kLicense = Sym("license");
+  GraphDelta d(g);
+  const size_t core_revs = cp.core_packages * cp.revisions_per_package;
+  for (size_t i = 0; i < 16; ++i) {
+    NodeId rev = d.AddNode(kRevision);
+    d.SetAttr(rev, kLicense,
+              (*rng)() % 8 == 0 ? Value("gpl") : Value("mit"));
+    d.AddEdge(cards.packages[(*rng)() % cards.packages.size()], kHasRevision,
+              rev);
+    for (size_t k = 0; k < cp.deps_per_revision; ++k) {
+      NodeId dep =
+          static_cast<NodeId>(cp.num_packages + (*rng)() % core_revs);
+      d.AddEdge(rev, kDependsOn, dep);
+    }
+  }
+  return d;
+}
+
+void RunOverlayCommitCards(benchmark::State& state, bool use_overlay) {
+  CardsParams cp;
+  cp.num_packages = static_cast<size_t>(state.range(0));
+  cp.revisions_per_package = 8;
+  cp.deps_per_revision = 8;
+  cp.core_packages = 8;
+  CardsInstance cards = GenCardsBase(cp);
+  ValidationOptions opts;
+  opts.use_overlay = use_overlay;
+  constexpr int kCommitsPerIter = 4;
+  size_t violations = 0;
+  uint64_t checked = 0;
+  for (auto _ : state) {
+    std::optional<IncrementalValidator> v;
+    v.emplace(WithHeadroom(cards.graph), CardsGeds(), opts);
+    std::mt19937 rng(42);
+    double secs = 0;
+    uint64_t checked_iter = 0;
+    for (int c = 0; c < kCommitsPerIter; ++c) {
+      auto start = std::chrono::steady_clock::now();
+      GraphDelta d = MakeCardsRelease(v->graph(), cards, cp, &rng);
+      benchmark::DoNotOptimize(v->Commit(d));
+      auto end = std::chrono::steady_clock::now();
+      secs += std::chrono::duration<double>(end - start).count();
+      checked_iter += v->last_commit().matches_checked;
+    }
+    state.SetIterationTime(secs);
+    violations = v->report().violations.size();
+    checked = checked_iter;
+  }
+  state.counters["violations"] = static_cast<double>(violations);
+  state.counters["matches_checked"] = static_cast<double>(checked);
+}
+
+void BM_OverlayCommit_Cards(benchmark::State& state) {
+  RunOverlayCommitCards(state, /*use_overlay=*/true);
+}
+void BM_MutableCommit_Cards(benchmark::State& state) {
+  RunOverlayCommitCards(state, /*use_overlay=*/false);
+}
+BENCHMARK(BM_OverlayCommit_Cards)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseManualTime();
+BENCHMARK(BM_MutableCommit_Cards)
+    ->Arg(64)
     ->Unit(benchmark::kMicrosecond)
     ->UseManualTime();
 
@@ -397,11 +565,12 @@ void RunProfiledIncremental(const std::string& base) {
   opts.obs = session.Options();
 
   int64_t start_ns = MonotonicNowNs();
-  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds(), opts);
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
   std::mt19937 rng(42);
   for (int c = 0; c < kCommits; ++c) {
-    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
-    Result<GraphDelta::Applied> applied = v.Commit(d);
+    GraphDelta d = MakeKbDelta(v->graph(), 8, &rng);
+    Result<GraphDelta::Applied> applied = v->Commit(d);
     if (!applied.ok()) {
       std::fprintf(stderr, "commit %d rejected: %s\n", c,
                    applied.status().ToString().c_str());
@@ -410,7 +579,7 @@ void RunProfiledIncremental(const std::string& base) {
   }
   int64_t total_ns = MonotonicNowNs() - start_ns;
 
-  const IncrementalValidator::CommitStats& stats = v.last_commit();
+  const IncrementalValidator::CommitStats& stats = v->last_commit();
   std::printf("seeded %zu-node KB, then %d commits: %llu nodes touched, "
               "%llu violations retracted, %llu added, %llu matches checked "
               "incrementally; %zu violations live\n\n",
@@ -419,7 +588,7 @@ void RunProfiledIncremental(const std::string& base) {
               static_cast<unsigned long long>(stats.total_retracted),
               static_cast<unsigned long long>(stats.total_added),
               static_cast<unsigned long long>(stats.total_matches_checked),
-              v.report().violations.size());
+              v->report().violations.size());
   ProfileReport profile = session.Profiler().Finish(total_ns);
   ged_bench::WriteProfileArtifacts(base, profile, &session);
 }
@@ -520,7 +689,8 @@ int RunSoak(int seconds, const std::string& base) {
   ValidationOptions opts;
   opts.obs = session.Options();
   opts.num_threads = 2;
-  IncrementalValidator v(WithHeadroom(kb.graph), Example1Geds(), opts);
+  std::optional<IncrementalValidator> v;
+  v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
   std::mt19937 rng(42);
   size_t base_nodes = kb.graph.NumNodes();
 
@@ -528,9 +698,9 @@ int RunSoak(int seconds, const std::string& base) {
   // stalls must trip them on any host, routine commits must not.
   std::vector<int64_t> warmup_ns;
   for (int c = 0; c < 16; ++c) {
-    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
+    GraphDelta d = MakeKbDelta(v->graph(), 8, &rng);
     int64_t t0 = MonotonicNowNs();
-    if (!v.Commit(d).ok()) {
+    if (!v->Commit(d).ok()) {
       std::fprintf(stderr, "soak: warmup commit %d rejected\n", c);
       return 1;
     }
@@ -550,8 +720,8 @@ int RunSoak(int seconds, const std::string& base) {
   auto next_stall = Clock::now() + stall_every;
   uint64_t commits = 0, stalls = 0;
   while (Clock::now() < deadline) {
-    if (v.graph().NumNodes() > kMaxGrowth * base_nodes) {
-      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds(), opts);
+    if (v->graph().NumNodes() > kMaxGrowth * base_nodes) {
+      v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
     }
     if (Clock::now() >= next_stall) {
       // Injected stall: an oversized delta, doubled until the recorder
@@ -560,8 +730,8 @@ int RunSoak(int seconds, const std::string& base) {
       size_t products = 1024;
       while (session.Recorder().total_captures() == before &&
              products <= 65536) {
-        GraphDelta d = MakeKbDelta(v.graph(), products, &rng);
-        if (!v.Commit(d).ok()) {
+        GraphDelta d = MakeKbDelta(v->graph(), products, &rng);
+        if (!v->Commit(d).ok()) {
           std::fprintf(stderr, "soak: stall commit rejected\n");
           return 1;
         }
@@ -570,11 +740,11 @@ int RunSoak(int seconds, const std::string& base) {
       ++stalls;
       next_stall = Clock::now() + stall_every;
       // The jumbo delta bloats the instance; reseed promptly.
-      v = IncrementalValidator(WithHeadroom(kb.graph), Example1Geds(), opts);
+      v.emplace(WithHeadroom(kb.graph), Example1Geds(), opts);
       continue;
     }
-    GraphDelta d = MakeKbDelta(v.graph(), 8, &rng);
-    if (!v.Commit(d).ok()) {
+    GraphDelta d = MakeKbDelta(v->graph(), 8, &rng);
+    if (!v->Commit(d).ok()) {
       std::fprintf(stderr, "soak: commit rejected\n");
       return 1;
     }

@@ -1,6 +1,7 @@
 #include "ged/literal.h"
 
 #include <sstream>
+#include "graph/overlay.h"
 
 namespace ged {
 
@@ -75,12 +76,21 @@ bool SatisfiesLiteral(const FrozenGraph& g, const Match& h, const Literal& l) {
   return SatisfiesLiteralT(g, h, l);
 }
 
+bool SatisfiesLiteral(const OverlayView& g, const Match& h, const Literal& l) {
+  return SatisfiesLiteralT(g, h, l);
+}
+
 bool SatisfiesAll(const Graph& g, const Match& h,
                   const std::vector<Literal>& literals) {
   return SatisfiesAllT(g, h, literals);
 }
 
 bool SatisfiesAll(const FrozenGraph& g, const Match& h,
+                  const std::vector<Literal>& literals) {
+  return SatisfiesAllT(g, h, literals);
+}
+
+bool SatisfiesAll(const OverlayView& g, const Match& h,
                   const std::vector<Literal>& literals) {
   return SatisfiesAllT(g, h, literals);
 }

@@ -88,11 +88,14 @@ struct Literal {
 /// snapshot's columnar attribute storage).
 bool SatisfiesLiteral(const Graph& g, const Match& h, const Literal& l);
 bool SatisfiesLiteral(const FrozenGraph& g, const Match& h, const Literal& l);
+bool SatisfiesLiteral(const OverlayView& g, const Match& h, const Literal& l);
 
 /// h(x̄) ⊨ X: all literals hold (trivially true for empty X).
 bool SatisfiesAll(const Graph& g, const Match& h,
                   const std::vector<Literal>& literals);
 bool SatisfiesAll(const FrozenGraph& g, const Match& h,
+                  const std::vector<Literal>& literals);
+bool SatisfiesAll(const OverlayView& g, const Match& h,
                   const std::vector<Literal>& literals);
 
 }  // namespace ged

@@ -392,4 +392,87 @@ std::vector<Ged> DenseCliqueGeds() {
   return out;
 }
 
+// ----- (5) CARDS-style package/revision graph -------------------------------
+
+CardsInstance GenCardsBase(const CardsParams& p) {
+  std::mt19937 rng(p.seed);
+  CardsInstance out;
+  Graph& g = out.graph;
+  const size_t n = p.num_packages;
+  const size_t total_revs = n * p.revisions_per_package;
+  g.Reserve(n + total_revs, total_revs * (1 + p.deps_per_revision));
+  for (size_t i = 0; i < n; ++i) {
+    NodeId pkg = g.AddNode("package");
+    g.SetAttr(pkg, "name", Value("pkg_" + std::to_string(i)));
+    out.packages.push_back(pkg);
+  }
+  // All revisions before any dependency: depends_on edges may point at any
+  // package's releases, including later-generated ones.
+  std::vector<std::vector<NodeId>> revs(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t r = 0; r < p.revisions_per_package; ++r) {
+      NodeId rev = g.AddNode("revision");
+      g.SetAttr(rev, "license", Value("mit"));
+      g.SetAttr(rev, "version", Value(static_cast<int64_t>(r)));
+      g.AddEdge(out.packages[i], "has_revision", rev);
+      revs[i].push_back(rev);
+    }
+  }
+  // Seeded license deviants, spread deterministically (same idiom as the
+  // dense community's tier deviants).
+  if (total_revs > 0) {
+    size_t stride = std::max<size_t>(
+        1, total_revs / std::max<size_t>(1, p.off_license));
+    for (size_t i = 0, placed = 0; i < total_revs && placed < p.off_license;
+         i += stride, ++placed) {
+      g.SetAttr(revs[i / p.revisions_per_package][i % p.revisions_per_package],
+                "license", Value("gpl"));
+    }
+  }
+  // Dependencies concentrate on the core: ~3/4 of the edges land on the
+  // first `core_packages` packages' revisions, making those in-neighborhoods
+  // dense and heavily shared — the intersection regime.
+  const size_t core = std::max<size_t>(1, std::min(p.core_packages, n));
+  for (size_t i = 0; i < n; ++i) {
+    for (NodeId rev : revs[i]) {
+      for (size_t k = 0; k < p.deps_per_revision; ++k) {
+        size_t j = rng() % 4 != 0 ? rng() % core : rng() % n;
+        if (j == i || revs[j].empty()) continue;
+        g.AddEdge(rev, "depends_on", revs[j][rng() % revs[j].size()]);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Ged> CardsGeds() {
+  std::vector<Ged> out;
+  AttrId license = Sym("license");
+  {
+    Pattern q;  // dependency diamond: both endpoints anchored to a package
+    VarId pp = q.AddVar("p", "package");
+    VarId r = q.AddVar("r", "revision");
+    VarId s = q.AddVar("s", "revision");
+    VarId qq = q.AddVar("q", "package");
+    q.AddEdge(pp, "has_revision", r);
+    q.AddEdge(r, "depends_on", s);
+    q.AddEdge(qq, "has_revision", s);
+    out.emplace_back("dep_license", std::move(q), std::vector<Literal>{},
+                     std::vector<Literal>{Literal::Var(r, license, s, license)});
+  }
+  {
+    Pattern q;  // two dependents sharing one dependency
+    VarId r = q.AddVar("r", "revision");
+    VarId rp = q.AddVar("r2", "revision");
+    VarId s = q.AddVar("s", "revision");
+    q.AddEdge(r, "depends_on", s);
+    q.AddEdge(rp, "depends_on", s);
+    out.emplace_back("shared_dep_license", std::move(q),
+                     std::vector<Literal>{},
+                     std::vector<Literal>{Literal::Var(r, license, rp,
+                                                       license)});
+  }
+  return out;
+}
+
 }  // namespace ged

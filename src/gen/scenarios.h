@@ -136,6 +136,45 @@ DenseInstance GenDenseCommunity(const DenseParams& params);
 ///  clique4_tier: 4-clique ⇒ w.tier = z.tier].
 std::vector<Ged> DenseCliqueGeds();
 
+// ----- (5) CARDS-style package/revision graph: serving-snapshot ingest ------
+//
+// A software-heritage-flavored dependency graph — packages, their released
+// revisions, and inter-package depends_on edges concentrated on a small
+// popular core — the high-ingest workload of the overlay serving
+// benchmarks (bench_incremental BM_OverlayCommit): a release stream
+// appends revision nodes whose dependency edges land in dense,
+// heavily-shared neighborhoods, so commit re-scans put several bound
+// neighbors on one search variable at once (the intersection regime) while
+// the graph keeps growing between re-freezes.
+
+/// Knobs for the package/revision generator.
+struct CardsParams {
+  size_t num_packages = 64;         ///< package nodes
+  size_t revisions_per_package = 8; ///< released revisions per package
+  size_t deps_per_revision = 6;     ///< depends_on out-degree per revision
+  size_t core_packages = 8;         ///< hot packages absorbing ~3/4 of deps
+  size_t off_license = 6;           ///< revisions with a deviant license
+  unsigned seed = 23;
+};
+
+/// Generated package/revision graph. Every revision carries a `license`
+/// attribute ("mit" except for `off_license` seeded "gpl" deviants, the
+/// violation sources of the license rules below).
+struct CardsInstance {
+  Graph graph;
+  std::vector<NodeId> packages;  ///< package node ids (ingest targets)
+};
+
+/// Builds the package/revision dependency graph.
+CardsInstance GenCardsBase(const CardsParams& params);
+
+/// License-hygiene rules over the dependency diamond:
+/// [dep_license: p ─has_revision→ r ─depends_on→ s ←has_revision─ q
+///    ⇒ r.license = s.license,
+///  shared_dep_license: r ─depends_on→ s ←depends_on─ r'
+///    ⇒ r.license = r'.license].
+std::vector<Ged> CardsGeds();
+
 }  // namespace ged
 
 #endif  // GEDLIB_GEN_SCENARIOS_H_

@@ -43,6 +43,8 @@
 
 namespace ged {
 
+class OverlayView;
+
 /// An immutable CSR snapshot of a Graph. Cheap to move, expensive to copy;
 /// build once with Freeze (O(|V| + |E| log d + |A|)) and share by reference.
 class FrozenGraph {
@@ -58,6 +60,12 @@ class FrozenGraph {
   /// profiler's freeze wall time. Identical snapshot; `obs` disabled makes
   /// this exactly Freeze(g).
   static FrozenGraph Freeze(const Graph& g, const ObsOptions& obs);
+
+  /// Compacts an overlay (graph/overlay.h) into a fresh standalone CSR
+  /// snapshot — the re-freeze step of the incremental serving loop. O(|V| +
+  /// |E| + |A|) with no sort phase: overlay adjacency and attribute spans
+  /// are already in CSR order. Defined in graph/overlay.cc.
+  static FrozenGraph Freeze(const OverlayView& o, const ObsOptions& obs = {});
 
   // ----- inspection (mirrors Graph's read surface) ---------------------
 

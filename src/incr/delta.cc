@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "graph/overlay.h"
+
 namespace ged {
 
 NodeId GraphDelta::AddNode(Label label) {
@@ -21,7 +23,8 @@ void GraphDelta::SetAttr(NodeId v, AttrId attr, Value value) {
   attr_ops_.push_back(AttrOp{v, attr, std::move(value)});
 }
 
-Status GraphDelta::Check(const Graph& g) const {
+template <typename GBackend>
+Status GraphDelta::CheckT(const GBackend& g) const {
   if (g.NumNodes() != base_num_nodes_) {
     return Status::InvalidArgument(
         "delta built against a graph with " +
@@ -46,8 +49,9 @@ Status GraphDelta::Check(const Graph& g) const {
   return Status::OK();
 }
 
-Result<GraphDelta::Applied> GraphDelta::Apply(Graph* g) const {
-  GEDLIB_RETURN_IF_ERROR(Check(*g));
+template <typename GBackend>
+Result<GraphDelta::Applied> GraphDelta::ApplyT(GBackend* g) const {
+  GEDLIB_RETURN_IF_ERROR(CheckT(*g));
   NodeId base = static_cast<NodeId>(base_num_nodes_);
   Applied applied;
   for (Label label : new_nodes_) {
@@ -81,6 +85,18 @@ Result<GraphDelta::Applied> GraphDelta::Apply(Graph* g) const {
   sort_unique(&applied.changed_nodes);
   // new_nodes is already sorted (ids are assigned in increasing order).
   return applied;
+}
+
+Status GraphDelta::Check(const Graph& g) const { return CheckT(g); }
+
+Status GraphDelta::Check(const OverlayView& g) const { return CheckT(g); }
+
+Result<GraphDelta::Applied> GraphDelta::Apply(Graph* g) const {
+  return ApplyT(g);
+}
+
+Result<GraphDelta::Applied> GraphDelta::Apply(OverlayView* g) const {
+  return ApplyT(g);
 }
 
 }  // namespace ged

@@ -18,6 +18,8 @@
 #ifndef GEDLIB_INCR_DELTA_H_
 #define GEDLIB_INCR_DELTA_H_
 
+#include <cstdint>
+#include <optional>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +28,8 @@
 #include "graph/graph.h"
 
 namespace ged {
+
+class OverlayView;
 
 /// A batch of append-only graph mutations with all-or-nothing application.
 ///
@@ -60,6 +64,18 @@ class GraphDelta {
   void SetAttr(NodeId v, std::string_view attr, Value value) {
     SetAttr(v, Sym(attr), std::move(value));
   }
+
+  // ----- commit-epoch binding -------------------------------------------
+
+  /// Stamps the delta with the commit epoch it was recorded against.
+  /// IncrementalValidator::NewDelta() binds every delta it hands out and
+  /// Commit rejects a mismatched stamp — the node-count check alone cannot
+  /// see an intervening edge-only or attr-only commit (same NumNodes,
+  /// different graph). Unstamped deltas (standalone GraphDelta usage) keep
+  /// the legacy node-count-only precondition.
+  void BindEpoch(uint64_t epoch) { epoch_ = epoch; }
+  /// The bound commit epoch, if any.
+  std::optional<uint64_t> bound_epoch() const { return epoch_; }
 
   // ----- inspection -----------------------------------------------------
 
@@ -96,15 +112,26 @@ class GraphDelta {
   };
 
   /// Commit precondition: `g` has exactly base_num_nodes() nodes and every
-  /// referenced id is a base or provisional id. Does not mutate `g`.
+  /// referenced id is a base or provisional id. Does not mutate `g`. Note
+  /// this check alone cannot reject a delta recorded before an edge-only or
+  /// attr-only commit — see BindEpoch for the epoch discipline that can.
   Status Check(const Graph& g) const;
+  Status Check(const OverlayView& g) const;
 
   /// Atomically applies the batch: runs Check, then performs every
   /// operation (through the graph's public API, so GraphListener hooks
-  /// fire). On error the graph is untouched.
+  /// fire). On error the graph is untouched. The OverlayView overload is
+  /// the mirror path of IncrementalValidator: the same batch lands in the
+  /// delta overlay with identical ids and the same Applied summary.
   Result<Applied> Apply(Graph* g) const;
+  Result<Applied> Apply(OverlayView* g) const;
 
  private:
+  template <typename GBackend>
+  Status CheckT(const GBackend& g) const;
+  template <typename GBackend>
+  Result<Applied> ApplyT(GBackend* g) const;
+
   struct EdgeOp {
     NodeId src;
     Label label;
@@ -126,6 +153,7 @@ class GraphDelta {
   };
 
   size_t base_num_nodes_;
+  std::optional<uint64_t> epoch_;
   std::vector<Label> new_nodes_;
   std::vector<EdgeOp> new_edges_;                       // in insertion order
   std::unordered_set<EdgeOp, EdgeOpHash> edge_dedup_;   // batch-local dedup

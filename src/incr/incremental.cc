@@ -18,13 +18,126 @@ IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
   options_.max_steps_per_scan = 0;
   // Compile Σ once; every seed pass and commit re-scan shares it.
   if (options_.use_compiled_plan) plan_ = RulesetPlan::Compile(sigma_);
+  if (options_.use_overlay) {
+    overlay_ = OverlayView(std::make_shared<FrozenGraph>(
+                               FrozenGraph::Freeze(graph_, options_.obs)),
+                           /*epoch=*/0);
+  } else if (options_.use_intersection) {
+    // Honored-or-diagnosed: without the overlay, commit re-scans run on the
+    // mutable graph, whose unsorted adjacency has nothing to intersect —
+    // the knob is accepted but cannot engage.
+    if (StructuredLogger* logger = options_.obs.Log()) {
+      logger->Log(LogLevel::kWarn, "intersection_inert",
+                  {{"reason",
+                    "use_intersection=true with use_overlay=false: commit "
+                    "scans read the mutable graph, which has no sorted "
+                    "neighbor spans"}});
+    }
+  }
   report_ = RevalidateFull();
+}
+
+IncrementalValidator::~IncrementalValidator() {
+  if (refreeze_thread_.joinable()) refreeze_thread_.join();
+}
+
+bool IncrementalValidator::FinishRefreeze() {
+  if (!refreeze_running_) return false;
+  AdoptRefreeze();
+  return true;
+}
+
+void IncrementalValidator::MaybeAdoptRefreeze() {
+  if (refreeze_running_ && refreeze_done_.load(std::memory_order_acquire)) {
+    AdoptRefreeze();
+  }
+}
+
+void IncrementalValidator::AdoptRefreeze() {
+  ScopedSpan span(options_.obs.Trace(), "RefreezeAdopt");
+  // join() synchronizes with the worker's completion, so every write it
+  // made (including refreeze_result_) is visible below.
+  refreeze_thread_.join();
+  refreeze_running_ = false;
+  refreeze_done_.store(false, std::memory_order_relaxed);
+  OverlayView fresh(std::move(refreeze_result_), overlay_.epoch() + 1);
+  // Replay the deltas committed while the freeze ran: their base node
+  // counts line up in sequence with the snapshot the freeze compacted, so
+  // each Apply lands verbatim.
+  bool ok = true;
+  for (const GraphDelta& d : pending_) {
+    if (!d.Apply(&fresh).ok()) {
+      ok = false;
+      break;
+    }
+  }
+  pending_.clear();
+  if (!ok) {
+    // Unreachable by construction; resync rather than serve a diverged view.
+    RebuildOverlay();
+    return;
+  }
+  overlay_ = std::move(fresh);
+  ++stats_.refreezes_adopted;
+  if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+    metrics->Inc(EngineMetric::kRefreezeAdopted);
+  }
+}
+
+void IncrementalValidator::MaybeStartRefreeze() {
+  if (refreeze_running_ || options_.overlay_refreeze_cutoff == 0) return;
+  if (overlay_.DeltaWeight() < options_.overlay_refreeze_cutoff) return;
+  refreeze_done_.store(false, std::memory_order_relaxed);
+  refreeze_running_ = true;
+  ++stats_.refreezes_started;
+  if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+    metrics->Inc(EngineMetric::kRefreezeRuns);
+  }
+  // The snapshot copy is cheap: a shared base pointer plus a side index
+  // bounded by the cutoff. The worker compacts it while commits keep
+  // landing on overlay_; adoption happens at a later commit boundary.
+  refreeze_thread_ = std::thread([this, snapshot = overlay_]() {
+    ScopedSpan span(options_.obs.Trace(), "Refreeze");
+    int64_t start_ns = MonotonicNowNs();
+    refreeze_result_ = std::make_shared<FrozenGraph>(
+        FrozenGraph::Freeze(snapshot, options_.obs));
+    if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+      metrics->Observe(
+          EngineMetric::kRefreezeWallNs,
+          static_cast<uint64_t>(
+              std::max<int64_t>(0, MonotonicNowNs() - start_ns)));
+    }
+    refreeze_done_.store(true, std::memory_order_release);
+  });
+}
+
+void IncrementalValidator::RebuildOverlay() {
+  if (refreeze_thread_.joinable()) refreeze_thread_.join();
+  refreeze_running_ = false;
+  refreeze_done_.store(false, std::memory_order_relaxed);
+  refreeze_result_.reset();
+  pending_.clear();
+  overlay_ = OverlayView(std::make_shared<FrozenGraph>(
+                             FrozenGraph::Freeze(graph_, options_.obs)),
+                         overlay_.epoch() + 1);
 }
 
 Result<GraphDelta::Applied> IncrementalValidator::Commit(
     const GraphDelta& delta) {
+  // Epoch discipline: a delta recorded by NewDelta() before any other
+  // commit landed is the only one this validator accepts. The node-count
+  // check inside Apply cannot see an intervening edge-only or attr-only
+  // commit; the epoch stamp can.
+  if (delta.bound_epoch().has_value() &&
+      *delta.bound_epoch() != commit_epoch_) {
+    return Status::InvalidArgument(
+        "stale delta: recorded at commit epoch " +
+        std::to_string(*delta.bound_epoch()) + ", validator is at epoch " +
+        std::to_string(commit_epoch_));
+  }
   Result<GraphDelta::Applied> applied = delta.Apply(&graph_);
   if (!applied.ok()) return applied;
+  ++commit_epoch_;
   const GraphDelta::Applied& ap = applied.value();
 
   // Observability: only successfully applied commits open the "Commit" span
@@ -40,6 +153,19 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   // window (the Commit span itself is still open at capture time, so the
   // window holds its children).
   int64_t trace_start = tracer != nullptr ? tracer->NowNs() : 0;
+
+  // Overlay maintenance: adopt a finished background re-freeze, then mirror
+  // this delta so overlay_ equals graph_ for the re-scans below. A commit
+  // landing while a freeze is still running is queued for replay onto the
+  // new epoch.
+  if (options_.use_overlay) {
+    MaybeAdoptRefreeze();
+    if (!delta.Apply(&overlay_).ok()) {
+      RebuildOverlay();
+    } else if (refreeze_running_) {
+      pending_.push_back(delta);
+    }
+  }
 
   // 1. Retract violations whose X→Y status may have flipped: an attribute
   //    change on a bound pre-existing node is the only cure mechanism under
@@ -59,31 +185,52 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   {
     ScopedSpan touching_span(options_.obs.Trace(), "SeedTouching");
     ValidationReport fresh =
-        options_.use_compiled_plan
-            ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
-            : ValidateTouching(graph_, sigma_, rescan, options_);
+        options_.use_overlay
+            ? (options_.use_compiled_plan
+                   ? ValidateTouchingWithPlan(overlay_, plan_, rescan,
+                                              options_)
+                   : ValidateTouching(overlay_, sigma_, rescan, options_))
+            : (options_.use_compiled_plan
+                   ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
+                   : ValidateTouching(graph_, sigma_, rescan, options_));
     checked = fresh.matches_checked;
     fresh_v = std::move(fresh.violations);
   }
 
   //    (b) matches created by a new edge between two pre-existing nodes,
-  //        found by pinning both endpoints onto each pattern edge. These
-  //        may overlap (a) or re-find still-listed old violations
-  //        (parallel edges), so reconcile by set-difference.
+  //        found by pinning both endpoints onto each pattern edge.
   if (!ap.cross_edges.empty()) {
     std::vector<Violation> seeded;
     {
       ScopedSpan edges_span(options_.obs.Trace(), "SeedEdges");
-      seeded = options_.use_compiled_plan
-                   ? FindViolationsSeededByEdgesWithPlan(
-                         graph_, plan_, ap.cross_edges, options_, &checked)
-                   : FindViolationsSeededByEdges(graph_, sigma_,
-                                                 ap.cross_edges, options_,
-                                                 &checked);
+      if (options_.use_overlay) {
+        seeded = options_.use_compiled_plan
+                     ? FindViolationsSeededByEdgesWithPlan(
+                           overlay_, plan_, ap.cross_edges, options_,
+                           &checked)
+                     : FindViolationsSeededByEdges(overlay_, sigma_,
+                                                   ap.cross_edges, options_,
+                                                   &checked);
+      } else {
+        seeded = options_.use_compiled_plan
+                     ? FindViolationsSeededByEdgesWithPlan(
+                           graph_, plan_, ap.cross_edges, options_, &checked)
+                     : FindViolationsSeededByEdges(graph_, sigma_,
+                                                   ap.cross_edges, options_,
+                                                   &checked);
+      }
     }
-    ScopedSpan reconcile_span(options_.obs.Trace(), "Reconcile");
     fresh_v.insert(fresh_v.end(), std::make_move_iterator(seeded.begin()),
                    std::make_move_iterator(seeded.end()));
+  }
+
+  // 3. Reconcile on every path, not just when edges were seeded: the (a)
+  //    and (b) scans may overlap each other or re-find still-listed old
+  //    violations, and stats_.added must count exactly the genuinely novel
+  //    entries MergeViolations will add (added == report growth +
+  //    retracted, asserted by incr_test).
+  {
+    ScopedSpan reconcile_span(options_.obs.Trace(), "Reconcile");
     SortViolationList(&fresh_v);
     fresh_v.erase(std::unique(fresh_v.begin(), fresh_v.end()), fresh_v.end());
     std::vector<Violation> novel;
@@ -105,6 +252,8 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   stats_.total_retracted += stats_.retracted;
   stats_.total_added += stats_.added;
   stats_.total_matches_checked += checked;
+
+  if (options_.use_overlay) MaybeStartRefreeze();
 
   if (MetricsRegistry* metrics = options_.obs.Metrics()) {
     metrics->Inc(EngineMetric::kCommitRuns);

@@ -12,13 +12,23 @@
 // ruleset plan (plan/plan.h) at construction, so every commit's re-scan
 // walks one match space per pattern *shape* rather than one per rule.
 //
-// Backend note: the validator owns the *mutable* Graph and scans it
-// directly on every commit — its listener hooks drive delta detection, and
-// per-commit work is delta-sized, so re-freezing a FrozenGraph snapshot
-// (graph/frozen.h) each commit would dwarf the maintenance itself. Only the
-// seeding full Validate() in the constructor (and the RevalidateFromScratch
-// oracle) go through ValidationOptions::freeze_snapshot, which freezes once
-// for graphs large enough to amortize it.
+// Backend note: the validator owns the mutable Graph as the authoritative
+// store, and by default (ValidationOptions::use_overlay) mirrors every
+// committed delta into an OverlayView (graph/overlay.h) — a frozen CSR base
+// plus a small copy-on-write side index — and runs all commit re-scans on
+// the overlay. Commits therefore get the CSR label ranges and the leapfrog
+// intersection (use_intersection) exactly like full validation, without the
+// per-commit re-freeze that used to be the only alternative. Once the side
+// index outweighs ValidationOptions::overlay_refreeze_cutoff, a background
+// thread compacts the overlay into a fresh FrozenGraph base
+// (FrozenGraph::Freeze(overlay) — no sort, overlay spans are already CSR-
+// ordered) while commits keep landing on the current overlay; at the next
+// commit boundary after the freeze completes, the validator swaps to a new
+// overlay epoch over the new base and replays the deltas committed in the
+// meantime. Readers of overlay() pin the epoch's base via shared_ptr, so a
+// swap never invalidates a snapshot someone still holds. use_overlay =
+// false restores the pre-overlay behavior (scan the mutable graph; the
+// intersection knob is then inert and diagnosed via the structured log).
 //
 // Exactness argument (append-only deltas):
 //  * topology only grows, so every match of Q in the old graph is still a
@@ -29,16 +39,20 @@
 //    node changed, and those nodes are touched.
 // Retracting violations that bind a touched node and re-scanning exactly
 // the touched region therefore reproduces Validate() from scratch, which
-// the property tests assert after every commit.
+// the property tests assert after every commit — against both backends.
 
 #ifndef GEDLIB_INCR_INCREMENTAL_H_
 #define GEDLIB_INCR_INCREMENTAL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <thread>
 #include <vector>
 
 #include "ged/ged.h"
 #include "graph/graph.h"
+#include "graph/overlay.h"
 #include "incr/delta.h"
 #include "plan/plan.h"
 #include "reason/validation.h"
@@ -51,12 +65,22 @@ class IncrementalValidator {
   /// Takes ownership of `g` and Σ and runs one full Validate() to seed the
   /// report. `options.max_violations_per_ged` is forced to 0 (a truncated
   /// report cannot be maintained exactly); the other knobs (threads,
-  /// semantics, matcher toggles) apply to the initial pass and every commit.
+  /// semantics, matcher toggles, use_overlay) apply to the initial pass and
+  /// every commit.
   IncrementalValidator(Graph g, std::vector<Ged> sigma,
                        ValidationOptions options = {});
 
+  /// Joins any in-flight background re-freeze.
+  ~IncrementalValidator();
+
+  IncrementalValidator(const IncrementalValidator&) = delete;
+  IncrementalValidator& operator=(const IncrementalValidator&) = delete;
+
   /// The maintained graph (mutate it only through Commit).
   const Graph& graph() const { return graph_; }
+  /// The serving overlay commits are scanned through (equals graph() in
+  /// content; empty and unused when options.use_overlay is false).
+  const OverlayView& overlay() const { return overlay_; }
   /// The GED set Σ.
   const std::vector<Ged>& sigma() const { return sigma_; }
   /// The compiled shared plan of Σ (empty when options.use_compiled_plan is
@@ -67,8 +91,27 @@ class IncrementalValidator {
   /// and all commits (it counts incremental work, not from-scratch work).
   const ValidationReport& report() const { return report_; }
 
-  /// A fresh delta based on the current graph.
-  GraphDelta NewDelta() const { return GraphDelta(graph_); }
+  /// A fresh delta based on the current graph, stamped with the current
+  /// commit epoch: Commit rejects it once any other commit lands in
+  /// between, even a node-count-preserving (edge- or attr-only) one.
+  GraphDelta NewDelta() const {
+    GraphDelta delta(graph_);
+    delta.BindEpoch(commit_epoch_);
+    return delta;
+  }
+
+  /// The commit epoch: the number of successful commits so far. NewDelta()
+  /// stamps it into every delta it hands out.
+  uint64_t commit_epoch() const { return commit_epoch_; }
+  /// The overlay's base-snapshot epoch; bumped by each adopted re-freeze.
+  uint64_t overlay_epoch() const { return overlay_.epoch(); }
+  /// True while a background re-freeze is running or awaiting adoption.
+  bool RefreezeInFlight() const { return refreeze_running_; }
+  /// Blocks until any in-flight re-freeze completes and adopts it (swap to
+  /// the new base epoch, replay pending deltas). Returns true iff a swap
+  /// happened. Commits adopt finished re-freezes automatically; this is the
+  /// deterministic boundary for tests and benchmarks.
+  bool FinishRefreeze();
 
   /// Telemetry for the most recent commit, plus running totals across the
   /// validator's whole life (the obs metrics registry mirrors the totals as
@@ -85,11 +128,15 @@ class IncrementalValidator {
     uint64_t total_retracted = 0;
     uint64_t total_added = 0;
     uint64_t total_matches_checked = 0;
+    // Re-freeze lifecycle totals (use_overlay only).
+    uint64_t refreezes_started = 0;
+    uint64_t refreezes_adopted = 0;
   };
   const CommitStats& last_commit() const { return stats_; }
 
   /// Applies `delta` atomically and maintains the report incrementally.
-  /// On error (stale base, id out of range) neither graph nor report change.
+  /// On error (stale epoch, stale base, id out of range) neither graph nor
+  /// report change.
   Result<GraphDelta::Applied> Commit(const GraphDelta& delta);
 
   /// From-scratch Validate() with the same options — the oracle the
@@ -98,12 +145,41 @@ class IncrementalValidator {
   ValidationReport RevalidateFull() const;
 
  private:
+  // Non-blocking: if a background re-freeze has finished, join it and swap
+  // to the new overlay epoch (replaying deltas committed in the meantime).
+  void MaybeAdoptRefreeze();
+  // Blocking adoption of the finished (or still-running) re-freeze thread.
+  void AdoptRefreeze();
+  // Starts a background re-freeze when the overlay side index outweighs the
+  // cutoff and none is already running.
+  void MaybeStartRefreeze();
+  // Defensive resync: rebuilds the overlay from the authoritative graph
+  // (used if a mirror ever diverges; discards any in-flight re-freeze).
+  void RebuildOverlay();
+
   Graph graph_;
   std::vector<Ged> sigma_;
   RulesetPlan plan_;
   ValidationOptions options_;
   ValidationReport report_;
   CommitStats stats_;
+
+  // Serving overlay (use_overlay): mirrors graph_ exactly between commits.
+  OverlayView overlay_;
+  // Monotonic successful-commit counter; NewDelta() stamps it into deltas.
+  uint64_t commit_epoch_ = 0;
+
+  // Background re-freeze state. Single-writer discipline: only Commit /
+  // FinishRefreeze (caller thread) start, adopt or join the thread. The
+  // worker publishes its result with a release store on refreeze_done_;
+  // the caller's acquire load pairs with it before touching the result.
+  std::thread refreeze_thread_;
+  std::atomic<bool> refreeze_done_{false};
+  bool refreeze_running_ = false;
+  std::shared_ptr<const FrozenGraph> refreeze_result_;
+  // Deltas committed while the re-freeze ran; replayed onto the new epoch's
+  // overlay at adoption (their base node counts line up by construction).
+  std::vector<GraphDelta> pending_;
 };
 
 }  // namespace ged

@@ -5,6 +5,7 @@
 #include <span>
 #include <utility>
 
+#include "graph/overlay.h"
 #include "graph/view.h"
 #include "match/leapfrog.h"
 
@@ -993,6 +994,42 @@ VarId MostSelectiveVariable(const Pattern& q, const Graph& g) {
 }
 
 VarId MostSelectiveVariable(const Pattern& q, const FrozenGraph& g) {
+  return MostSelectiveVariableImpl(q, g);
+}
+
+MatchStats EnumerateMatches(const Pattern& q, const OverlayView& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb) {
+  return EnumerateMatchesImpl(q, g, options, cb);
+}
+
+MatchStats EnumerateMatchesTouching(const Pattern& q, const OverlayView& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb) {
+  return EnumerateMatchesTouchingImpl(q, g, touched, options, cb);
+}
+
+bool HasMatch(const Pattern& q, const OverlayView& g,
+              const MatchOptions& options) {
+  return HasMatchImpl(q, g, options);
+}
+
+uint64_t CountMatches(const Pattern& q, const OverlayView& g,
+                      const MatchOptions& options) {
+  return CountMatchesImpl(q, g, options);
+}
+
+std::vector<Match> AllMatches(const Pattern& q, const OverlayView& g,
+                              const MatchOptions& options) {
+  return AllMatchesImpl(q, g, options);
+}
+
+bool IsValidMatch(const Pattern& q, const OverlayView& g, const Match& h) {
+  return IsValidMatchImpl(q, g, h);
+}
+
+VarId MostSelectiveVariable(const Pattern& q, const OverlayView& g) {
   return MostSelectiveVariableImpl(q, g);
 }
 

@@ -20,8 +20,8 @@
 // each of which can be toggled off for the ablation benchmark.
 //
 // The search runs against any GraphView backend (graph/view.h): every entry
-// point is overloaded for the mutable Graph and the immutable FrozenGraph
-// CSR snapshot. Both overloads share one templated implementation, so match
+// point is overloaded for the mutable Graph, the immutable FrozenGraph
+// CSR snapshot, and the OverlayView delta overlay (graph/overlay.h). Both overloads share one templated implementation, so match
 // sets are identical; against a FrozenGraph the search additionally exploits
 // label-contiguous adjacency (candidates come pre-sorted and pre-filtered,
 // degree filtering is a binary search).
@@ -121,6 +121,9 @@ MatchStats EnumerateMatches(const Pattern& q, const Graph& g,
 MatchStats EnumerateMatches(const Pattern& q, const FrozenGraph& g,
                             const MatchOptions& options,
                             const MatchCallback& cb);
+MatchStats EnumerateMatches(const Pattern& q, const OverlayView& g,
+                            const MatchOptions& options,
+                            const MatchCallback& cb);
 
 /// Enumerates exactly the matches of `q` that bind at least one variable to
 /// a node in `touched` (which must be sorted and duplicate-free). Each such
@@ -145,11 +148,17 @@ MatchStats EnumerateMatchesTouching(const Pattern& q, const FrozenGraph& g,
                                     const std::vector<NodeId>& touched,
                                     const MatchOptions& options,
                                     const MatchCallback& cb);
+MatchStats EnumerateMatchesTouching(const Pattern& q, const OverlayView& g,
+                                    const std::vector<NodeId>& touched,
+                                    const MatchOptions& options,
+                                    const MatchCallback& cb);
 
 /// True iff at least one match exists.
 bool HasMatch(const Pattern& q, const Graph& g,
               const MatchOptions& options = {});
 bool HasMatch(const Pattern& q, const FrozenGraph& g,
+              const MatchOptions& options = {});
+bool HasMatch(const Pattern& q, const OverlayView& g,
               const MatchOptions& options = {});
 
 /// Number of matches (subject to options caps).
@@ -157,11 +166,15 @@ uint64_t CountMatches(const Pattern& q, const Graph& g,
                       const MatchOptions& options = {});
 uint64_t CountMatches(const Pattern& q, const FrozenGraph& g,
                       const MatchOptions& options = {});
+uint64_t CountMatches(const Pattern& q, const OverlayView& g,
+                      const MatchOptions& options = {});
 
 /// Collects all matches (subject to options caps).
 std::vector<Match> AllMatches(const Pattern& q, const Graph& g,
                               const MatchOptions& options = {});
 std::vector<Match> AllMatches(const Pattern& q, const FrozenGraph& g,
+                              const MatchOptions& options = {});
+std::vector<Match> AllMatches(const Pattern& q, const OverlayView& g,
                               const MatchOptions& options = {});
 
 /// Verifies that an explicit assignment is a homomorphic match of `q` in
@@ -169,6 +182,7 @@ std::vector<Match> AllMatches(const Pattern& q, const FrozenGraph& g,
 /// every pattern edge present with a matching label.
 bool IsValidMatch(const Pattern& q, const Graph& g, const Match& h);
 bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h);
+bool IsValidMatch(const Pattern& q, const OverlayView& g, const Match& h);
 
 /// The most selective variable of `q` in `g` by the matcher's own ordering
 /// statistics: smallest label-index candidate count, ties to the highest
@@ -179,6 +193,7 @@ bool IsValidMatch(const Pattern& q, const FrozenGraph& g, const Match& h);
 /// Requires q.NumVars() > 0.
 VarId MostSelectiveVariable(const Pattern& q, const Graph& g);
 VarId MostSelectiveVariable(const Pattern& q, const FrozenGraph& g);
+VarId MostSelectiveVariable(const Pattern& q, const OverlayView& g);
 
 }  // namespace ged
 

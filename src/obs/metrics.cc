@@ -119,6 +119,9 @@ MetricsRegistry::MetricsRegistry()
        MetricKind::kCounter},
       {EngineMetric::kGdcScans, "ext.gdc_scans", MetricKind::kCounter},
       {EngineMetric::kGedOrScans, "ext.gedor_scans", MetricKind::kCounter},
+      {EngineMetric::kRefreezeRuns, "refreeze.runs", MetricKind::kCounter},
+      {EngineMetric::kRefreezeAdopted, "refreeze.adopted",
+       MetricKind::kCounter},
       {EngineMetric::kGraphNodes, "graph.nodes", MetricKind::kGauge},
       {EngineMetric::kGraphEdges, "graph.edges", MetricKind::kGauge},
       {EngineMetric::kLiveViolations, "incr.live_violations",
@@ -128,6 +131,8 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kFreezeWallNs, "freeze.wall_ns", MetricKind::kHistogram},
       {EngineMetric::kScanWallNs, "scan.wall_ns", MetricKind::kHistogram},
       {EngineMetric::kCommitWallNs, "commit.wall_ns",
+       MetricKind::kHistogram},
+      {EngineMetric::kRefreezeWallNs, "refreeze.wall_ns",
        MetricKind::kHistogram},
       {EngineMetric::kChaseWallNs, "chase.wall_ns", MetricKind::kHistogram},
   };

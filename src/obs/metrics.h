@@ -74,6 +74,8 @@ enum class EngineMetric : size_t {
   kSatisfiabilityRuns,      ///< CheckSatisfiability calls
   kGdcScans,                ///< GDC violation scans (FindGdcViolations)
   kGedOrScans,              ///< GED-OR violation scans (FindGedOrViolations)
+  kRefreezeRuns,            ///< background overlay re-freezes started
+  kRefreezeAdopted,         ///< re-frozen bases adopted (epoch swaps)
   // ----- gauges (last value wins) -------------------------------------
   kGraphNodes,              ///< nodes of the most recently scanned graph
   kGraphEdges,              ///< edges of the most recently scanned graph
@@ -83,6 +85,7 @@ enum class EngineMetric : size_t {
   kFreezeWallNs,            ///< wall time per freeze
   kScanWallNs,              ///< wall time per per-bucket/per-GED scan
   kCommitWallNs,            ///< wall time per incremental commit
+  kRefreezeWallNs,          ///< wall time per background overlay re-freeze
   kChaseWallNs,             ///< wall time per Chase() call
   kCount                    ///< number of catalog entries (not a metric)
 };

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "ged/canonical.h"
+#include "graph/overlay.h"
 
 namespace ged {
 
@@ -119,6 +120,12 @@ MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
   return ScanBucketT(g, bucket, mopts, checked, on_violation);
 }
 
+MatchStats ScanBucket(const OverlayView& g, const PlanBucket& bucket,
+                      const MatchOptions& mopts, uint64_t* checked,
+                      const PlanViolationCallback& on_violation) {
+  return ScanBucketT(g, bucket, mopts, checked, on_violation);
+}
+
 // Pin selection delegates to the matcher's own root-variable statistic
 // (match/MostSelectiveVariable) so parallel partitioning pins the variable
 // the search would root at anyway — one ranking, shared by BuildOrder, the
@@ -128,6 +135,10 @@ VarId SelectPinVariable(const Pattern& q, const Graph& g) {
 }
 
 VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g) {
+  return MostSelectiveVariable(q, g);
+}
+
+VarId SelectPinVariable(const Pattern& q, const OverlayView& g) {
   return MostSelectiveVariable(q, g);
 }
 

@@ -93,6 +93,9 @@ MatchStats ScanBucket(const Graph& g, const PlanBucket& bucket,
 MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
                       const MatchOptions& mopts, uint64_t* checked,
                       const PlanViolationCallback& on_violation);
+MatchStats ScanBucket(const OverlayView& g, const PlanBucket& bucket,
+                      const MatchOptions& mopts, uint64_t* checked,
+                      const PlanViolationCallback& on_violation);
 
 /// The bucket variable to partition parallel work on: the matcher's own
 /// root-variable statistic (match/MostSelectiveVariable — smallest
@@ -101,6 +104,7 @@ MatchStats ScanBucket(const FrozenGraph& g, const PlanBucket& bucket,
 /// ranking. Requires NumVars() > 0.
 VarId SelectPinVariable(const Pattern& q, const Graph& g);
 VarId SelectPinVariable(const Pattern& q, const FrozenGraph& g);
+VarId SelectPinVariable(const Pattern& q, const OverlayView& g);
 
 }  // namespace ged
 

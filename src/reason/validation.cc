@@ -1,5 +1,7 @@
 #include "reason/validation.h"
 
+#include "graph/overlay.h"
+
 #include <algorithm>
 #include <atomic>
 #include <functional>
@@ -490,7 +492,8 @@ ValidationReport ValidateParallelPlan(const GView& g, const RulesetPlan& plan,
 // different seeds when a pre-existing edge connects them), which only widens
 // the re-checked region — the caller's set-difference reconciliation absorbs
 // it — while amortizing matcher setup across all seeds.
-bool SeedEndpointRestrictions(const Graph& g, const Pattern& q,
+template <typename GView>
+bool SeedEndpointRestrictions(const GView& g, const Pattern& q,
                               const Pattern::PEdge& pe,
                               const std::vector<EdgeTriple>& seeds,
                               std::vector<NodeId>* srcs,
@@ -656,6 +659,25 @@ ValidationReport ValidateWithPlan(const FrozenGraph& g,
   return report;
 }
 
+// Overlay overloads: the base is already CSR, so there is no ShouldFreeze
+// question — scan the overlay directly.
+ValidationReport Validate(const OverlayView& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options) {
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report = ValidateNoObs(g, sigma, options);
+  scope.Observe(report);
+  return report;
+}
+
+ValidationReport ValidateWithPlan(const OverlayView& g,
+                                  const RulesetPlan& plan,
+                                  const ValidationOptions& options) {
+  ValidateObsScope scope(options, g.NumNodes(), g.NumEdges());
+  ValidationReport report = ValidateWithPlanNoObs(g, plan, options);
+  scope.Observe(report);
+  return report;
+}
+
 void SortViolationList(std::vector<Violation>* violations) {
   std::sort(violations->begin(), violations->end(), ViolationLess);
 }
@@ -701,60 +723,16 @@ void MergeViolations(std::vector<Violation>* violations,
                      violations->end(), ViolationLess);
 }
 
-ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
-                                  const std::vector<NodeId>& touched,
-                                  const ValidationOptions& options) {
-  if (options.use_compiled_plan) {
-    return ValidateTouchingWithPlan(g, RulesetPlan::Compile(sigma), touched,
-                                    options);
-  }
-  ValidationReport report;
-  if (touched.empty()) return report;
+namespace {
 
-  if (options.num_threads <= 1) {
-    WorkerState ws;
-    for (size_t i = 0; i < sigma.size(); ++i) {
-      const Pattern& q = sigma[i].pattern();
-      for (VarId x = 0; x < q.NumVars(); ++x) {
-        ScanGedTouching(g, sigma[i], i, options, x, touched, touched, &ws);
-      }
-    }
-    return ReportFromWorker(std::move(ws), options);
-  }
+// The touching and edge-seeded scans, templated over the read backend —
+// shared verbatim by the mutable-Graph overloads (pre-overlay behavior,
+// differential baseline) and the OverlayView overloads the incremental
+// validator serves commits through.
 
-  // Parallel: one work item per (GED, pin variable, touched-node chunk);
-  // pinned runs are independent, so any partition is race-free.
-  struct WorkItem {
-    size_t ged_index;
-    VarId var;
-    std::vector<NodeId> pins;
-  };
-  std::vector<WorkItem> items;
-  size_t chunk = std::max<size_t>(
-      1, touched.size() / std::max<size_t>(1, 4 * options.num_threads));
-  for (size_t i = 0; i < sigma.size(); ++i) {
-    const Pattern& q = sigma[i].pattern();
-    for (VarId x = 0; x < q.NumVars(); ++x) {
-      for (size_t begin = 0; begin < touched.size(); begin += chunk) {
-        size_t end = std::min(touched.size(), begin + chunk);
-        items.push_back(WorkItem{
-            i, x,
-            std::vector<NodeId>(touched.begin() + begin,
-                                touched.begin() + end)});
-      }
-    }
-  }
-
-  return RunParallelScan(
-      items.size(), options, [&](size_t k, WorkerState* ws) {
-        const WorkItem& item = items[k];
-        ScanGedTouching(g, sigma[item.ged_index], item.ged_index, options,
-                        item.var, item.pins, touched, ws);
-      });
-}
-
-ValidationReport ValidateTouchingWithPlan(
-    const Graph& g, const RulesetPlan& plan,
+template <typename GView>
+ValidationReport ValidateTouchingWithPlanT(
+    const GView& g, const RulesetPlan& plan,
     const std::vector<NodeId>& touched, const ValidationOptions& options) {
   ValidationReport report;
   if (touched.empty()) return report;
@@ -801,13 +779,105 @@ ValidationReport ValidateTouchingWithPlan(
       });
 }
 
-std::vector<Violation> FindViolationsSeededByEdges(
-    const Graph& g, const std::vector<Ged>& sigma,
+template <typename GView>
+ValidationReport ValidateTouchingT(const GView& g,
+                                   const std::vector<Ged>& sigma,
+                                   const std::vector<NodeId>& touched,
+                                   const ValidationOptions& options) {
+  if (options.use_compiled_plan) {
+    return ValidateTouchingWithPlanT(g, RulesetPlan::Compile(sigma), touched,
+                                     options);
+  }
+  ValidationReport report;
+  if (touched.empty()) return report;
+
+  if (options.num_threads <= 1) {
+    WorkerState ws;
+    for (size_t i = 0; i < sigma.size(); ++i) {
+      const Pattern& q = sigma[i].pattern();
+      for (VarId x = 0; x < q.NumVars(); ++x) {
+        ScanGedTouching(g, sigma[i], i, options, x, touched, touched, &ws);
+      }
+    }
+    return ReportFromWorker(std::move(ws), options);
+  }
+
+  // Parallel: one work item per (GED, pin variable, touched-node chunk);
+  // pinned runs are independent, so any partition is race-free.
+  struct WorkItem {
+    size_t ged_index;
+    VarId var;
+    std::vector<NodeId> pins;
+  };
+  std::vector<WorkItem> items;
+  size_t chunk = std::max<size_t>(
+      1, touched.size() / std::max<size_t>(1, 4 * options.num_threads));
+  for (size_t i = 0; i < sigma.size(); ++i) {
+    const Pattern& q = sigma[i].pattern();
+    for (VarId x = 0; x < q.NumVars(); ++x) {
+      for (size_t begin = 0; begin < touched.size(); begin += chunk) {
+        size_t end = std::min(touched.size(), begin + chunk);
+        items.push_back(WorkItem{
+            i, x,
+            std::vector<NodeId>(touched.begin() + begin,
+                                touched.begin() + end)});
+      }
+    }
+  }
+
+  return RunParallelScan(
+      items.size(), options, [&](size_t k, WorkerState* ws) {
+        const WorkItem& item = items[k];
+        ScanGedTouching(g, sigma[item.ged_index], item.ged_index, options,
+                        item.var, item.pins, touched, ws);
+      });
+}
+
+template <typename GView>
+std::vector<Violation> FindViolationsSeededByEdgesWithPlanT(
+    const GView& g, const RulesetPlan& plan,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  WorkerState ws;
+  MatchOptions base = BaseMatchOptions(options);
+  // See the legacy path above: the step budget never applies to seeded
+  // re-scans.
+  base.max_steps = 0;
+  std::vector<NodeId> srcs, dsts;
+  for (size_t b = 0; b < plan.buckets.size(); ++b) {
+    const PlanBucket& bucket = plan.buckets[b];
+    const Pattern& q = bucket.pattern;
+    for (const Pattern::PEdge& pe : q.edges()) {
+      if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
+      MatchOptions mopts = base;
+      mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
+      ScanObs obs(options, "bucket", b, &mopts);
+      size_t viol_start = ws.violations.size();
+      MatchStats stats =
+          ScanBucket(g, bucket, mopts, &ws.checked,
+                     [&](size_t ged_index, const Match& rule_match) {
+                       ws.violations.push_back(Violation{ged_index, rule_match});
+                       return true;
+                     });
+      AccountBucketScan(bucket, b, stats, &ws, viol_start, obs.profiler());
+      obs.Finish();
+    }
+  }
+  *checked += ws.checked;
+  std::vector<Violation> out = std::move(ws.violations);
+  SortViolationList(&out);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+template <typename GView>
+std::vector<Violation> FindViolationsSeededByEdgesT(
+    const GView& g, const std::vector<Ged>& sigma,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked) {
   if (options.use_compiled_plan) {
-    return FindViolationsSeededByEdgesWithPlan(g, RulesetPlan::Compile(sigma),
-                                               seeds, options, checked);
+    return FindViolationsSeededByEdgesWithPlanT(g, RulesetPlan::Compile(sigma),
+                                                seeds, options, checked);
   }
   WorkerState ws;
   MatchOptions base = BaseMatchOptions(options);
@@ -849,40 +919,59 @@ std::vector<Violation> FindViolationsSeededByEdges(
   return out;
 }
 
+}  // namespace
+
+ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
+                                  const std::vector<NodeId>& touched,
+                                  const ValidationOptions& options) {
+  return ValidateTouchingT(g, sigma, touched, options);
+}
+
+ValidationReport ValidateTouching(const OverlayView& g,
+                                  const std::vector<Ged>& sigma,
+                                  const std::vector<NodeId>& touched,
+                                  const ValidationOptions& options) {
+  return ValidateTouchingT(g, sigma, touched, options);
+}
+
+ValidationReport ValidateTouchingWithPlan(
+    const Graph& g, const RulesetPlan& plan,
+    const std::vector<NodeId>& touched, const ValidationOptions& options) {
+  return ValidateTouchingWithPlanT(g, plan, touched, options);
+}
+
+ValidationReport ValidateTouchingWithPlan(
+    const OverlayView& g, const RulesetPlan& plan,
+    const std::vector<NodeId>& touched, const ValidationOptions& options) {
+  return ValidateTouchingWithPlanT(g, plan, touched, options);
+}
+
+std::vector<Violation> FindViolationsSeededByEdges(
+    const Graph& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  return FindViolationsSeededByEdgesT(g, sigma, seeds, options, checked);
+}
+
+std::vector<Violation> FindViolationsSeededByEdges(
+    const OverlayView& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  return FindViolationsSeededByEdgesT(g, sigma, seeds, options, checked);
+}
+
 std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
     const Graph& g, const RulesetPlan& plan,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked) {
-  WorkerState ws;
-  MatchOptions base = BaseMatchOptions(options);
-  // See the legacy path above: the step budget never applies to seeded
-  // re-scans.
-  base.max_steps = 0;
-  std::vector<NodeId> srcs, dsts;
-  for (size_t b = 0; b < plan.buckets.size(); ++b) {
-    const PlanBucket& bucket = plan.buckets[b];
-    const Pattern& q = bucket.pattern;
-    for (const Pattern::PEdge& pe : q.edges()) {
-      if (!SeedEndpointRestrictions(g, q, pe, seeds, &srcs, &dsts)) continue;
-      MatchOptions mopts = base;
-      mopts.restricted = {{pe.src, srcs}, {pe.dst, dsts}};
-      ScanObs obs(options, "bucket", b, &mopts);
-      size_t viol_start = ws.violations.size();
-      MatchStats stats =
-          ScanBucket(g, bucket, mopts, &ws.checked,
-                     [&](size_t ged_index, const Match& rule_match) {
-                       ws.violations.push_back(Violation{ged_index, rule_match});
-                       return true;
-                     });
-      AccountBucketScan(bucket, b, stats, &ws, viol_start, obs.profiler());
-      obs.Finish();
-    }
-  }
-  *checked += ws.checked;
-  std::vector<Violation> out = std::move(ws.violations);
-  SortViolationList(&out);
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return FindViolationsSeededByEdgesWithPlanT(g, plan, seeds, options, checked);
+}
+
+std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
+    const OverlayView& g, const RulesetPlan& plan,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked) {
+  return FindViolationsSeededByEdgesWithPlanT(g, plan, seeds, options, checked);
 }
 
 }  // namespace ged

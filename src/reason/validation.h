@@ -92,6 +92,20 @@ struct ValidationOptions {
   /// overloads are already frozen. false = match straight over the mutable
   /// adjacency (ablation and freeze-cost studies).
   bool freeze_snapshot = true;
+  /// Incremental serving backend (IncrementalValidator only): mirror commits
+  /// into an OverlayView delta overlay (graph/overlay.h) — a frozen CSR base
+  /// plus a small copy-on-write side index — and run every commit re-scan on
+  /// it, so commits get the CSR label ranges and the leapfrog intersection
+  /// exactly like full validation does. Reports are bit-identical either
+  /// way (pinned by tests/overlay_test.cc). false = scan the mutable graph
+  /// directly (the pre-overlay behavior; ablation baseline).
+  bool use_overlay = true;
+  /// Re-freeze cutoff (IncrementalValidator with use_overlay): once the
+  /// overlay's side index outweighs this many entries (OverlayView::
+  /// DeltaWeight), a background thread compacts it into a fresh FrozenGraph
+  /// base and the validator swaps to a new overlay epoch at the next commit
+  /// boundary. 0 disables background re-freeze (the overlay grows unbounded).
+  size_t overlay_refreeze_cutoff = 4096;
   /// Step budget per matcher scan (0 = unlimited): each enumeration task
   /// aborts after this many search-tree nodes, and the GEDs whose scans
   /// were truncated are listed in ValidationReport::aborted_geds. A
@@ -141,6 +155,14 @@ ValidationReport ValidateWithPlan(const FrozenGraph& g,
                                   const RulesetPlan& plan,
                                   const ValidationOptions& options = {});
 
+/// Overlay overloads: scan a delta overlay (graph/overlay.h) directly — the
+/// base is already CSR, so freeze_snapshot is moot (never re-frozen here).
+ValidationReport Validate(const OverlayView& g, const std::vector<Ged>& sigma,
+                          const ValidationOptions& options = {});
+ValidationReport ValidateWithPlan(const OverlayView& g,
+                                  const RulesetPlan& plan,
+                                  const ValidationOptions& options = {});
+
 // ----- incremental building blocks (src/incr/ sits on these) ---------------
 //
 // Under append-only deltas (AddNode/AddEdge/SetAttr), matches never die —
@@ -180,9 +202,17 @@ void MergeViolations(std::vector<Violation>* violations,
 ValidationReport ValidateTouching(const Graph& g, const std::vector<Ged>& sigma,
                                   const std::vector<NodeId>& touched,
                                   const ValidationOptions& options = {});
+ValidationReport ValidateTouching(const OverlayView& g,
+                                  const std::vector<Ged>& sigma,
+                                  const std::vector<NodeId>& touched,
+                                  const ValidationOptions& options = {});
 
 /// ValidateTouching() against a pre-compiled plan of the same Σ.
 ValidationReport ValidateTouchingWithPlan(const Graph& g,
+                                          const RulesetPlan& plan,
+                                          const std::vector<NodeId>& touched,
+                                          const ValidationOptions& options = {});
+ValidationReport ValidateTouchingWithPlan(const OverlayView& g,
                                           const RulesetPlan& plan,
                                           const std::vector<NodeId>& touched,
                                           const ValidationOptions& options = {});
@@ -204,10 +234,18 @@ std::vector<Violation> FindViolationsSeededByEdges(
     const Graph& g, const std::vector<Ged>& sigma,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked);
+std::vector<Violation> FindViolationsSeededByEdges(
+    const OverlayView& g, const std::vector<Ged>& sigma,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked);
 
 /// FindViolationsSeededByEdges() against a pre-compiled plan of the same Σ.
 std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
     const Graph& g, const RulesetPlan& plan,
+    const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
+    uint64_t* checked);
+std::vector<Violation> FindViolationsSeededByEdgesWithPlan(
+    const OverlayView& g, const RulesetPlan& plan,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked);
 

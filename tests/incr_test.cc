@@ -7,12 +7,17 @@
 
 #include <algorithm>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "gen/random_gen.h"
 #include "gen/scenarios.h"
 #include "incr/delta.h"
 #include "incr/incremental.h"
 #include "match/matcher.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "reason/validation.h"
 
 namespace ged {
@@ -453,6 +458,173 @@ TEST(IncrementalValidator, SpamScenarioCatchesStreamedSpammer) {
   ASSERT_TRUE(v.Commit(d).ok());
   EXPECT_FALSE(v.report().satisfied);
   ExpectReportsEqual(v.report(), v.RevalidateFull());
+}
+
+// ----- commit-epoch discipline ----------------------------------------------
+
+TEST(IncrementalValidator, RejectsDeltaRecordedBeforeAnEdgeOnlyCommit) {
+  // Regression: an edge-only commit preserves NumNodes, so the legacy
+  // node-count precondition cannot see it — a delta recorded *before* that
+  // commit would apply against a different graph than it was recorded on.
+  // The epoch stamp minted by NewDelta() must reject it cleanly.
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  IncrementalValidator v(kb.graph, Example1Geds());
+  std::vector<NodeId> people = v.graph().NodesWithLabel(Sym("person"));
+  std::vector<NodeId> products = v.graph().NodesWithLabel(Sym("product"));
+  ASSERT_GE(people.size(), 2u);
+  ASSERT_GE(products.size(), 2u);
+  // A creator pair the generator did not wire up (person 0 did not create
+  // the last product, nor person 1 the second-to-last).
+  NodeId pa = people[0], qa = products[products.size() - 1];
+  NodeId pb = people[1], qb = products[products.size() - 2];
+  ASSERT_FALSE(v.graph().HasEdge(pa, Sym("create"), qa));
+  ASSERT_FALSE(v.graph().HasEdge(pb, Sym("create"), qb));
+
+  GraphDelta stale = v.NewDelta();  // recorded at epoch E
+  stale.AddEdge(pa, "create", qa);
+
+  GraphDelta edge_only = v.NewDelta();  // also epoch E; commits first
+  edge_only.AddEdge(pb, "create", qb);
+  ASSERT_TRUE(v.Commit(edge_only).ok());
+  EXPECT_EQ(v.commit_epoch(), 1u);
+
+  // Same node count, different graph: only the epoch stamp catches it.
+  ValidationReport before = v.report();
+  size_t nodes_before = v.graph().NumNodes();
+  auto applied = v.Commit(stale);
+  ASSERT_FALSE(applied.ok());
+  EXPECT_EQ(applied.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(v.graph().NumNodes(), nodes_before);
+  EXPECT_FALSE(v.graph().HasEdge(pa, Sym("create"), qa));
+  ExpectReportsEqual(v.report(), before);
+  EXPECT_EQ(v.commit_epoch(), 1u);  // a rejected commit does not advance it
+
+  // A fresh delta with the same content sails through.
+  GraphDelta retry = v.NewDelta();
+  retry.AddEdge(pa, "create", qa);
+  ASSERT_TRUE(v.Commit(retry).ok());
+  EXPECT_EQ(v.commit_epoch(), 2u);
+}
+
+TEST(IncrementalValidator, UnstampedDeltasKeepTheLegacyCheck) {
+  // Standalone GraphDelta usage (no NewDelta) stays commit-able as long as
+  // the node count lines up — the pre-epoch contract.
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  IncrementalValidator v(kb.graph, Example1Geds());
+  GraphDelta d(v.graph());
+  NodeId p = d.AddNode("product");
+  d.SetAttr(p, "type", Value("book"));
+  EXPECT_FALSE(d.bound_epoch().has_value());
+  ASSERT_TRUE(v.Commit(d).ok());
+  ExpectReportsEqual(v.report(), v.RevalidateFull());
+}
+
+// ----- commit-stats accounting ----------------------------------------------
+
+TEST(IncrementalValidator, AddedEqualsReportGrowthPlusRetracted) {
+  // stats_.added counts genuinely novel violations on every commit path —
+  // the reconcile (sort/unique/set-difference against the live report) runs
+  // whether or not the delta carried cross edges, so the identity
+  //   added == (report growth) + retracted
+  // holds on each commit of a mixed random stream.
+  RandomGraphParams gp;
+  gp.num_nodes = 50;
+  gp.avg_out_degree = 3.0;
+  gp.seed = 77;
+  RandomGedParams rp;
+  rp.kind = GedClassKind::kGed;
+  rp.pattern_vars = 3;
+  rp.pattern_edges = 2;
+  rp.seed = 78;
+  IncrementalValidator v(RandomPropertyGraph(gp), RandomGeds(4, rp));
+  std::mt19937 rng(79);
+  for (int commit = 0; commit < 10; ++commit) {
+    size_t size_before = v.report().violations.size();
+    GraphDelta d = RandomDelta(v.graph(), &rng, 12, gp);
+    ASSERT_TRUE(v.Commit(d).ok());
+    size_t growth = v.report().violations.size() - size_before +
+                    v.last_commit().retracted;
+    EXPECT_EQ(v.last_commit().added, growth) << "commit " << commit;
+    ExpectReportsEqual(v.report(), v.RevalidateFull());
+  }
+}
+
+// ----- use_intersection engages on the overlay (ablation) -------------------
+
+TEST(IncrementalValidator, IntersectionEngagesOnOverlayCommits) {
+  // Post-overlay, commit re-scans run on CSR spans, so the leapfrog kernel
+  // must actually fire on a dense commit: lf_rounds strictly grows. With
+  // the overlay off, the mutable graph has no sorted spans and the counter
+  // must stay flat (the knob is inert — and diagnosed, see below).
+  DenseParams dp;
+  dp.num_members = 128;
+  dp.community_size = 32;
+  dp.follows_per_member = 12;
+  for (bool overlay : {true, false}) {
+    ObsSession session;
+    ValidationOptions opts;
+    opts.obs = session.Options();
+    opts.use_overlay = overlay;
+    opts.use_intersection = true;
+    opts.freeze_snapshot = false;  // keep the initial pass off the CSR too
+    DenseInstance dense = GenDenseCommunity(dp);
+    IncrementalValidator v(dense.graph, DenseCliqueGeds(), opts);
+    uint64_t rounds_before =
+        session.Metrics()
+            .Snapshot()
+            .metrics[static_cast<size_t>(EngineMetric::kMatchLfRounds)]
+            .value;
+    GraphDelta d = v.NewDelta();
+    std::mt19937 rng(5);
+    for (int i = 0; i < 24; ++i) {  // a dense intra-community burst
+      d.AddEdge(static_cast<NodeId>(rng() % 32), "follows",
+                static_cast<NodeId>(rng() % 32));
+    }
+    ASSERT_TRUE(v.Commit(d).ok());
+    uint64_t rounds_after =
+        session.Metrics()
+            .Snapshot()
+            .metrics[static_cast<size_t>(EngineMetric::kMatchLfRounds)]
+            .value;
+    if (overlay) {
+      EXPECT_GT(rounds_after, rounds_before)
+          << "leapfrog never engaged on an overlay commit";
+    } else {
+      EXPECT_EQ(rounds_after, rounds_before)
+          << "mutable-graph commits cannot intersect";
+    }
+    ExpectReportsEqual(v.report(), v.RevalidateFull());
+  }
+}
+
+TEST(IncrementalValidator, InertIntersectionIsDiagnosed) {
+  // use_intersection && !use_overlay: accepted but can't engage — the
+  // constructor must say so through the structured log.
+  ObsSession session;
+  std::vector<std::string> lines;
+  LoggerOptions lopts;
+  lopts.min_level = LogLevel::kWarn;
+  lopts.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  session.Log().Configure(std::move(lopts));
+  ValidationOptions opts;
+  opts.obs = session.Options();
+  opts.use_overlay = false;
+  opts.use_intersection = true;
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  IncrementalValidator v(kb.graph, Example1Geds(), opts);
+  bool warned = false;
+  for (const std::string& line : lines) {
+    if (line.find("intersection_inert") != std::string::npos) warned = true;
+  }
+  EXPECT_TRUE(warned);
+
+  // With the overlay on, the same knobs are honored: no warning.
+  lines.clear();
+  opts.use_overlay = true;
+  IncrementalValidator v2(kb.graph, Example1Geds(), opts);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.find("intersection_inert"), std::string::npos) << line;
+  }
 }
 
 }  // namespace
