@@ -431,7 +431,8 @@ void RunOverlayCommitDense(benchmark::State& state, bool use_overlay) {
   dp.follows_per_member = 24;
   DenseInstance dense = GenDenseCommunity(dp);
   ValidationOptions opts;
-  opts.use_overlay = use_overlay;
+  opts.policy.commit_backend =
+      use_overlay ? CommitBackend::kOverlay : CommitBackend::kMutable;
   constexpr int kCommitsPerIter = 4;
   size_t violations = 0;
   uint64_t checked = 0;
@@ -512,7 +513,8 @@ void RunOverlayCommitCards(benchmark::State& state, bool use_overlay) {
   cp.core_packages = 8;
   CardsInstance cards = GenCardsBase(cp);
   ValidationOptions opts;
-  opts.use_overlay = use_overlay;
+  opts.policy.commit_backend =
+      use_overlay ? CommitBackend::kOverlay : CommitBackend::kMutable;
   constexpr int kCommitsPerIter = 4;
   size_t violations = 0;
   uint64_t checked = 0;

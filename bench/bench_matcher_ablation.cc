@@ -14,12 +14,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "gen/random_gen.h"
 #include "gen/scenarios.h"
 #include "graph/frozen.h"
+#include "match/kernels/kernel.h"
+#include "match/kernels/registry.h"
 #include "match/matcher.h"
 #include "obs/exporter.h"
 #include "obs/obs.h"
@@ -97,6 +103,11 @@ void BM_DensePattern(benchmark::State& state, size_t pattern_index,
   DenseInstance inst = GenDenseCommunity(params);
   FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
   Pattern q = DenseCliqueGeds()[pattern_index].pattern();
+  // The committed counter baselines for this series (lf_seeks / lf_fanin)
+  // predate the SIMD kernel backends; pin the scalar kernel — an exact port
+  // of the original leapfrog — so the counters stay bit-identical on every
+  // host. The per-backend story lives in BM_KernelAblation below.
+  ScopedKernelOverride pin(KernelBackend::kScalar);
   MatchOptions opts;
   opts.use_intersection = intersection;
   uint64_t matches = 0, steps = 0;
@@ -122,7 +133,99 @@ void BM_DensePattern(benchmark::State& state, size_t pattern_index,
   DepthStats totals = prof.Totals();
   state.counters["lf_seeks"] = static_cast<double>(totals.lf_seeks);
   state.counters["lf_fanin"] = static_cast<double>(totals.lf_fanin);
+  state.counters["lf_rounds"] = static_cast<double>(totals.lf_rounds);
 }
+
+// Per-backend kernel ablation (match/kernels/ acceptance gate): the raw
+// intersection kernels head to head on the dense community's real CSR
+// neighbor spans, outside the matcher so nothing but the kernel differs
+// between series. One series per backend available in this binary on this
+// host, registered at static init (below) — the CI perf-smoke job gates
+// avx2 ≥ 1.5× scalar on intersect2 whenever the avx2 series exists in the
+// JSON. lf_rounds / lf_seeks / matches are deterministic per backend.
+void BM_KernelAblation2(benchmark::State& state, KernelBackend backend) {
+  DenseParams params;
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
+  Label follows = Sym("follows");
+  std::vector<std::span<const NodeId>> spans;
+  for (NodeId v = 0; v < snapshot.NumNodes(); ++v) {
+    std::span<const NodeId> s = snapshot.OutNeighborsLabeled(v, follows);
+    if (s.size() >= 2) spans.push_back(s);
+  }
+  const IntersectionKernel& kernel = *GetKernel(backend);
+  auto emit = [](void* ctx, NodeId) {
+    ++*static_cast<uint64_t*>(ctx);
+    return true;
+  };
+  uint64_t hits = 0, seeks = 0, rounds = 0;
+  for (auto _ : state) {
+    hits = seeks = rounds = 0;
+    for (size_t i = 0; i + 1 < spans.size(); ++i) {
+      kernel.intersect2(spans[i], spans[i + 1], emit, &hits, &seeks);
+      ++rounds;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["matches"] = static_cast<double>(hits);
+  state.counters["lf_seeks"] = static_cast<double>(seeks);
+  state.counters["lf_rounds"] = static_cast<double>(rounds);
+}
+
+void BM_KernelAblationK(benchmark::State& state, KernelBackend backend) {
+  DenseParams params;
+  DenseInstance inst = GenDenseCommunity(params);
+  FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
+  Label follows = Sym("follows");
+  std::vector<std::span<const NodeId>> spans;
+  for (NodeId v = 0; v < snapshot.NumNodes(); ++v) {
+    std::span<const NodeId> s = snapshot.OutNeighborsLabeled(v, follows);
+    if (s.size() >= 2) spans.push_back(s);
+  }
+  const IntersectionKernel& kernel = *GetKernel(backend);
+  auto emit = [](void* ctx, NodeId) {
+    ++*static_cast<uint64_t*>(ctx);
+    return true;
+  };
+  uint64_t hits = 0, seeks = 0, rounds = 0;
+  for (auto _ : state) {
+    hits = seeks = rounds = 0;
+    for (size_t i = 0; i + 2 < spans.size(); ++i) {
+      // IntersectK reorders its list array in place; rebuild per round.
+      std::span<const NodeId> lists[3] = {spans[i], spans[i + 1],
+                                          spans[i + 2]};
+      kernel.intersect_k({lists, 3}, emit, &hits, &seeks);
+      ++rounds;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["matches"] = static_cast<double>(hits);
+  state.counters["lf_seeks"] = static_cast<double>(seeks);
+  state.counters["lf_rounds"] = static_cast<double>(rounds);
+}
+
+// Register one BM_KernelAblation series per available backend. Names are
+// stable ("BM_KernelAblation/intersect2_<backend>") so the CI gate can
+// address them; backends absent from this binary/host simply produce no
+// series (the gate is conditional on presence).
+int RegisterKernelAblation() {
+  for (KernelBackend b : AvailableKernelBackends()) {
+    std::string name2 =
+        std::string("BM_KernelAblation/intersect2_") + KernelBackendName(b);
+    benchmark::RegisterBenchmark(
+        name2.c_str(),
+        [b](benchmark::State& state) { BM_KernelAblation2(state, b); })
+        ->Unit(benchmark::kMillisecond);
+    std::string namek =
+        std::string("BM_KernelAblation/intersectk_") + KernelBackendName(b);
+    benchmark::RegisterBenchmark(
+        namek.c_str(),
+        [b](benchmark::State& state) { BM_KernelAblationK(state, b); })
+        ->Unit(benchmark::kMillisecond);
+  }
+  return 0;
+}
+const int kKernelAblationRegistered = RegisterKernelAblation();
 
 // The same toggle end to end through validation (freeze + compiled plan +
 // X→Y checks included): what use_intersection buys a full Validate call on
@@ -134,7 +237,8 @@ void BM_DenseValidation(benchmark::State& state, bool intersection) {
   FrozenGraph snapshot = FrozenGraph::Freeze(inst.graph);
   std::vector<Ged> sigma = DenseCliqueGeds();
   ValidationOptions opts;
-  opts.use_intersection = intersection;
+  opts.policy.join =
+      intersection ? JoinStrategy::kAuto : JoinStrategy::kPickSmallest;
   size_t violations = 0;
   for (auto _ : state) {
     ValidationReport report = Validate(snapshot, sigma, opts);

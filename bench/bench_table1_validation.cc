@@ -214,7 +214,7 @@ void BM_Validation_SharedPlan(benchmark::State& state, bool compiled) {
   std::vector<Ged> sigma =
       SharedShapeSigma(static_cast<size_t>(state.range(0)) / 3);
   ValidationOptions opts;
-  opts.use_compiled_plan = compiled;
+  opts.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
   size_t violations = 0;
   for (auto _ : state) {
     ValidationReport report = Validate(g, sigma, opts);
@@ -241,7 +241,7 @@ void BM_Validation_ScenarioPlanVsLegacy(benchmark::State& state, int mode) {
   std::vector<Ged> sigma = Example1Geds();
   for (const Ged& phi : MusicKeys()) sigma.push_back(phi);
   ValidationOptions opts;
-  opts.use_compiled_plan = mode != 0;
+  opts.policy.plan = mode != 0 ? PlanMode::kCompiled : PlanMode::kPerRule;
   RulesetPlan plan = RulesetPlan::Compile(sigma);
   for (auto _ : state) {
     ValidationReport report = mode == 2
@@ -286,7 +286,7 @@ void BM_Validation_FreezeSnapshot(benchmark::State& state, int mode) {
                      std::vector<Literal>{Literal::Var(a, GenAttr(2), d,
                                                        GenAttr(0))});
   ValidationOptions opts;
-  opts.freeze_snapshot = mode == 1;
+  opts.policy.snapshot = mode == 1 ? SnapshotMode::kAuto : SnapshotMode::kNever;
   FrozenGraph frozen = FrozenGraph::Freeze(g);
   size_t violations = 0;
   for (auto _ : state) {
@@ -336,7 +336,7 @@ void RunProfiledValidation(const std::string& base) {
 
   ObsSession session;
   ValidationOptions opts;
-  opts.use_compiled_plan = true;
+  opts.policy.plan = PlanMode::kCompiled;
   opts.obs = session.Options();
 
   int64_t start_ns = MonotonicNowNs();

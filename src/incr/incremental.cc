@@ -16,25 +16,44 @@ IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
   // never be reconciled exactly, so the defense budget is full-validation
   // only.
   options_.max_steps_per_scan = 0;
+  // Normalize the execution policy once: fold the deprecated boolean
+  // aliases in, so every read below (and every ValidationOptions handed to
+  // reason/) sees the same resolved policy.
+  options_.policy = EffectiveExecutionPolicy(options_);
+  if (Status s = ValidateExecutionPolicy(options_.policy,
+                                         ExecutionSurface::kIncremental);
+      !s.ok()) {
+    // The constructor cannot report failure, so degrade to the nearest
+    // valid policy instead of silently running an inert configuration;
+    // Create() is the entry point that rejects with this Status.
+    if (StructuredLogger* logger = options_.obs.Log()) {
+      logger->Log(LogLevel::kError, "invalid_execution_policy",
+                  {{"error", s.message()},
+                   {"action", "degraded join and kernel to auto"}});
+    }
+    options_.policy.join = JoinStrategy::kAuto;
+    options_.policy.kernel = KernelBackend::kAuto;
+  }
   // Compile Σ once; every seed pass and commit re-scan shares it.
-  if (options_.use_compiled_plan) plan_ = RulesetPlan::Compile(sigma_);
-  if (options_.use_overlay) {
+  if (options_.policy.plan == PlanMode::kCompiled) {
+    plan_ = RulesetPlan::Compile(sigma_);
+  }
+  if (options_.policy.commit_backend == CommitBackend::kOverlay) {
     overlay_ = OverlayView(std::make_shared<FrozenGraph>(
                                FrozenGraph::Freeze(graph_, options_.obs)),
                            /*epoch=*/0);
-  } else if (options_.use_intersection) {
-    // Honored-or-diagnosed: without the overlay, commit re-scans run on the
-    // mutable graph, whose unsorted adjacency has nothing to intersect —
-    // the knob is accepted but cannot engage.
-    if (StructuredLogger* logger = options_.obs.Log()) {
-      logger->Log(LogLevel::kWarn, "intersection_inert",
-                  {{"reason",
-                    "use_intersection=true with use_overlay=false: commit "
-                    "scans read the mutable graph, which has no sorted "
-                    "neighbor spans"}});
-    }
   }
   report_ = RevalidateFull();
+}
+
+Result<std::unique_ptr<IncrementalValidator>> IncrementalValidator::Create(
+    Graph g, std::vector<Ged> sigma, ValidationOptions options) {
+  Status s = ValidateExecutionPolicy(EffectiveExecutionPolicy(options),
+                                     ExecutionSurface::kIncremental);
+  if (!s.ok()) return s;
+  return std::make_unique<IncrementalValidator>(std::move(g),
+                                                std::move(sigma),
+                                                std::move(options));
 }
 
 IncrementalValidator::~IncrementalValidator() {
@@ -158,7 +177,7 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   // this delta so overlay_ equals graph_ for the re-scans below. A commit
   // landing while a freeze is still running is queued for replay onto the
   // new epoch.
-  if (options_.use_overlay) {
+  if (options_.policy.commit_backend == CommitBackend::kOverlay) {
     MaybeAdoptRefreeze();
     if (!delta.Apply(&overlay_).ok()) {
       RebuildOverlay();
@@ -184,13 +203,16 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   std::vector<Violation> fresh_v;
   {
     ScopedSpan touching_span(options_.obs.Trace(), "SeedTouching");
+    const bool on_overlay =
+        options_.policy.commit_backend == CommitBackend::kOverlay;
+    const bool compiled = options_.policy.plan == PlanMode::kCompiled;
     ValidationReport fresh =
-        options_.use_overlay
-            ? (options_.use_compiled_plan
+        on_overlay
+            ? (compiled
                    ? ValidateTouchingWithPlan(overlay_, plan_, rescan,
                                               options_)
                    : ValidateTouching(overlay_, sigma_, rescan, options_))
-            : (options_.use_compiled_plan
+            : (compiled
                    ? ValidateTouchingWithPlan(graph_, plan_, rescan, options_)
                    : ValidateTouching(graph_, sigma_, rescan, options_));
     checked = fresh.matches_checked;
@@ -203,8 +225,8 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
     std::vector<Violation> seeded;
     {
       ScopedSpan edges_span(options_.obs.Trace(), "SeedEdges");
-      if (options_.use_overlay) {
-        seeded = options_.use_compiled_plan
+      if (options_.policy.commit_backend == CommitBackend::kOverlay) {
+        seeded = options_.policy.plan == PlanMode::kCompiled
                      ? FindViolationsSeededByEdgesWithPlan(
                            overlay_, plan_, ap.cross_edges, options_,
                            &checked)
@@ -212,7 +234,7 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
                                                    ap.cross_edges, options_,
                                                    &checked);
       } else {
-        seeded = options_.use_compiled_plan
+        seeded = options_.policy.plan == PlanMode::kCompiled
                      ? FindViolationsSeededByEdgesWithPlan(
                            graph_, plan_, ap.cross_edges, options_, &checked)
                      : FindViolationsSeededByEdges(graph_, sigma_,
@@ -253,7 +275,9 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
   stats_.total_added += stats_.added;
   stats_.total_matches_checked += checked;
 
-  if (options_.use_overlay) MaybeStartRefreeze();
+  if (options_.policy.commit_backend == CommitBackend::kOverlay) {
+    MaybeStartRefreeze();
+  }
 
   if (MetricsRegistry* metrics = options_.obs.Metrics()) {
     metrics->Inc(EngineMetric::kCommitRuns);
@@ -302,7 +326,7 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
 }
 
 ValidationReport IncrementalValidator::RevalidateFull() const {
-  if (options_.use_compiled_plan) {
+  if (options_.policy.plan == PlanMode::kCompiled) {
     return ValidateWithPlan(graph_, plan_, options_);
   }
   return Validate(graph_, sigma_, options_);

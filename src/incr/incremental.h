@@ -13,12 +13,13 @@
 // walks one match space per pattern *shape* rather than one per rule.
 //
 // Backend note: the validator owns the mutable Graph as the authoritative
-// store, and by default (ValidationOptions::use_overlay) mirrors every
-// committed delta into an OverlayView (graph/overlay.h) — a frozen CSR base
-// plus a small copy-on-write side index — and runs all commit re-scans on
-// the overlay. Commits therefore get the CSR label ranges and the leapfrog
-// intersection (use_intersection) exactly like full validation, without the
-// per-commit re-freeze that used to be the only alternative. Once the side
+// store, and by default (ExecutionPolicy::commit_backend == kOverlay)
+// mirrors every committed delta into an OverlayView (graph/overlay.h) — a
+// frozen CSR base plus a small copy-on-write side index — and runs all
+// commit re-scans on the overlay. Commits therefore get the CSR label
+// ranges and the leapfrog intersection (JoinStrategy) exactly like full
+// validation, without the per-commit re-freeze that used to be the only
+// alternative. Once the side
 // index outweighs ValidationOptions::overlay_refreeze_cutoff, a background
 // thread compacts the overlay into a fresh FrozenGraph base
 // (FrozenGraph::Freeze(overlay) — no sort, overlay spans are already CSR-
@@ -26,9 +27,11 @@
 // commit boundary after the freeze completes, the validator swaps to a new
 // overlay epoch over the new base and replays the deltas committed in the
 // meantime. Readers of overlay() pin the epoch's base via shared_ptr, so a
-// swap never invalidates a snapshot someone still holds. use_overlay =
-// false restores the pre-overlay behavior (scan the mutable graph; the
-// intersection knob is then inert and diagnosed via the structured log).
+// swap never invalidates a snapshot someone still holds. commit_backend =
+// kMutable restores the pre-overlay behavior (scan the mutable graph);
+// requiring the leapfrog join on that backend is unsatisfiable and is
+// rejected by Create() / ValidateExecutionPolicy with InvalidArgument
+// instead of the old runtime "intersection_inert" warning.
 //
 // Exactness argument (append-only deltas):
 //  * topology only grows, so every match of Q in the old graph is still a
@@ -65,10 +68,20 @@ class IncrementalValidator {
   /// Takes ownership of `g` and Σ and runs one full Validate() to seed the
   /// report. `options.max_violations_per_ged` is forced to 0 (a truncated
   /// report cannot be maintained exactly); the other knobs (threads,
-  /// semantics, matcher toggles, use_overlay) apply to the initial pass and
-  /// every commit.
+  /// semantics, the execution policy) apply to the initial pass and every
+  /// commit. If the effective policy is invalid for the incremental
+  /// surface, the constructor degrades it to the nearest valid policy
+  /// (join/kernel back to kAuto) and logs an `invalid_execution_policy`
+  /// structured-log error — use Create() to get the hard rejection.
   IncrementalValidator(Graph g, std::vector<Ged> sigma,
                        ValidationOptions options = {});
+
+  /// Validating factory: rejects an effective policy that cannot do what it
+  /// claims on the incremental surface (e.g. join=kLeapfrog with
+  /// commit_backend=kMutable — commit re-scans would have no sorted spans
+  /// to intersect) with Status::InvalidArgument before any work starts.
+  static Result<std::unique_ptr<IncrementalValidator>> Create(
+      Graph g, std::vector<Ged> sigma, ValidationOptions options = {});
 
   /// Joins any in-flight background re-freeze.
   ~IncrementalValidator();
@@ -79,13 +92,18 @@ class IncrementalValidator {
   /// The maintained graph (mutate it only through Commit).
   const Graph& graph() const { return graph_; }
   /// The serving overlay commits are scanned through (equals graph() in
-  /// content; empty and unused when options.use_overlay is false).
+  /// content; empty and unused when policy().commit_backend == kMutable).
   const OverlayView& overlay() const { return overlay_; }
   /// The GED set Σ.
   const std::vector<Ged>& sigma() const { return sigma_; }
-  /// The compiled shared plan of Σ (empty when options.use_compiled_plan is
-  /// false — the validator then runs the legacy per-GED path).
+  /// The compiled shared plan of Σ (empty when policy().plan == kPerRule —
+  /// the validator then runs the legacy per-GED path).
   const RulesetPlan& plan() const { return plan_; }
+  /// The normalized effective execution policy the validator runs under:
+  /// deprecated aliases folded in, and invalid combinations degraded (see
+  /// the constructor note). Always passes ValidateExecutionPolicy for the
+  /// incremental surface.
+  const ExecutionPolicy& policy() const { return options_.policy; }
   /// The live report: always equal to Validate(graph(), sigma()) with the
   /// same options. `matches_checked` is cumulative across the initial pass
   /// and all commits (it counts incremental work, not from-scratch work).

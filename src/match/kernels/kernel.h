@@ -1,0 +1,97 @@
+// The intersection-kernel ABI (match/kernels/ tentpole, part 1 of 3).
+//
+// The leapfrog candidate generator (match/leapfrog.h) is the engine's
+// hottest loop, and galloping over contiguous sorted NodeId spans is a
+// textbook vectorization target — but SIMD instruction sets are a *host*
+// property, not a build property. This header pins down the narrow boundary
+// between the matcher and the set-intersection machinery so one binary can
+// carry several implementations (scalar / AVX2 / NEON), each compiled in
+// its own translation unit with per-file ISA flags, and pick among them at
+// runtime (match/kernels/registry.h).
+//
+// The ABI is two entry points over bare sorted duplicate-free spans:
+//
+//   Intersect2 — binary intersection, where backends specialize hardest
+//     (8-lane compare-rotate merges, block bitmaps for high-degree pairs,
+//     galloping for skewed size ratios);
+//   IntersectK — k-way intersection, the worst-case-optimal join step.
+//
+// Both keep the emit-streaming, early-termination contract of the original
+// header kernel: candidates are delivered in strictly increasing order
+// through a callback, the callback returns false to stop the intersection
+// mid-flight, and the entry point returns false iff it was stopped early.
+// Nothing is materialized, so Matcher::Extend() recursion consumes
+// candidates exactly as before. The callback crosses a translation-unit
+// boundary, so it is a plain function pointer plus context pointer rather
+// than a template parameter; the matcher wraps its per-depth lambda in a
+// one-line trampoline.
+
+#ifndef GEDLIB_MATCH_KERNELS_KERNEL_H_
+#define GEDLIB_MATCH_KERNELS_KERNEL_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "graph/graph.h"
+
+namespace ged {
+
+/// Which intersection implementation to use. kAuto defers to runtime
+/// detection (CPUID on x86, baseline-ISA on aarch64); the concrete values
+/// name one backend each. Numeric values are stable — they are exported as
+/// the match.kernel_backend gauge and printed in EXPLAIN profiles.
+enum class KernelBackend : uint8_t {
+  kAuto = 0,    ///< pick the best available backend at runtime
+  kScalar = 1,  ///< portable galloping leapfrog (always available)
+  kAvx2 = 2,    ///< AVX2 compare-rotate / bitmap / gallop hybrid (x86-64)
+  kNeon = 3,    ///< NEON 4-lane variant (aarch64)
+};
+
+/// Streaming sink for intersection results. Invoked once per emitted
+/// NodeId, in strictly increasing order; returns false to stop the
+/// intersection early. `ctx` is the caller's closure state, threaded
+/// through untouched.
+using KernelEmit = bool (*)(void* ctx, NodeId v);
+
+/// One intersection backend: a name for telemetry plus the two entry
+/// points. Instances are immutable process-lifetime singletons owned by
+/// their defining translation unit; the registry hands out pointers.
+///
+/// Contracts shared by both entry points (identical to the header kernel
+/// they were extracted from):
+///   * input spans are sorted and duplicate-free (the FrozenGraph CSR /
+///     restriction-list invariant);
+///   * emit(ctx, v) is called in strictly increasing v order;
+///   * the return value is false iff emit returned false (early stop) —
+///     exhausting the intersection, including the empty intersection,
+///     returns true;
+///   * `seeks` is an optional tally of backend probe operations (galloping
+///     seeks, vector-block comparisons, bitmap block builds — each backend
+///     documents its unit); pass nullptr to compile out the accounting on
+///     the hot path.
+struct IntersectionKernel {
+  KernelBackend backend = KernelBackend::kScalar;
+  const char* name = "scalar";
+
+  /// Binary intersection of two sorted duplicate-free spans.
+  bool (*intersect2)(std::span<const NodeId> a, std::span<const NodeId> b,
+                     KernelEmit emit, void* ctx, uint64_t* seeks) = nullptr;
+
+  /// K-way intersection. k = 0 is the empty constraint set (returns true
+  /// without emitting — the caller handles "all nodes"); k = 1 degenerates
+  /// to a scan. `lists` is reordered in place (leapfrog cursor rotation).
+  bool (*intersect_k)(std::span<std::span<const NodeId>> lists,
+                      KernelEmit emit, void* ctx, uint64_t* seeks) = nullptr;
+};
+
+/// Stable lowercase name for a backend ("auto", "scalar", "avx2", "neon").
+const char* KernelBackendName(KernelBackend backend);
+
+/// Parses a backend name (as produced by KernelBackendName, case-
+/// sensitive). Returns false and leaves *out untouched on unknown names.
+bool ParseKernelBackend(std::string_view name, KernelBackend* out);
+
+}  // namespace ged
+
+#endif  // GEDLIB_MATCH_KERNELS_KERNEL_H_

@@ -1,0 +1,130 @@
+// AVX2 intersection backend (x86-64). Compiled with a per-file -mavx2 flag
+// (see CMakeLists.txt) so the rest of the binary stays baseline-ISA; when
+// the toolchain or target lacks AVX2 the TU compiles to a nullptr accessor
+// and the registry never offers this backend.
+//
+// Intersect2 is a three-strategy hybrid chosen by the cost model in
+// kernel_impl.h:
+//   * skewed pairs gallop (shared GallopIntersect2);
+//   * large comparable pairs walk 64-bit block bitmaps (shared
+//     BlockBitmapIntersect2);
+//   * the common small/medium comparable case runs the 8x8 compare-rotate
+//     merge below: load 8 lanes of each list, compare `a` against all 8
+//     rotations of `b` (vpermd + vpcmpeqd), emit the hit lanes in lane
+//     order, and advance whichever block exhausted first. Increasing-order
+//     emission holds because hit lanes within a block are emitted in lane
+//     (= value) order and a block is only advanced past once every value
+//     it can still match has been seen.
+//
+// IntersectK reuses the shared pair-driven filter: Intersect2 on the two
+// smallest lists, survivors checked against the rest through monotone
+// galloping cursors.
+//
+// Seek accounting (per-backend unit, exported as match.kernel.avx2.*):
+// one seek per 8x8 vector-block comparison, per gallop probe, and per
+// bitmap block step. The scalar backend's unit (one per leapfrog gallop)
+// differs by design — per-backend counters are compared against per-backend
+// baselines only.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "match/kernels/kernel_impl.h"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace ged {
+namespace internal {
+
+#if defined(__AVX2__)
+
+namespace {
+
+using kernel_internal::BlockBitmapIntersect2;
+using kernel_internal::GallopIntersect2;
+using kernel_internal::IntersectKViaPairDriver;
+using kernel_internal::kBitmapMinSize;
+using kernel_internal::kGallopSkewRatio;
+using kernel_internal::ScalarMergeTail;
+
+// Compares va against all 8 rotations of vb; bit i of the result is set
+// iff lane i of va occurs anywhere in vb.
+inline uint32_t MatchMask8x8(__m256i va, __m256i vb) {
+  __m256i hits = _mm256_cmpeq_epi32(va, vb);
+  __m256i rot = vb;
+  // Rotate b by one lane per step: vpermd with the index vector
+  // (1,2,...,7,0) is a full-width lane rotation (vpalignr only rotates
+  // within 128-bit halves, which would miss cross-half matches).
+  const __m256i kRotate1 = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  for (int r = 1; r < 8; ++r) {
+    rot = _mm256_permutevar8x32_epi32(rot, kRotate1);
+    hits = _mm256_or_si256(hits, _mm256_cmpeq_epi32(va, rot));
+  }
+  return static_cast<uint32_t>(
+      _mm256_movemask_ps(_mm256_castsi256_ps(hits)));
+}
+
+bool Avx2MergeIntersect2(std::span<const NodeId> a, std::span<const NodeId> b,
+                         KernelEmit emit, void* ctx, uint64_t* seeks) {
+  const NodeId* ap = a.data();
+  const NodeId* ae = a.data() + a.size();
+  const NodeId* bp = b.data();
+  const NodeId* be = b.data() + b.size();
+  while (ae - ap >= 8 && be - bp >= 8) {
+    if (seeks != nullptr) ++*seeks;
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ap));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+    uint32_t mask = MatchMask8x8(va, vb);
+    while (mask != 0) {
+      int lane = __builtin_ctz(mask);
+      mask &= mask - 1;
+      if (!emit(ctx, ap[lane])) return false;
+    }
+    NodeId amax = ap[7];
+    NodeId bmax = bp[7];
+    if (amax <= bmax) ap += 8;
+    if (bmax <= amax) bp += 8;
+  }
+  return ScalarMergeTail(ap, ae, bp, be, emit, ctx);
+}
+
+bool Avx2Intersect2(std::span<const NodeId> a, std::span<const NodeId> b,
+                    KernelEmit emit, void* ctx, uint64_t* seeks) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return true;
+  if (b.size() / a.size() >= kGallopSkewRatio) {
+    return GallopIntersect2(a, b, emit, ctx, seeks);
+  }
+  if (a.size() >= kBitmapMinSize) {
+    return BlockBitmapIntersect2(a, b, emit, ctx, seeks);
+  }
+  return Avx2MergeIntersect2(a, b, emit, ctx, seeks);
+}
+
+bool Avx2IntersectK(std::span<std::span<const NodeId>> lists, KernelEmit emit,
+                    void* ctx, uint64_t* seeks) {
+  return IntersectKViaPairDriver(lists, &Avx2Intersect2, emit, ctx, seeks);
+}
+
+constexpr IntersectionKernel kAvx2Kernel = {
+    KernelBackend::kAvx2,
+    "avx2",
+    &Avx2Intersect2,
+    &Avx2IntersectK,
+};
+
+}  // namespace
+
+const IntersectionKernel* GetAvx2Kernel() { return &kAvx2Kernel; }
+
+#else  // !defined(__AVX2__)
+
+const IntersectionKernel* GetAvx2Kernel() { return nullptr; }
+
+#endif
+
+}  // namespace internal
+}  // namespace ged

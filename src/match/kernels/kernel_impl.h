@@ -1,0 +1,206 @@
+// Shared building blocks for intersection-kernel backends (internal).
+//
+// Every backend TU (kernel_scalar.cc, kernel_avx2.cc, kernel_neon.cc)
+// assembles its entry points from the portable pieces here: the galloping
+// probe, the skewed-pair gallop driver, the block-bitmap path for
+// high-degree pairs, the scalar merge tail that SIMD loops fall back to for
+// their remainders, and the pair-driven k-way filter that turns any
+// Intersect2 into an IntersectK. Keeping the pieces header-inline lets each
+// TU specialize its hot loop while inheriting identical edge-case handling
+// — which is what makes the scalar ≡ SIMD differential suite meaningful.
+//
+// The strategy constants encode the Intersect2 cost model (README "Kernel
+// backends" documents the crossover reasoning):
+//
+//   * size ratio >= kGallopSkewRatio: drive the smaller list and gallop in
+//     the larger — O(n log(m/n)) beats any merge once the skew is real;
+//   * both sizes >= kBitmapMinSize: 64-bit block bitmaps — branchless
+//     O(n + m) block walks beat compare-heavy merging on high-degree pairs
+//     whose values share 64-aligned blocks (dense communities);
+//   * otherwise: the backend's merge loop (vectorized where the ISA
+//     allows).
+
+#ifndef GEDLIB_MATCH_KERNELS_KERNEL_IMPL_H_
+#define GEDLIB_MATCH_KERNELS_KERNEL_IMPL_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "match/kernels/kernel.h"
+#include "match/leapfrog.h"
+
+namespace ged {
+namespace kernel_internal {
+
+/// Intersect2 strategy crossovers (see file comment).
+inline constexpr size_t kGallopSkewRatio = 32;
+inline constexpr size_t kBitmapMinSize = 256;
+
+/// Plain two-pointer merge intersection over [ap, ae) x [bp, be); the
+/// universal tail for vectorized merge loops. Emits in increasing order.
+inline bool ScalarMergeTail(const NodeId* ap, const NodeId* ae,
+                            const NodeId* bp, const NodeId* be,
+                            KernelEmit emit, void* ctx) {
+  while (ap != ae && bp != be) {
+    if (*ap < *bp) {
+      ++ap;
+    } else if (*bp < *ap) {
+      ++bp;
+    } else {
+      if (!emit(ctx, *ap)) return false;
+      ++ap;
+      ++bp;
+    }
+  }
+  return true;
+}
+
+/// Skewed-pair driver: iterates the smaller span `a`, galloping the cursor
+/// through the larger span `b`. One seek is tallied per gallop probe.
+inline bool GallopIntersect2(std::span<const NodeId> a,
+                             std::span<const NodeId> b, KernelEmit emit,
+                             void* ctx, uint64_t* seeks) {
+  const NodeId* bp = b.data();
+  const NodeId* be = b.data() + b.size();
+  for (NodeId v : a) {
+    if (seeks != nullptr) ++*seeks;
+    bp = GallopLowerBound(bp, be, v);
+    if (bp == be) return true;
+    if (*bp == v) {
+      if (!emit(ctx, v)) return false;
+      ++bp;
+    }
+  }
+  return true;
+}
+
+/// High-degree-pair driver: walks both spans in lockstep over 64-value
+/// blocks (block id = v >> 6), materializing each side's membership mask
+/// for a shared block and emitting the AND. Misaligned stretches are
+/// skipped by galloping to the other side's block start, so disjoint
+/// ranges cost O(log) per skip rather than O(n). One seek is tallied per
+/// shared-block mask build and per skip gallop.
+inline bool BlockBitmapIntersect2(std::span<const NodeId> a,
+                                  std::span<const NodeId> b, KernelEmit emit,
+                                  void* ctx, uint64_t* seeks) {
+  const NodeId* ap = a.data();
+  const NodeId* ae = a.data() + a.size();
+  const NodeId* bp = b.data();
+  const NodeId* be = b.data() + b.size();
+  while (ap != ae && bp != be) {
+    NodeId ablk = *ap >> 6;
+    NodeId bblk = *bp >> 6;
+    if (ablk != bblk) {
+      if (seeks != nullptr) ++*seeks;
+      if (ablk < bblk) {
+        ap = GallopLowerBound(ap, ae, static_cast<NodeId>(bblk << 6));
+      } else {
+        bp = GallopLowerBound(bp, be, static_cast<NodeId>(ablk << 6));
+      }
+      continue;
+    }
+    uint64_t ma = 0;
+    while (ap != ae && (*ap >> 6) == ablk) {
+      ma |= uint64_t{1} << (*ap & 63);
+      ++ap;
+    }
+    uint64_t mb = 0;
+    while (bp != be && (*bp >> 6) == ablk) {
+      mb |= uint64_t{1} << (*bp & 63);
+      ++bp;
+    }
+    if (seeks != nullptr) ++*seeks;
+    uint64_t both = ma & mb;
+    NodeId base = static_cast<NodeId>(ablk << 6);
+    while (both != 0) {
+      int i = std::countr_zero(both);
+      both &= both - 1;
+      if (!emit(ctx, base + static_cast<NodeId>(i))) return false;
+    }
+  }
+  return true;
+}
+
+/// Turns a backend's Intersect2 into an IntersectK: the two smallest lists
+/// drive the pair intersection, and each pair survivor is filtered against
+/// the remaining lists through monotone galloping cursors (sound because
+/// pair survivors arrive in increasing order). Preserves streaming order
+/// and early termination; one seek is tallied per filter gallop on top of
+/// whatever the pair driver counts.
+struct KwayFilterCtx {
+  std::span<const NodeId>* rest = nullptr;  // lists[2..k), cursors advance
+  size_t nrest = 0;
+  KernelEmit emit = nullptr;
+  void* ctx = nullptr;
+  uint64_t* seeks = nullptr;
+  bool stopped_by_emit = false;  // distinguishes user stop from exhaustion
+};
+
+inline bool KwayFilterEmit(void* c, NodeId v) {
+  auto* f = static_cast<KwayFilterCtx*>(c);
+  for (size_t i = 0; i < f->nrest; ++i) {
+    std::span<const NodeId>& l = f->rest[i];
+    if (f->seeks != nullptr) ++*f->seeks;
+    const NodeId* pos = GallopLowerBound(l.data(), l.data() + l.size(), v);
+    if (pos == l.data() + l.size()) return false;  // exhausted: no more hits
+    l = {pos, static_cast<size_t>(l.data() + l.size() - pos)};
+    if (*pos != v) return true;  // v missing here; keep driving the pair
+  }
+  if (f->emit(f->ctx, v)) return true;
+  f->stopped_by_emit = true;
+  return false;
+}
+
+template <typename Intersect2Fn>
+bool IntersectKViaPairDriver(std::span<std::span<const NodeId>> lists,
+                             Intersect2Fn intersect2, KernelEmit emit,
+                             void* ctx, uint64_t* seeks) {
+  const size_t k = lists.size();
+  if (k == 0) return true;
+  if (k == 1) {
+    for (NodeId v : lists[0]) {
+      if (!emit(ctx, v)) return false;
+    }
+    return true;
+  }
+  // Move the two smallest lists to the front; they bound the output and
+  // make the cheapest pair driver.
+  for (size_t slot = 0; slot < 2; ++slot) {
+    size_t best = slot;
+    for (size_t i = slot + 1; i < k; ++i) {
+      if (lists[i].size() < lists[best].size()) best = i;
+    }
+    std::swap(lists[slot], lists[best]);
+  }
+  if (k == 2) return intersect2(lists[0], lists[1], emit, ctx, seeks);
+  KwayFilterCtx f;
+  f.rest = lists.data() + 2;
+  f.nrest = k - 2;
+  f.emit = emit;
+  f.ctx = ctx;
+  f.seeks = seeks;
+  bool ran = intersect2(lists[0], lists[1], KwayFilterEmit, &f, seeks);
+  // A filter list running dry stops the pair driver, but that is
+  // exhaustion (return true), not an emit-requested stop.
+  return ran || !f.stopped_by_emit;
+}
+
+}  // namespace kernel_internal
+
+namespace internal {
+
+/// Per-backend singleton accessors, one definition per backend TU. A
+/// backend whose ISA was not compiled in returns nullptr (the TU still
+/// links, so the registry TU stays free of ISA-conditional preprocessor
+/// plumbing).
+const IntersectionKernel* GetScalarKernel();
+const IntersectionKernel* GetAvx2Kernel();
+const IntersectionKernel* GetNeonKernel();
+
+}  // namespace internal
+}  // namespace ged
+
+#endif  // GEDLIB_MATCH_KERNELS_KERNEL_IMPL_H_

@@ -1,0 +1,110 @@
+// NEON intersection backend (aarch64). Advanced SIMD is part of the
+// aarch64 baseline ISA (HWCAP_ASIMD is set on every Linux aarch64 core),
+// so unlike AVX2 this TU needs no per-file ISA flag — it is simply gated
+// on the target architecture and always available there.
+//
+// Same strategy layout as the AVX2 backend, scaled to 128-bit vectors:
+// skewed pairs gallop, large comparable pairs walk block bitmaps, and the
+// common case runs a 4x4 compare-rotate merge (vextq_u32 lane rotations +
+// vceqq_u32, mask extracted via the vshrn narrowing trick). Seek unit: one
+// per 4x4 vector-block comparison / gallop probe / bitmap block step.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "match/kernels/kernel_impl.h"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace ged {
+namespace internal {
+
+#if defined(__aarch64__)
+
+namespace {
+
+using kernel_internal::BlockBitmapIntersect2;
+using kernel_internal::GallopIntersect2;
+using kernel_internal::IntersectKViaPairDriver;
+using kernel_internal::kBitmapMinSize;
+using kernel_internal::kGallopSkewRatio;
+using kernel_internal::ScalarMergeTail;
+
+// Bit i set iff lane i of va occurs anywhere in vb.
+inline uint32_t MatchMask4x4(uint32x4_t va, uint32x4_t vb) {
+  uint32x4_t hits = vceqq_u32(va, vb);
+  hits = vorrq_u32(hits, vceqq_u32(va, vextq_u32(vb, vb, 1)));
+  hits = vorrq_u32(hits, vceqq_u32(va, vextq_u32(vb, vb, 2)));
+  hits = vorrq_u32(hits, vceqq_u32(va, vextq_u32(vb, vb, 3)));
+  // Narrow each 32-bit lane (0 or ~0) to 16 bits, view as u64, and pick
+  // one bit per lane: the standard aarch64 movemask substitute.
+  uint64_t n =
+      vget_lane_u64(vreinterpret_u64_u16(vshrn_n_u32(hits, 16)), 0);
+  return static_cast<uint32_t>((n & 1) | ((n >> 15) & 2) | ((n >> 30) & 4) |
+                               ((n >> 45) & 8));
+}
+
+bool NeonMergeIntersect2(std::span<const NodeId> a, std::span<const NodeId> b,
+                         KernelEmit emit, void* ctx, uint64_t* seeks) {
+  const NodeId* ap = a.data();
+  const NodeId* ae = a.data() + a.size();
+  const NodeId* bp = b.data();
+  const NodeId* be = b.data() + b.size();
+  while (ae - ap >= 4 && be - bp >= 4) {
+    if (seeks != nullptr) ++*seeks;
+    uint32x4_t va = vld1q_u32(ap);
+    uint32x4_t vb = vld1q_u32(bp);
+    uint32_t mask = MatchMask4x4(va, vb);
+    while (mask != 0) {
+      int lane = __builtin_ctz(mask);
+      mask &= mask - 1;
+      if (!emit(ctx, ap[lane])) return false;
+    }
+    NodeId amax = ap[3];
+    NodeId bmax = bp[3];
+    if (amax <= bmax) ap += 4;
+    if (bmax <= amax) bp += 4;
+  }
+  return ScalarMergeTail(ap, ae, bp, be, emit, ctx);
+}
+
+bool NeonIntersect2(std::span<const NodeId> a, std::span<const NodeId> b,
+                    KernelEmit emit, void* ctx, uint64_t* seeks) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return true;
+  if (b.size() / a.size() >= kGallopSkewRatio) {
+    return GallopIntersect2(a, b, emit, ctx, seeks);
+  }
+  if (a.size() >= kBitmapMinSize) {
+    return BlockBitmapIntersect2(a, b, emit, ctx, seeks);
+  }
+  return NeonMergeIntersect2(a, b, emit, ctx, seeks);
+}
+
+bool NeonIntersectK(std::span<std::span<const NodeId>> lists, KernelEmit emit,
+                    void* ctx, uint64_t* seeks) {
+  return IntersectKViaPairDriver(lists, &NeonIntersect2, emit, ctx, seeks);
+}
+
+constexpr IntersectionKernel kNeonKernel = {
+    KernelBackend::kNeon,
+    "neon",
+    &NeonIntersect2,
+    &NeonIntersectK,
+};
+
+}  // namespace
+
+const IntersectionKernel* GetNeonKernel() { return &kNeonKernel; }
+
+#else  // !defined(__aarch64__)
+
+const IntersectionKernel* GetNeonKernel() { return nullptr; }
+
+#endif
+
+}  // namespace internal
+}  // namespace ged

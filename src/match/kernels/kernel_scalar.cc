@@ -1,0 +1,57 @@
+// Scalar intersection backend: the portable baseline, available on every
+// host. IntersectK is the galloping leapfrog from match/leapfrog.h —
+// exactly the algorithm the matcher inlined before the kernel registry
+// existed, so its seek accounting (one seek per leapfrog gallop) is
+// bit-identical to the committed bench baselines. Intersect2 is the same
+// leapfrog specialized to two cursors.
+//
+// This TU is compiled with the project's baseline flags only (no ISA
+// extensions); it must run on the weakest supported host.
+
+#include <cstdint>
+#include <span>
+
+#include "match/kernels/kernel_impl.h"
+
+namespace ged {
+namespace internal {
+namespace {
+
+// The seek tally is a compile-time policy (as in leapfrog.h), not a
+// per-seek runtime pointer test: the uncounted flavor — what every
+// disabled-observability run executes — carries zero instrumentation in
+// its inner loop.
+template <bool kCounted>
+bool ScalarIntersectKImpl(std::span<std::span<const NodeId>> lists,
+                          KernelEmit emit, void* ctx, uint64_t* seeks) {
+  return LeapfrogIntersectImpl<kCounted>(
+      lists, [emit, ctx](NodeId v) { return emit(ctx, v); }, seeks);
+}
+
+bool ScalarIntersectK(std::span<std::span<const NodeId>> lists,
+                      KernelEmit emit, void* ctx, uint64_t* seeks) {
+  if (seeks != nullptr) {
+    return ScalarIntersectKImpl<true>(lists, emit, ctx, seeks);
+  }
+  return ScalarIntersectKImpl<false>(lists, emit, ctx, nullptr);
+}
+
+bool ScalarIntersect2(std::span<const NodeId> a, std::span<const NodeId> b,
+                      KernelEmit emit, void* ctx, uint64_t* seeks) {
+  std::span<const NodeId> pair[2] = {a, b};
+  return ScalarIntersectK({pair, 2}, emit, ctx, seeks);
+}
+
+constexpr IntersectionKernel kScalarKernel = {
+    KernelBackend::kScalar,
+    "scalar",
+    &ScalarIntersect2,
+    &ScalarIntersectK,
+};
+
+}  // namespace
+
+const IntersectionKernel* GetScalarKernel() { return &kScalarKernel; }
+
+}  // namespace internal
+}  // namespace ged

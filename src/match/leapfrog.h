@@ -43,14 +43,17 @@ namespace ged {
 inline const NodeId* GallopLowerBound(const NodeId* first, const NodeId* last,
                                       NodeId target) {
   if (first == last || *first >= target) return first;
-  // Invariant: *(first + lo) < target; probe first + hi.
+  // Invariant: *(first + lo) < target; probe first + hi. The probe index is
+  // clamped to n *before* the load rather than relying on the short-circuit
+  // of the loop condition: hi never exceeds n (and the doubling cannot wrap
+  // around), which is the form the SIMD kernel backends copy when they
+  // re-derive this loop over vector lanes.
   size_t n = static_cast<size_t>(last - first);
   size_t lo = 0, hi = 1;
   while (hi < n && first[hi] < target) {
     lo = hi;
-    hi <<= 1;
+    hi = hi <= (n - 1) / 2 ? hi << 1 : n;
   }
-  if (hi > n) hi = n;
   // Binary search in (lo, hi].
   ++lo;
   while (lo < hi) {

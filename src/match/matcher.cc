@@ -7,6 +7,7 @@
 
 #include "graph/overlay.h"
 #include "graph/view.h"
+#include "match/kernels/registry.h"
 #include "match/leapfrog.h"
 
 namespace ged {
@@ -180,8 +181,12 @@ class Search {
     prof_->steps = stats_.steps;
     prof_->matches = stats_.matches;
     prof_->aborts = stats_.aborted ? 1 : 0;
+    DepthStats t = prof_->Totals();
+    // EXPLAIN attributes intersection work to the backend that ran it.
+    if (kernel_ != nullptr && t.lf_rounds > 0) {
+      prof_->kernel_backend = static_cast<uint8_t>(kernel_->backend);
+    }
     if (metrics_ != nullptr) {
-      DepthStats t = prof_->Totals();
       metrics_->Inc(EngineMetric::kMatchRuns);
       metrics_->Inc(EngineMetric::kMatchSteps, stats_.steps);
       metrics_->Inc(EngineMetric::kMatchMatches, stats_.matches);
@@ -192,6 +197,26 @@ class Search {
       metrics_->Inc(EngineMetric::kMatchLinearSteps, t.linear_steps);
       metrics_->Inc(EngineMetric::kMatchReorders, t.reorders);
       if (stats_.aborted) metrics_->Inc(EngineMetric::kMatchAborts);
+      if (kernel_ != nullptr && t.lf_rounds > 0) {
+        metrics_->Set(EngineMetric::kKernelBackend,
+                      static_cast<uint64_t>(kernel_->backend));
+        switch (kernel_->backend) {
+          case KernelBackend::kScalar:
+            metrics_->Inc(EngineMetric::kKernelLfRoundsScalar, t.lf_rounds);
+            metrics_->Inc(EngineMetric::kKernelLfSeeksScalar, t.lf_seeks);
+            break;
+          case KernelBackend::kAvx2:
+            metrics_->Inc(EngineMetric::kKernelLfRoundsAvx2, t.lf_rounds);
+            metrics_->Inc(EngineMetric::kKernelLfSeeksAvx2, t.lf_seeks);
+            break;
+          case KernelBackend::kNeon:
+            metrics_->Inc(EngineMetric::kKernelLfRoundsNeon, t.lf_rounds);
+            metrics_->Inc(EngineMetric::kKernelLfSeeksNeon, t.lf_seeks);
+            break;
+          case KernelBackend::kAuto:
+            break;  // ResolveKernel never yields kAuto
+        }
+      }
     }
     if (external_profile_ != nullptr) external_profile_->Merge(*prof_);
   }
@@ -446,25 +471,35 @@ class Search {
       if (nodes.size() < min_size) add(nodes);
     }
     std::span<std::span<const NodeId>> span_lists(lists.data(), lists.size());
+    // The kernel lives behind a translation-unit boundary (runtime SIMD
+    // dispatch), so the per-candidate lambda crosses it as a capture-less
+    // trampoline over a context pointer instead of a template parameter.
     if (prof_ != nullptr) {
       // Counted kernel + counting emit: one branch per depth, not per seek.
       DepthStats& ds = prof_->depths[depth];
       ++ds.lf_rounds;
       ds.lf_fanin += lists.size();
-      return LeapfrogIntersect(
+      auto body = [&](NodeId v) {
+        ++ds.candidates;
+        if (!ResidualOk(x, v)) return true;
+        ++ds.accepted;
+        return try_node(v);
+      };
+      using Body = decltype(body);
+      return kernel_->intersect_k(
           span_lists,
-          [&](NodeId v) {
-            ++ds.candidates;
-            if (!ResidualOk(x, v)) return true;
-            ++ds.accepted;
-            return try_node(v);
-          },
-          &ds.lf_seeks);
+          [](void* ctx, NodeId v) { return (*static_cast<Body*>(ctx))(v); },
+          &body, &ds.lf_seeks);
     }
-    return LeapfrogIntersect(span_lists, [&](NodeId v) {
+    auto body = [&](NodeId v) {
       if (!ResidualOk(x, v)) return true;
       return try_node(v);
-    });
+    };
+    using Body = decltype(body);
+    return kernel_->intersect_k(
+        span_lists,
+        [](void* ctx, NodeId v) { return (*static_cast<Body*>(ctx))(v); },
+        &body, nullptr);
   }
 
   // Candidate generation + recursion, legacy flavor: scan the single
@@ -782,6 +817,11 @@ class Search {
       opts_.obs.enabled ? opts_.profile : nullptr;
   MatchProfile local_prof_;
   MatchProfile* prof_ = nullptr;
+  // Intersection backend, resolved once per enumeration (override >
+  // requested > detection; match/kernels/registry.h). Only the
+  // span-capable backends dispatch; the legacy path never consults it.
+  const IntersectionKernel* kernel_ =
+      kIntersectable ? &ResolveKernel(opts_.kernel_backend) : nullptr;
 };
 
 // ----- backend-generic implementations (instantiated for both views) --------

@@ -36,6 +36,7 @@
 #include "graph/frozen.h"
 #include "graph/graph.h"
 #include "graph/pattern.h"
+#include "match/kernels/kernel.h"
 #include "obs/obs.h"
 
 namespace ged {
@@ -71,6 +72,14 @@ struct MatchOptions {
   /// CSR snapshot); the mutable Graph always takes the legacy path, whose
   /// unsorted adjacency has nothing to intersect.
   bool use_intersection = true;
+  /// Which intersection-kernel backend the k-way path runs on
+  /// (match/kernels/registry.h). kAuto defers to runtime detection; an
+  /// explicit backend that is unavailable in this binary / on this host
+  /// falls back to detection (callers wanting hard failure validate via
+  /// ExecutionPolicy first). A process-wide override (SetKernelOverride /
+  /// GEDLIB_KERNEL_BACKEND) beats this field. Ignored on the legacy path
+  /// and on backends without columnar neighbor spans.
+  KernelBackend kernel_backend = KernelBackend::kAuto;
   /// Stop after this many matches (0 = unlimited).
   uint64_t max_matches = 0;
   /// Abort after this many search-tree nodes (0 = unlimited).

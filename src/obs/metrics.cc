@@ -100,6 +100,18 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kMatchLfRounds, "match.lf_rounds", MetricKind::kCounter},
       {EngineMetric::kMatchLfSeeks, "match.lf_seeks", MetricKind::kCounter},
       {EngineMetric::kMatchLfFanin, "match.lf_fanin", MetricKind::kCounter},
+      {EngineMetric::kKernelLfRoundsScalar, "match.kernel.scalar.lf_rounds",
+       MetricKind::kCounter},
+      {EngineMetric::kKernelLfSeeksScalar, "match.kernel.scalar.lf_seeks",
+       MetricKind::kCounter},
+      {EngineMetric::kKernelLfRoundsAvx2, "match.kernel.avx2.lf_rounds",
+       MetricKind::kCounter},
+      {EngineMetric::kKernelLfSeeksAvx2, "match.kernel.avx2.lf_seeks",
+       MetricKind::kCounter},
+      {EngineMetric::kKernelLfRoundsNeon, "match.kernel.neon.lf_rounds",
+       MetricKind::kCounter},
+      {EngineMetric::kKernelLfSeeksNeon, "match.kernel.neon.lf_seeks",
+       MetricKind::kCounter},
       {EngineMetric::kMatchLinearSteps, "match.linear_steps",
        MetricKind::kCounter},
       {EngineMetric::kMatchReorders, "match.reorders", MetricKind::kCounter},
@@ -125,6 +137,8 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kGraphNodes, "graph.nodes", MetricKind::kGauge},
       {EngineMetric::kGraphEdges, "graph.edges", MetricKind::kGauge},
       {EngineMetric::kLiveViolations, "incr.live_violations",
+       MetricKind::kGauge},
+      {EngineMetric::kKernelBackend, "match.kernel_backend",
        MetricKind::kGauge},
       {EngineMetric::kValidateWallNs, "validate.wall_ns",
        MetricKind::kHistogram},

@@ -60,6 +60,12 @@ enum class EngineMetric : size_t {
   kMatchLfRounds,           ///< k-way leapfrog intersections run
   kMatchLfSeeks,            ///< galloping seeks inside the kernel
   kMatchLfFanin,            ///< summed fan-in k over intersections
+  kKernelLfRoundsScalar,    ///< intersections run on the scalar backend
+  kKernelLfSeeksScalar,     ///< scalar-backend probes (galloping seeks)
+  kKernelLfRoundsAvx2,      ///< intersections run on the AVX2 backend
+  kKernelLfSeeksAvx2,       ///< AVX2-backend probes (vector blocks/gallops)
+  kKernelLfRoundsNeon,      ///< intersections run on the NEON backend
+  kKernelLfSeeksNeon,       ///< NEON-backend probes (vector blocks/gallops)
   kMatchLinearSteps,        ///< legacy single-list candidates scanned
   kMatchReorders,           ///< per-depth variable-order refinements taken
   kMatchAborts,             ///< enumerations that hit max_steps
@@ -80,6 +86,8 @@ enum class EngineMetric : size_t {
   kGraphNodes,              ///< nodes of the most recently scanned graph
   kGraphEdges,              ///< edges of the most recently scanned graph
   kLiveViolations,          ///< size of the maintained violation report
+  kKernelBackend,           ///< active intersection backend (KernelBackend
+                            ///< numeric value of the last flushed run)
   // ----- latency histograms (nanoseconds, power-of-two buckets) -------
   kValidateWallNs,          ///< wall time per full validate
   kFreezeWallNs,            ///< wall time per freeze

@@ -70,6 +70,7 @@ void MatchProfile::Merge(const MatchProfile& o) {
   steps += o.steps;
   matches += o.matches;
   aborts += o.aborts;
+  if (o.kernel_backend != 0) kernel_backend = o.kernel_backend;
 }
 
 DepthStats MatchProfile::Totals() const {
@@ -202,7 +203,11 @@ std::string FmtNsAsMs(double ns) {
 std::string MatchProfileToJson(const MatchProfile& prof) {
   std::ostringstream os;
   os << "{\"steps\":" << prof.steps << ",\"matches\":" << prof.matches
-     << ",\"aborts\":" << prof.aborts << ",";
+     << ",\"aborts\":" << prof.aborts;
+  if (prof.kernel_backend != 0) {
+    os << ",\"kernel_backend\":" << static_cast<unsigned>(prof.kernel_backend);
+  }
+  os << ",";
   EmitDepths(os, prof);
   os << "}";
   return os.str();
@@ -245,7 +250,12 @@ std::string ProfileReport::ToJson() const {
       os << qbuf;
     }
     os << ",\"steps\":" << b.prof.steps << ",\"matches\":" << b.prof.matches
-       << ",\"aborts\":" << b.prof.aborts << ",";
+       << ",\"aborts\":" << b.prof.aborts;
+    if (b.prof.kernel_backend != 0) {
+      os << ",\"kernel_backend\":"
+         << static_cast<unsigned>(b.prof.kernel_backend);
+    }
+    os << ",";
     EmitDepths(os, b.prof);
     os << "}";
   }

@@ -59,6 +59,12 @@ struct MatchProfile {
   uint64_t steps = 0;    ///< search-tree nodes explored
   uint64_t matches = 0;  ///< matches delivered
   uint64_t aborts = 0;   ///< runs that hit max_steps
+  /// Intersection backend the run's k-way path dispatched to: the numeric
+  /// KernelBackend value (match/kernels/kernel.h), 0 when no intersection
+  /// path ran. Kept as a raw byte so this header stays match/-independent;
+  /// Merge keeps the last nonzero writer (runs sharing a profile share one
+  /// process-wide dispatch decision).
+  uint8_t kernel_backend = 0;
 
   DepthStats& Depth(size_t d);
   void Merge(const MatchProfile& o);

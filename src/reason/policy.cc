@@ -1,0 +1,94 @@
+#include "reason/policy.h"
+
+#include <string>
+
+#include "match/kernels/registry.h"
+
+namespace ged {
+
+const char* JoinStrategyName(JoinStrategy v) {
+  switch (v) {
+    case JoinStrategy::kAuto:
+      return "auto";
+    case JoinStrategy::kLeapfrog:
+      return "leapfrog";
+    case JoinStrategy::kPickSmallest:
+      return "pick_smallest";
+  }
+  return "unknown";
+}
+
+const char* PlanModeName(PlanMode v) {
+  switch (v) {
+    case PlanMode::kCompiled:
+      return "compiled";
+    case PlanMode::kPerRule:
+      return "per_rule";
+  }
+  return "unknown";
+}
+
+const char* SnapshotModeName(SnapshotMode v) {
+  switch (v) {
+    case SnapshotMode::kAuto:
+      return "auto";
+    case SnapshotMode::kNever:
+      return "never";
+  }
+  return "unknown";
+}
+
+const char* CommitBackendName(CommitBackend v) {
+  switch (v) {
+    case CommitBackend::kOverlay:
+      return "overlay";
+    case CommitBackend::kMutable:
+      return "mutable";
+  }
+  return "unknown";
+}
+
+Status ValidateExecutionPolicy(const ExecutionPolicy& policy,
+                               ExecutionSurface surface) {
+  if (policy.join == JoinStrategy::kLeapfrog &&
+      surface == ExecutionSurface::kValidation &&
+      policy.snapshot == SnapshotMode::kNever) {
+    return Status::InvalidArgument(
+        "join=leapfrog requires a frozen CSR snapshot, but snapshot=never "
+        "forces the mutable-graph scan, whose unsorted adjacency has no "
+        "spans to intersect; use snapshot=auto or join=auto");
+  }
+  if (policy.join == JoinStrategy::kLeapfrog &&
+      surface == ExecutionSurface::kIncremental &&
+      policy.commit_backend == CommitBackend::kMutable) {
+    return Status::InvalidArgument(
+        "join=leapfrog with commit_backend=mutable: incremental commit "
+        "re-scans read the mutable graph, which has no sorted neighbor "
+        "spans to intersect; use commit_backend=overlay or join=auto");
+  }
+  if (policy.kernel != KernelBackend::kAuto &&
+      policy.join == JoinStrategy::kPickSmallest) {
+    return Status::InvalidArgument(
+        std::string("kernel=") + KernelBackendName(policy.kernel) +
+        " is inert with join=pick_smallest: the legacy candidate generator "
+        "never dispatches an intersection kernel");
+  }
+  if (policy.kernel != KernelBackend::kAuto &&
+      !KernelAvailable(policy.kernel)) {
+    return Status::InvalidArgument(
+        std::string("kernel=") + KernelBackendName(policy.kernel) +
+        " is not available in this binary on this host (available: " +
+        [] {
+          std::string s;
+          for (KernelBackend b : AvailableKernelBackends()) {
+            if (!s.empty()) s += ", ";
+            s += KernelBackendName(b);
+          }
+          return s;
+        }() +
+        ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace ged

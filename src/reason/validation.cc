@@ -12,14 +12,38 @@
 
 namespace ged {
 
+// The deprecated boolean aliases are read here — and only here — to fold
+// them into the policy; everything downstream consumes the resolved policy.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+ExecutionPolicy EffectiveExecutionPolicy(const ValidationOptions& options) {
+  ExecutionPolicy p = options.policy;
+  if (!options.use_intersection && p.join == JoinStrategy::kAuto) {
+    p.join = JoinStrategy::kPickSmallest;
+  }
+  if (!options.use_compiled_plan && p.plan == PlanMode::kCompiled) {
+    p.plan = PlanMode::kPerRule;
+  }
+  if (!options.freeze_snapshot && p.snapshot == SnapshotMode::kAuto) {
+    p.snapshot = SnapshotMode::kNever;
+  }
+  if (!options.use_overlay && p.commit_backend == CommitBackend::kOverlay) {
+    p.commit_backend = CommitBackend::kMutable;
+  }
+  return p;
+}
+#pragma GCC diagnostic pop
+
 namespace {
 
 MatchOptions BaseMatchOptions(const ValidationOptions& vopts) {
+  ExecutionPolicy policy = EffectiveExecutionPolicy(vopts);
   MatchOptions mopts;
   mopts.semantics = vopts.semantics;
   mopts.degree_filter = vopts.degree_filter;
   mopts.smart_order = vopts.smart_order;
-  mopts.use_intersection = vopts.use_intersection;
+  mopts.use_intersection = policy.join != JoinStrategy::kPickSmallest;
+  mopts.kernel_backend = policy.kernel;
   mopts.max_steps = vopts.max_steps_per_scan;
   mopts.obs = vopts.obs;
   return mopts;
@@ -534,7 +558,13 @@ namespace {
 constexpr size_t kFreezeSizeCutoff = 4096;
 
 bool ShouldFreeze(const Graph& g, const ValidationOptions& options) {
-  return options.freeze_snapshot && g.Size() >= kFreezeSizeCutoff;
+  ExecutionPolicy policy = EffectiveExecutionPolicy(options);
+  if (policy.snapshot == SnapshotMode::kNever) return false;
+  // An explicit leapfrog requirement always freezes: the k-way intersection
+  // only engages on the CSR's sorted columnar spans, so honoring the policy
+  // on a tiny graph beats amortizing the freeze.
+  if (policy.join == JoinStrategy::kLeapfrog) return true;
+  return g.Size() >= kFreezeSizeCutoff;
 }
 
 // RulesetPlan::Compile under the "PlanCompile" span, with plan-shape
@@ -570,7 +600,7 @@ ValidationReport ValidateWithPlanNoObs(const GView& g, const RulesetPlan& plan,
 template <typename GView>
 ValidationReport ValidateNoObs(const GView& g, const std::vector<Ged>& sigma,
                                const ValidationOptions& options) {
-  if (options.use_compiled_plan) {
+  if (EffectiveExecutionPolicy(options).plan == PlanMode::kCompiled) {
     return ValidateWithPlanNoObs(g, CompileWithObs(sigma, options), options);
   }
   if (options.num_threads <= 1) return ValidateSerialLegacy(g, sigma, options);
@@ -784,7 +814,7 @@ ValidationReport ValidateTouchingT(const GView& g,
                                    const std::vector<Ged>& sigma,
                                    const std::vector<NodeId>& touched,
                                    const ValidationOptions& options) {
-  if (options.use_compiled_plan) {
+  if (EffectiveExecutionPolicy(options).plan == PlanMode::kCompiled) {
     return ValidateTouchingWithPlanT(g, RulesetPlan::Compile(sigma), touched,
                                      options);
   }
@@ -875,7 +905,7 @@ std::vector<Violation> FindViolationsSeededByEdgesT(
     const GView& g, const std::vector<Ged>& sigma,
     const std::vector<EdgeTriple>& seeds, const ValidationOptions& options,
     uint64_t* checked) {
-  if (options.use_compiled_plan) {
+  if (EffectiveExecutionPolicy(options).plan == PlanMode::kCompiled) {
     return FindViolationsSeededByEdgesWithPlanT(g, RulesetPlan::Compile(sigma),
                                                 seeds, options, checked);
   }

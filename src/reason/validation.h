@@ -11,15 +11,15 @@
 // isomorphic patterns are bucketed into one batched enumeration with
 // per-rule condition callbacks, so a multi-rule Σ over few pattern shapes
 // pays one match-space walk per shape instead of one per rule. The legacy
-// per-GED path is kept behind ValidationOptions::use_compiled_plan = false;
+// per-GED path is kept behind ExecutionPolicy::plan = kPerRule;
 // the two paths produce bit-identical sorted reports (pinned by the
 // differential harness in tests/plan_diff_test.cc). The paper's future-work
 // item "parallel scalable algorithms" is implemented as a thread pool
 // partitioning the candidate bindings of one pattern variable — the most
 // selective one, by the label-index statistics of graph/.
 //
-// Full validation is read-only, so by default (ValidationOptions::
-// freeze_snapshot) the graph is first compiled into an immutable FrozenGraph
+// Full validation is read-only, so by default (ExecutionPolicy::snapshot,
+// above the amortization cutoff) the graph is first compiled into an immutable FrozenGraph
 // CSR snapshot (graph/frozen.h) and all workers scan its contiguous arrays;
 // the incremental building blocks below keep reading the mutable Graph,
 // whose listener hooks and delta-sized scans IncrementalValidator depends
@@ -35,6 +35,7 @@
 #include "graph/graph.h"
 #include "match/matcher.h"
 #include "plan/plan.h"
+#include "reason/policy.h"
 
 namespace ged {
 
@@ -54,6 +55,13 @@ inline bool ViolationLess(const Violation& a, const Violation& b) {
 }
 
 /// Knobs for Validate().
+///
+/// The deprecated alias members below make the compiler flag the struct's
+/// own implicitly synthesized constructors (their default initializers
+/// read deprecated fields). Suppress inside the definition only; reads and
+/// writes of the aliases in caller code still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ValidationOptions {
   /// Keep at most this many violations per GED (0 = all): the
   /// ViolationLess-smallest ones, deterministically — the same report for
@@ -70,37 +78,48 @@ struct ValidationOptions {
   /// Matcher toggles (for the ablation bench).
   bool degree_filter = true;
   bool smart_order = true;
-  /// Worst-case-optimal k-way candidate intersection in the matcher
-  /// (MatchOptions::use_intersection). Engages on FrozenGraph snapshots —
-  /// including the one freeze_snapshot builds — and is inert on mutable-
-  /// graph scans. Reports are identical either way; off = the legacy
-  /// pick-smallest-list candidate generator (ablation and differential
-  /// testing).
+  /// The coherent execution policy (reason/policy.h): join strategy, SIMD
+  /// kernel backend, plan mode, snapshot mode, incremental commit backend —
+  /// every knob the four deprecated booleans below used to cover, plus the
+  /// ones they could not express (require-leapfrog, forced kernel backend).
+  /// Validate with ValidateExecutionPolicy / IncrementalValidator::Create
+  /// to get InvalidArgument on inert combinations before work starts.
+  /// Entry points taking options resolve EffectiveExecutionPolicy(), so an
+  /// explicitly set policy field always beats a deprecated alias.
+  ///
+  /// Semantics the policy carries (formerly per-bool documentation):
+  ///   * join: worst-case-optimal k-way intersection vs the legacy
+  ///     pick-smallest-list generator. Reports are identical either way;
+  ///     kAuto leapfrogs wherever the backend has sorted columnar spans.
+  ///   * plan: shared ruleset plan vs legacy per-GED enumeration (kept for
+  ///     differential testing and ablation); reports are bit-identical.
+  ///   * snapshot: freeze a mutable Graph into a FrozenGraph CSR before
+  ///     full validation. The freeze costs one O(|V| + |E| log d) pass, so
+  ///     kAuto engages above an amortization cutoff (and always under
+  ///     join=kLeapfrog, which needs the CSR); kNever scans the mutable
+  ///     adjacency (freeze-cost studies). Full Validate on a mutable Graph
+  ///     only — incremental building blocks and FrozenGraph overloads are
+  ///     unaffected.
+  ///   * commit_backend: IncrementalValidator re-scans through an
+  ///     OverlayView delta overlay (CSR label ranges + leapfrog, like full
+  ///     validation) vs the mutable graph directly (pre-overlay baseline);
+  ///     reports are bit-identical (tests/overlay_test.cc).
+  ExecutionPolicy policy;
+  /// DEPRECATED aliases of `policy`, kept as thin fallbacks for one
+  /// release. Setting one to false maps onto the matching policy field
+  /// (use_intersection → join=kPickSmallest, use_compiled_plan →
+  /// plan=kPerRule, freeze_snapshot → snapshot=kNever, use_overlay →
+  /// commit_backend=kMutable) unless that field was set explicitly. See
+  /// the README "ExecutionPolicy migration" table.
+  [[deprecated("set ValidationOptions::policy.join instead")]]
   bool use_intersection = true;
-  /// Evaluate Σ through the shared ruleset plan (default). false = legacy
-  /// per-GED enumeration, kept for differential testing and ablation.
+  [[deprecated("set ValidationOptions::policy.plan instead")]]
   bool use_compiled_plan = true;
-  /// Compile the graph into an immutable FrozenGraph CSR snapshot
-  /// (graph/frozen.h) before scanning, and fan the parallel workers out over
-  /// its contiguous arrays (default). The freeze costs one O(|V| + |E| log d)
-  /// pass, so it engages only above a size cutoff where the CSR scan can
-  /// amortize it within the call (tiny fixture graphs skip it); reports are
-  /// bit-identical either way. Applies to full Validate/ValidateWithPlan on
-  /// a mutable Graph only: the incremental building blocks below always scan
-  /// the mutable graph directly (a per-commit freeze would dwarf the
-  /// delta-sized work IncrementalValidator does), and the FrozenGraph
-  /// overloads are already frozen. false = match straight over the mutable
-  /// adjacency (ablation and freeze-cost studies).
+  [[deprecated("set ValidationOptions::policy.snapshot instead")]]
   bool freeze_snapshot = true;
-  /// Incremental serving backend (IncrementalValidator only): mirror commits
-  /// into an OverlayView delta overlay (graph/overlay.h) — a frozen CSR base
-  /// plus a small copy-on-write side index — and run every commit re-scan on
-  /// it, so commits get the CSR label ranges and the leapfrog intersection
-  /// exactly like full validation does. Reports are bit-identical either
-  /// way (pinned by tests/overlay_test.cc). false = scan the mutable graph
-  /// directly (the pre-overlay behavior; ablation baseline).
+  [[deprecated("set ValidationOptions::policy.commit_backend instead")]]
   bool use_overlay = true;
-  /// Re-freeze cutoff (IncrementalValidator with use_overlay): once the
+  /// Re-freeze cutoff (IncrementalValidator, commit_backend=kOverlay): once
   /// overlay's side index outweighs this many entries (OverlayView::
   /// DeltaWeight), a background thread compacts it into a fresh FrozenGraph
   /// base and the validator swaps to a new overlay epoch at the next commit
@@ -119,6 +138,13 @@ struct ValidationOptions {
   /// report (pinned by tests/obs_test.cc).
   ObsOptions obs;
 };
+#pragma GCC diagnostic pop
+
+/// Resolves options.policy against the deprecated boolean aliases: a
+/// non-default bool overrides the matching policy field only when that
+/// field is still at its default (an explicit policy always wins). Every
+/// validation/incremental entry point reads the options through this.
+ExecutionPolicy EffectiveExecutionPolicy(const ValidationOptions& options);
 
 /// Validation outcome.
 struct ValidationReport {
@@ -136,18 +162,19 @@ struct ValidationReport {
   std::vector<size_t> aborted_geds;
 };
 
-/// Checks G ⊨ Σ, reporting violations. With options.freeze_snapshot (the
-/// default) the graph is frozen once and scanned through the CSR snapshot.
+/// Checks G ⊨ Σ, reporting violations. Under policy.snapshot = kAuto (the
+/// default) the graph is frozen once above the amortization cutoff and
+/// scanned through the CSR snapshot.
 ValidationReport Validate(const Graph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
 /// Checks a pre-frozen snapshot (the serving path: freeze once, validate
-/// many times — options.freeze_snapshot is moot here).
+/// many times — policy.snapshot is moot here).
 ValidationReport Validate(const FrozenGraph& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
 
 /// Validate() against a pre-compiled plan of the same Σ (amortizes
 /// compilation across repeated validations; incr/ holds one per validator).
-/// options.use_compiled_plan is ignored — the plan is always used.
+/// policy.plan is ignored — the plan is always used.
 ValidationReport ValidateWithPlan(const Graph& g, const RulesetPlan& plan,
                                   const ValidationOptions& options = {});
 /// Pre-frozen + pre-compiled: the fully amortized serving configuration.
@@ -156,7 +183,7 @@ ValidationReport ValidateWithPlan(const FrozenGraph& g,
                                   const ValidationOptions& options = {});
 
 /// Overlay overloads: scan a delta overlay (graph/overlay.h) directly — the
-/// base is already CSR, so freeze_snapshot is moot (never re-frozen here).
+/// base is already CSR, so policy.snapshot is moot (never re-frozen here).
 ValidationReport Validate(const OverlayView& g, const std::vector<Ged>& sigma,
                           const ValidationOptions& options = {});
 ValidationReport ValidateWithPlan(const OverlayView& g,

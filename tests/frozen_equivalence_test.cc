@@ -70,9 +70,9 @@ void ExpectSameReports(const Graph& g, const std::vector<Ged>& sigma,
       for (unsigned threads : {1u, 4u}) {
         ValidationOptions opts;
         opts.semantics = sem.semantics;
-        opts.use_compiled_plan = compiled;
+        opts.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
         opts.num_threads = threads;
-        opts.freeze_snapshot = false;  // mutable baseline, no auto-freeze
+        opts.policy.snapshot = SnapshotMode::kNever;  // mutable baseline
         ValidationReport base = Validate(g, sigma, opts);
         ValidationReport snap = Validate(f, sigma, opts);
         std::string ctx = what + " [" + sem.name +
@@ -159,7 +159,7 @@ TEST(FrozenEquivalence, CappedReportsAreIdentical) {
   FrozenGraph f = FrozenGraph::Freeze(kb.graph);
   ValidationOptions opts;
   opts.max_violations_per_ged = 2;
-  opts.freeze_snapshot = false;
+  opts.policy.snapshot = SnapshotMode::kNever;
   ValidationReport base = Validate(kb.graph, sigma, opts);
   ValidationReport snap = Validate(f, sigma, opts);
   EXPECT_EQ(base.violations, snap.violations);
@@ -206,8 +206,8 @@ TEST(FrozenEquivalence, FreezeSnapshotOptionMatchesMutablePath) {
   KbInstance kb = GenKnowledgeBase(params);
   std::vector<Ged> sigma = Example1Geds();
   ValidationOptions on, off;
-  on.freeze_snapshot = true;
-  off.freeze_snapshot = false;
+  on.policy.snapshot = SnapshotMode::kAuto;
+  off.policy.snapshot = SnapshotMode::kNever;
   ValidationReport a = Validate(kb.graph, sigma, on);
   ValidationReport b = Validate(kb.graph, sigma, off);
   EXPECT_EQ(a.satisfied, b.satisfied);

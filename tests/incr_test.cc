@@ -549,13 +549,14 @@ TEST(IncrementalValidator, AddedEqualsReportGrowthPlusRetracted) {
   }
 }
 
-// ----- use_intersection engages on the overlay (ablation) -------------------
+// ----- the leapfrog join engages on the overlay (ablation) ------------------
 
 TEST(IncrementalValidator, IntersectionEngagesOnOverlayCommits) {
   // Post-overlay, commit re-scans run on CSR spans, so the leapfrog kernel
   // must actually fire on a dense commit: lf_rounds strictly grows. With
-  // the overlay off, the mutable graph has no sorted spans and the counter
-  // must stay flat (the knob is inert — and diagnosed, see below).
+  // commit_backend=mutable the graph has no sorted spans and the counter
+  // must stay flat (join=auto degrades; an explicit leapfrog requirement
+  // is rejected — see below).
   DenseParams dp;
   dp.num_members = 128;
   dp.community_size = 32;
@@ -564,9 +565,9 @@ TEST(IncrementalValidator, IntersectionEngagesOnOverlayCommits) {
     ObsSession session;
     ValidationOptions opts;
     opts.obs = session.Options();
-    opts.use_overlay = overlay;
-    opts.use_intersection = true;
-    opts.freeze_snapshot = false;  // keep the initial pass off the CSR too
+    opts.policy.commit_backend =
+        overlay ? CommitBackend::kOverlay : CommitBackend::kMutable;
+    opts.policy.snapshot = SnapshotMode::kNever;  // initial pass off the CSR
     DenseInstance dense = GenDenseCommunity(dp);
     IncrementalValidator v(dense.graph, DenseCliqueGeds(), opts);
     uint64_t rounds_before =
@@ -597,34 +598,51 @@ TEST(IncrementalValidator, IntersectionEngagesOnOverlayCommits) {
   }
 }
 
-TEST(IncrementalValidator, InertIntersectionIsDiagnosed) {
-  // use_intersection && !use_overlay: accepted but can't engage — the
-  // constructor must say so through the structured log.
+TEST(IncrementalValidator, InertLeapfrogPolicyIsRejected) {
+  // join=leapfrog with commit_backend=mutable cannot engage: commit
+  // re-scans read the mutable graph, which has no sorted neighbor spans.
+  // What used to be a runtime "intersection_inert" warning is now a hard
+  // options-validation error, raised by Create() before any work starts.
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  ValidationOptions opts;
+  opts.policy.join = JoinStrategy::kLeapfrog;
+  opts.policy.commit_backend = CommitBackend::kMutable;
+  auto rejected = IncrementalValidator::Create(kb.graph, Example1Geds(), opts);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(rejected.status().message().find("commit_backend=mutable"),
+            std::string::npos)
+      << rejected.status().message();
+
+  // join=auto on the same backend means "the engine decides": accepted
+  // silently, degrading to the legacy generator where spans are missing.
+  opts.policy.join = JoinStrategy::kAuto;
+  auto accepted = IncrementalValidator::Create(kb.graph, Example1Geds(), opts);
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted.value()->policy().commit_backend,
+            CommitBackend::kMutable);
+  EXPECT_EQ(accepted.value()->policy().join, JoinStrategy::kAuto);
+
+  // The plain constructor cannot report failure, so it degrades the
+  // invalid policy to the nearest valid one and says so through the
+  // structured log.
   ObsSession session;
   std::vector<std::string> lines;
   LoggerOptions lopts;
-  lopts.min_level = LogLevel::kWarn;
+  lopts.min_level = LogLevel::kError;
   lopts.sink = [&lines](const std::string& line) { lines.push_back(line); };
   session.Log().Configure(std::move(lopts));
-  ValidationOptions opts;
   opts.obs = session.Options();
-  opts.use_overlay = false;
-  opts.use_intersection = true;
-  KbInstance kb = GenKnowledgeBase(KbParams{});
-  IncrementalValidator v(kb.graph, Example1Geds(), opts);
-  bool warned = false;
+  opts.policy.join = JoinStrategy::kLeapfrog;
+  IncrementalValidator degraded(kb.graph, Example1Geds(), opts);
+  EXPECT_EQ(degraded.policy().join, JoinStrategy::kAuto);
+  bool logged = false;
   for (const std::string& line : lines) {
-    if (line.find("intersection_inert") != std::string::npos) warned = true;
+    if (line.find("invalid_execution_policy") != std::string::npos) {
+      logged = true;
+    }
   }
-  EXPECT_TRUE(warned);
-
-  // With the overlay on, the same knobs are honored: no warning.
-  lines.clear();
-  opts.use_overlay = true;
-  IncrementalValidator v2(kb.graph, Example1Geds(), opts);
-  for (const std::string& line : lines) {
-    EXPECT_EQ(line.find("intersection_inert"), std::string::npos) << line;
-  }
+  EXPECT_TRUE(logged);
 }
 
 }  // namespace

@@ -10,6 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <random>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,6 +21,8 @@
 #include "gen/scenarios.h"
 #include "graph/frozen.h"
 #include "match/leapfrog.h"
+#include "match/kernels/kernel_impl.h"
+#include "match/kernels/registry.h"
 #include "match/matcher.h"
 #include "plan/plan.h"
 #include "reason/validation.h"
@@ -283,12 +289,12 @@ void ExpectSameReports(const Graph& g, const std::vector<Ged>& sigma,
       for (unsigned threads : {1u, 4u}) {
         ValidationOptions opts;
         opts.semantics = sem.semantics;
-        opts.use_compiled_plan = compiled;
+        opts.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
         opts.num_threads = threads;
-        opts.freeze_snapshot = false;
-        opts.use_intersection = true;
+        opts.policy.snapshot = SnapshotMode::kNever;
+        opts.policy.join = JoinStrategy::kAuto;
         ValidationReport with = Validate(f, sigma, opts);
-        opts.use_intersection = false;
+        opts.policy.join = JoinStrategy::kPickSmallest;
         ValidationReport without = Validate(f, sigma, opts);
         ValidationReport mutable_report = Validate(g, sigma, opts);
         std::string ctx = what + " [" + sem.name +
@@ -332,6 +338,300 @@ TEST(IntersectionEquivalence, RandomRulesetReports) {
     rp.seed = seed;
     ExpectSameReports(g, RandomGeds(4, rp),
                       "random seed " + std::to_string(seed));
+  }
+}
+
+
+// ----- kernel registry: dispatch --------------------------------------------
+
+TEST(KernelRegistry, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(KernelAvailable(KernelBackend::kScalar));
+  ASSERT_NE(GetKernel(KernelBackend::kScalar), nullptr);
+  EXPECT_EQ(GetKernel(KernelBackend::kScalar)->backend,
+            KernelBackend::kScalar);
+  std::vector<KernelBackend> avail = AvailableKernelBackends();
+  EXPECT_FALSE(avail.empty());
+  EXPECT_NE(std::find(avail.begin(), avail.end(), KernelBackend::kScalar),
+            avail.end());
+}
+
+TEST(KernelRegistry, DetectionPicksAnAvailableBackend) {
+  KernelBackend detected = DetectKernelBackend();
+  EXPECT_TRUE(KernelAvailable(detected));
+  // Detection-best ordering: the detected backend leads the list.
+  EXPECT_EQ(AvailableKernelBackends().front(), detected);
+}
+
+TEST(KernelRegistry, ResolutionNeverFails) {
+  // Every request — including backends this binary/host cannot serve and
+  // kAuto — resolves to a usable kernel; available explicit requests are
+  // honored exactly.
+  for (KernelBackend b :
+       {KernelBackend::kAuto, KernelBackend::kScalar, KernelBackend::kAvx2,
+        KernelBackend::kNeon}) {
+    const IntersectionKernel& k = ResolveKernel(b);
+    EXPECT_TRUE(KernelAvailable(k.backend)) << KernelBackendName(b);
+    if (KernelOverride() != KernelBackend::kAuto) {
+      // A process-wide override (e.g. CI's GEDLIB_KERNEL_BACKEND leg)
+      // beats every request by design.
+      EXPECT_EQ(k.backend, KernelOverride()) << KernelBackendName(b);
+    } else if (b != KernelBackend::kAuto && KernelAvailable(b)) {
+      EXPECT_EQ(k.backend, b) << KernelBackendName(b);
+    }
+  }
+}
+
+TEST(KernelRegistry, ScopedOverrideForcesEachAvailableBackend) {
+  // The single-binary dispatch requirement: the same process can be forced
+  // onto every backend it carries, and the override beats any request.
+  for (KernelBackend b : AvailableKernelBackends()) {
+    ScopedKernelOverride forced(b);
+    EXPECT_EQ(ResolveKernel().backend, b);
+    EXPECT_EQ(ResolveKernel(KernelBackend::kScalar).backend, b);
+    EXPECT_EQ(ResolveKernel(DetectKernelBackend()).backend, b);
+  }
+}
+
+TEST(KernelRegistry, UnavailableOverrideIsIgnored) {
+  KernelBackend missing = KernelBackend::kAuto;
+  for (KernelBackend b : {KernelBackend::kAvx2, KernelBackend::kNeon}) {
+    if (!KernelAvailable(b)) missing = b;
+  }
+  if (missing == KernelBackend::kAuto) {
+    GTEST_SKIP() << "every backend is available in this binary on this host";
+  }
+  KernelBackend before = KernelOverride();
+  EXPECT_FALSE(SetKernelOverride(missing));
+  EXPECT_EQ(KernelOverride(), before);
+}
+
+TEST(KernelRegistry, DispatchHonorsEnvOverride) {
+  // CI's kernel-matrix legs run this suite under
+  // GEDLIB_KERNEL_BACKEND=<backend>; assert the seeded override actually
+  // took. Without the variable the override must be clear.
+  const char* env = std::getenv("GEDLIB_KERNEL_BACKEND");
+  KernelBackend parsed = KernelBackend::kAuto;
+  if (env == nullptr || !ParseKernelBackend(env, &parsed) ||
+      !KernelAvailable(parsed)) {
+    EXPECT_EQ(KernelOverride(), KernelBackend::kAuto);
+    return;
+  }
+  EXPECT_EQ(KernelOverride(), parsed);
+  EXPECT_EQ(ResolveKernel().backend, parsed);
+}
+
+// ----- kernel differential: scalar ≡ SIMD on adversarial inputs -------------
+
+std::vector<NodeId> Kernel2(const IntersectionKernel& k,
+                            std::span<const NodeId> a,
+                            std::span<const NodeId> b,
+                            uint64_t* seeks = nullptr) {
+  std::vector<NodeId> out;
+  bool ran_dry = k.intersect2(
+      a, b,
+      [](void* ctx, NodeId v) {
+        static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+        return true;
+      },
+      &out, seeks);
+  EXPECT_TRUE(ran_dry);
+  return out;
+}
+
+std::vector<NodeId> KernelK(const IntersectionKernel& k,
+                            std::vector<std::vector<NodeId>> inputs) {
+  std::vector<std::span<const NodeId>> lists;
+  lists.reserve(inputs.size());
+  for (const auto& in : inputs) lists.emplace_back(in.data(), in.size());
+  std::vector<NodeId> out;
+  bool ran_dry = k.intersect_k(
+      std::span<std::span<const NodeId>>(lists.data(), lists.size()),
+      [](void* ctx, NodeId v) {
+        static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+        return true;
+      },
+      &out, nullptr);
+  EXPECT_TRUE(ran_dry);
+  return out;
+}
+
+std::vector<NodeId> Oracle2(const std::vector<NodeId>& a,
+                            const std::vector<NodeId>& b) {
+  std::vector<NodeId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<NodeId> RandomSortedUnique(std::mt19937& rng, size_t max_size,
+                                       NodeId max_value) {
+  std::uniform_int_distribution<size_t> size_dist(0, max_size);
+  std::uniform_int_distribution<NodeId> val_dist(0, max_value);
+  std::vector<NodeId> v(size_dist(rng));
+  for (NodeId& x : v) x = val_dist(rng);
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+TEST(KernelDifferential, AdversarialPairsMatchOracleOnEveryBackend) {
+  std::vector<NodeId> evens, odds, dense_block, sparse;
+  for (NodeId i = 0; i < 600; ++i) {
+    evens.push_back(2 * i);
+    odds.push_back(2 * i + 1);
+    dense_block.push_back(i);  // ≥ kBitmapMinSize on both sides → bitmap path
+  }
+  for (NodeId i = 0; i < 500; ++i) sparse.push_back(i * 97);
+  std::vector<NodeId> one = {299};
+  std::vector<NodeId> million;  // the 1-vs-10⁶ skew: pure gallop territory
+  million.reserve(1000000);
+  for (NodeId i = 0; i < 1000000; ++i) million.push_back(i);
+  std::vector<NodeId> high = {0xFFFFFF00u, 0xFFFFFFFEu, 0xFFFFFFFFu};
+  const std::vector<std::pair<std::vector<NodeId>, std::vector<NodeId>>>
+      cases = {
+          {evens, odds},                   // fully disjoint, interleaved
+          {evens, evens},                  // fully equal, bitmap-sized
+          {dense_block, evens},            // half-overlap, both dense
+          {dense_block, sparse},           // dense vs strided
+          {one, million}, {million, one},  // extreme skew, both directions
+          {{}, evens}, {evens, {}}, {{}, {}},  // empties
+          {high, high}, {high, evens},     // top-of-NodeId-range blocks
+      };
+  for (KernelBackend b : AvailableKernelBackends()) {
+    const IntersectionKernel& k = *GetKernel(b);
+    for (size_t i = 0; i < cases.size(); ++i) {
+      EXPECT_EQ(Kernel2(k, cases[i].first, cases[i].second),
+                Oracle2(cases[i].first, cases[i].second))
+          << k.name << " case " << i;
+    }
+  }
+}
+
+TEST(KernelDifferential, RandomizedIntersect2Fuzz) {
+  // Size/density sweep chosen to cross every strategy boundary: the 32×
+  // gallop skew ratio, the 256-element bitmap floor, and the 8-lane (4-lane
+  // NEON) vector merge with its scalar tail.
+  std::mt19937 rng(20170604);
+  for (int round = 0; round < 300; ++round) {
+    NodeId max_value = (round % 3 == 0) ? 700 : (round % 3 == 1 ? 5000 : 80);
+    size_t max_a = (round % 5 == 0) ? 4 : 600;  // occasional extreme skew
+    std::vector<NodeId> a = RandomSortedUnique(rng, max_a, max_value);
+    std::vector<NodeId> b = RandomSortedUnique(rng, 600, max_value);
+    std::vector<NodeId> want = Oracle2(a, b);
+    for (KernelBackend backend : AvailableKernelBackends()) {
+      EXPECT_EQ(Kernel2(*GetKernel(backend), a, b), want)
+          << GetKernel(backend)->name << " round " << round
+          << " |a|=" << a.size() << " |b|=" << b.size();
+    }
+  }
+}
+
+TEST(KernelDifferential, RandomizedIntersectKFuzz) {
+  std::mt19937 rng(981);
+  for (int round = 0; round < 150; ++round) {
+    size_t k = 2 + rng() % 4;  // 2..5 lists
+    std::vector<std::vector<NodeId>> lists;
+    for (size_t i = 0; i < k; ++i) {
+      lists.push_back(RandomSortedUnique(rng, 400, 300));
+    }
+    std::vector<NodeId> want = lists[0];
+    for (size_t i = 1; i < k; ++i) want = Oracle2(want, lists[i]);
+    for (KernelBackend backend : AvailableKernelBackends()) {
+      EXPECT_EQ(KernelK(*GetKernel(backend), lists), want)
+          << GetKernel(backend)->name << " round " << round << " k=" << k;
+    }
+  }
+}
+
+TEST(KernelDifferential, EarlyTerminationStopsEveryBackend) {
+  // The emit contract: candidates arrive in increasing order, a false
+  // return stops the kernel mid-flight, and the kernel reports the stop by
+  // returning false — on the pair path and the k-way filter path alike.
+  std::vector<NodeId> a, b;
+  for (NodeId i = 0; i < 512; ++i) a.push_back(i);
+  for (NodeId i = 0; i < 512; i += 2) b.push_back(i);
+  struct Ctx {
+    std::vector<NodeId> out;
+    size_t limit;
+  };
+  for (KernelBackend backend : AvailableKernelBackends()) {
+    const IntersectionKernel& k = *GetKernel(backend);
+    for (size_t limit : {size_t{1}, size_t{3}, size_t{17}, size_t{100}}) {
+      Ctx ctx{{}, limit};
+      bool ran_dry = k.intersect2(
+          a, b,
+          [](void* c, NodeId v) {
+            auto* x = static_cast<Ctx*>(c);
+            x->out.push_back(v);
+            return x->out.size() < x->limit;
+          },
+          &ctx, nullptr);
+      EXPECT_FALSE(ran_dry) << k.name << " limit " << limit;
+      std::vector<NodeId> want = Oracle2(a, b);
+      want.resize(limit);
+      EXPECT_EQ(ctx.out, want) << k.name << " limit " << limit;
+
+      std::vector<std::span<const NodeId>> lists = {
+          {a.data(), a.size()}, {b.data(), b.size()}, {a.data(), a.size()}};
+      Ctx kctx{{}, limit};
+      bool k_ran_dry = k.intersect_k(
+          std::span<std::span<const NodeId>>(lists.data(), lists.size()),
+          [](void* c, NodeId v) {
+            auto* x = static_cast<Ctx*>(c);
+            x->out.push_back(v);
+            return x->out.size() < x->limit;
+          },
+          &kctx, nullptr);
+      EXPECT_FALSE(k_ran_dry) << k.name << " k-way limit " << limit;
+      EXPECT_EQ(kctx.out, want) << k.name << " k-way limit " << limit;
+    }
+  }
+}
+
+TEST(KernelImpl, BlockBitmapMatchesOracleAcrossBlockBoundaries) {
+  // Direct coverage for the shared block-bitmap path: runs that straddle
+  // 64-value block boundaries, misaligned stretches that force the gallop
+  // skip, and a whole empty block in the middle.
+  std::vector<NodeId> a, b;
+  for (NodeId i = 60; i < 70; ++i) a.push_back(i);    // straddles blk 0/1
+  for (NodeId i = 300; i < 320; ++i) a.push_back(i);  // blocks 4..5
+  for (NodeId i = 63; i < 66; ++i) b.push_back(i);
+  for (NodeId i = 128; i < 192; ++i) b.push_back(i);  // full block a skips
+  for (NodeId i = 310; i < 400; ++i) b.push_back(i);
+  uint64_t seeks = 0;
+  std::vector<NodeId> out;
+  bool ran_dry = kernel_internal::BlockBitmapIntersect2(
+      {a.data(), a.size()}, {b.data(), b.size()},
+      [](void* ctx, NodeId v) {
+        static_cast<std::vector<NodeId>*>(ctx)->push_back(v);
+        return true;
+      },
+      &out, &seeks);
+  EXPECT_TRUE(ran_dry);
+  EXPECT_EQ(out, Oracle2(a, b));
+  EXPECT_GT(seeks, 0u);
+}
+
+// ----- GallopLowerBound boundary values -------------------------------------
+
+TEST(LeapfrogKernel, GallopLowerBoundBoundaryValues) {
+  // Exhaustive agreement with std::lower_bound on every probe-shape class:
+  // empty span, single element, powers of two and 2^k−1 sizes (the doubling
+  // cursor lands exactly on n, past n, and one short of n), and targets
+  // below, between, at, and past every element.
+  for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                   size_t{7}, size_t{8}, size_t{15}, size_t{16}, size_t{31},
+                   size_t{63}, size_t{127}, size_t{255}}) {
+    std::vector<NodeId> v(n);
+    for (size_t i = 0; i < n; ++i) v[i] = static_cast<NodeId>(2 * i + 1);
+    const NodeId* base = v.data();
+    const NodeId* end = v.data() + n;
+    for (NodeId target = 0; target <= static_cast<NodeId>(2 * n + 2);
+         ++target) {
+      EXPECT_EQ(GallopLowerBound(base, end, target),
+                std::lower_bound(base, end, target))
+          << "n=" << n << " target=" << target;
+    }
   }
 }
 

@@ -152,7 +152,7 @@ void ExpectObsDoesNotChangeReports(const Graph& g,
   for (bool compiled : {true, false}) {
     for (unsigned threads : {1u, 4u}) {
       ValidationOptions plain;
-      plain.use_compiled_plan = compiled;
+      plain.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
       plain.num_threads = threads;
       ValidationReport baseline = Validate(g, sigma, plain);
 
@@ -255,7 +255,7 @@ TEST(AbortPropagation, StepBudgetSurfacesAbortedGeds) {
 
   for (bool compiled : {true, false}) {
     ValidationOptions opts;
-    opts.use_compiled_plan = compiled;
+    opts.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
 
     // Unbudgeted (the default 0): nothing aborts.
     ValidationReport full = Validate(kb.graph, sigma, opts);

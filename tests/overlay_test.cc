@@ -199,10 +199,12 @@ void ExpectBackendsAgree(const Graph& g, const OverlayView& o,
         for (bool intersect : {true, false}) {
           ValidationOptions opts;
           opts.semantics = sem;
-          opts.use_compiled_plan = compiled;
+          opts.policy.plan =
+              compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
           opts.num_threads = threads;
-          opts.use_intersection = intersect;
-          opts.freeze_snapshot = false;
+          opts.policy.join =
+              intersect ? JoinStrategy::kAuto : JoinStrategy::kPickSmallest;
+          opts.policy.snapshot = SnapshotMode::kNever;
           std::string ctx =
               what + (sem == MatchSemantics::kHomomorphism ? " [hom" : " [iso") +
               (compiled ? ", compiled" : ", legacy") +
@@ -375,7 +377,8 @@ void RunRefreezeStream(unsigned threads, bool intersect, unsigned seed) {
   rp.seed = seed + 1;
   ValidationOptions opts;
   opts.num_threads = threads;
-  opts.use_intersection = intersect;
+  opts.policy.join =
+      intersect ? JoinStrategy::kAuto : JoinStrategy::kPickSmallest;
   // Tiny cutoff: every commit's side index trips a background re-freeze,
   // so the stream crosses many epoch swaps.
   opts.overlay_refreeze_cutoff = 1;

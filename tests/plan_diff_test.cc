@@ -143,9 +143,9 @@ TEST(RulesetPlan, EmptySigmaAndEmptyPattern) {
 
 void ExpectPathsAgree(const Graph& g, const std::vector<Ged>& sigma,
                       ValidationOptions opts) {
-  opts.use_compiled_plan = false;
+  opts.policy.plan = PlanMode::kPerRule;
   ValidationReport legacy = Validate(g, sigma, opts);
-  opts.use_compiled_plan = true;
+  opts.policy.plan = PlanMode::kCompiled;
   ValidationReport compiled = Validate(g, sigma, opts);
   EXPECT_EQ(compiled.satisfied, legacy.satisfied);
   EXPECT_EQ(compiled.violations, legacy.violations);
@@ -240,9 +240,9 @@ TEST(PlanDifferential, ValidateTouchingAgrees) {
     for (unsigned threads : {1u, 4u}) {
       ValidationOptions opts;
       opts.num_threads = threads;
-      opts.use_compiled_plan = false;
+      opts.policy.plan = PlanMode::kPerRule;
       ValidationReport legacy = ValidateTouching(g, sigma, touched, opts);
-      opts.use_compiled_plan = true;
+      opts.policy.plan = PlanMode::kCompiled;
       ValidationReport compiled = ValidateTouching(g, sigma, touched, opts);
       EXPECT_EQ(compiled.violations, legacy.violations);
       EXPECT_EQ(compiled.matches_checked, legacy.matches_checked);
@@ -271,10 +271,10 @@ TEST(PlanDifferential, SeededByEdgesAgrees) {
   ASSERT_FALSE(seeds.empty());
   ValidationOptions opts;
   uint64_t checked_legacy = 0, checked_compiled = 0;
-  opts.use_compiled_plan = false;
+  opts.policy.plan = PlanMode::kPerRule;
   std::vector<Violation> legacy =
       FindViolationsSeededByEdges(g, sigma, seeds, opts, &checked_legacy);
-  opts.use_compiled_plan = true;
+  opts.policy.plan = PlanMode::kCompiled;
   std::vector<Violation> compiled =
       FindViolationsSeededByEdges(g, sigma, seeds, opts, &checked_compiled);
   EXPECT_EQ(compiled, legacy);
@@ -342,11 +342,11 @@ void RunDifferentialStream(MatchSemantics sem, unsigned threads,
   ValidationOptions opts;
   opts.semantics = sem;
   opts.num_threads = threads;
-  opts.use_compiled_plan = true;
+  opts.policy.plan = PlanMode::kCompiled;
   IncrementalValidator v(RandomPropertyGraph(gp), sigma, opts);
 
   ValidationOptions legacy_opts = opts;
-  legacy_opts.use_compiled_plan = false;
+  legacy_opts.policy.plan = PlanMode::kPerRule;
   auto expect_matches_legacy = [&]() {
     ValidationReport oracle = Validate(v.graph(), v.sigma(), legacy_opts);
     EXPECT_EQ(v.report().satisfied, oracle.satisfied);

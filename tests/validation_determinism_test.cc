@@ -86,7 +86,7 @@ TEST(ValidationDeterminism, CapKeepsTheSmallestViolationsDeterministically) {
       ValidationOptions opts;
       opts.max_violations_per_ged = kCap;
       opts.num_threads = threads;
-      opts.use_compiled_plan = compiled;
+      opts.policy.plan = compiled ? PlanMode::kCompiled : PlanMode::kPerRule;
       ValidationReport capped = Validate(kb.graph, sigma, opts);
       EXPECT_EQ(capped.violations, expected)
           << threads << " threads, compiled=" << compiled;

@@ -30,6 +30,12 @@ Two modes:
          --slower  'BM_DensePattern/clique4_legacy/512' \
          --min-ratio 1.5
 
+   --skip-missing turns an absent --faster/--slower series into a pass
+   with a note instead of an error; the per-backend kernel-ablation
+   series (BM_KernelAblation/intersect2_avx2, ...) are registered only on
+   hosts whose CPU carries the backend, so their gates must not fail on
+   scalar-only runners.
+
 3. Overhead gate (--overhead): assert benchmarks are at most a small
    fraction slower than a baseline inside a single JSON file. --test /
    --max-overhead repeat to gate several series against the same --base in
@@ -60,7 +66,7 @@ import sys
 # come from an untimed profiled pass in bench_matcher_ablation — they pin
 # the leapfrog kernel's shape, not just its wall time.
 DETERMINISTIC_COUNTERS = ("search_steps", "matches", "matches_checked",
-                          "violations", "lf_seeks", "lf_fanin")
+                          "violations", "lf_seeks", "lf_fanin", "lf_rounds")
 COUNTER_SLACK = 0.01
 
 # Highest BENCH_*.json schema this tool understands (absent field = 1).
@@ -170,6 +176,12 @@ def diff_mode(args):
 
 def speedup_mode(args):
     _, benches = load(args.fresh)
+    if args.skip_missing:
+        missing = [n for n in (args.faster, args.slower) if n not in benches]
+        if missing:
+            print(f"skip: {', '.join(missing)} not in {args.fresh} "
+                  "(backend not available on this host); gate passes")
+            return 0
     try:
         fast, slow = benches[args.faster], benches[args.slower]
     except KeyError as e:
@@ -225,6 +237,11 @@ def main():
     ap.add_argument("--slower", help="benchmark name expected to be slower")
     ap.add_argument("--min-ratio", type=float, default=1.5,
                     help="required slower/faster time ratio (default 1.5)")
+    ap.add_argument("--skip-missing", action="store_true",
+                    help="speedup mode: pass with a note when --faster or "
+                         "--slower is absent from the JSON (per-backend "
+                         "series only exist on hosts that carry the "
+                         "backend)")
     ap.add_argument("--overhead", action="store_true",
                     help="overhead-gate mode (single JSON)")
     ap.add_argument("--base", help="overhead mode: baseline benchmark name")
