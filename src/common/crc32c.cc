@@ -1,0 +1,59 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace ged {
+
+namespace {
+
+// 8 tables of 256 entries: table[0] is the classic byte-at-a-time table for
+// the reflected Castagnoli polynomial; table[k] advances a byte's
+// contribution k extra bytes, enabling the slice-by-8 main loop.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 8> t;
+
+  constexpr Crc32cTables() : t{} {
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = t[0][i];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFF] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+constexpr Crc32cTables kTables;
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  const auto& t = kTables.t;
+  // Slice-by-8: fold 8 input bytes per iteration through the 8 tables.
+  while (n >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+          t[5][(crc >> 16) & 0xFF] ^ t[4][crc >> 24] ^ t[3][p[4]] ^
+          t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n--) {
+    crc = t[0][(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace ged

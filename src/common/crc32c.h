@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6A41 reflected to 0x82F63B78): the
+// checksum guarding WAL records (incr/wal.h) and checkpoint sections
+// (graph/io.h). Chosen over plain CRC32 for its better burst-error
+// detection and because it is the de-facto storage-format checksum
+// (RocksDB, leveldb, ext4), so externally written files stay verifiable.
+//
+// Portable slice-by-8 software implementation — fast enough that the WAL
+// append path is fsync- or memcpy-bound, never checksum-bound, with no ISA
+// dependency (the SIMD kernel registry pattern of match/kernels would be
+// overkill for this cold-ish path).
+
+#ifndef GEDLIB_COMMON_CRC32C_H_
+#define GEDLIB_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ged {
+
+/// CRC32C of `data[0, n)`, seeded with `crc` (pass 0 for a fresh checksum;
+/// pass a previous return value to extend it over concatenated buffers).
+uint32_t Crc32c(const void* data, size_t n, uint32_t crc = 0);
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_CRC32C_H_

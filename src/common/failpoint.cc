@@ -1,0 +1,304 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace ged {
+
+namespace {
+
+// splitmix64: small, seedable, and good enough for firing decisions — the
+// point is reproducibility, not statistical quality.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+struct FailpointRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::unique_ptr<Failpoint>> points;
+
+  static FailpointRegistry& Instance() {
+    static FailpointRegistry* reg = [] {
+      auto* r = new FailpointRegistry();
+      // Env activation happens exactly once, before any failpoint can be
+      // evaluated (every path into the registry funnels through here).
+      if (const char* spec = std::getenv("GEDLIB_FAILPOINTS");
+          spec != nullptr && *spec != '\0') {
+        if (Status s = failpoints::EnableFromSpec(spec); !s.ok()) {
+          std::cerr << "GEDLIB_FAILPOINTS: " << s.ToString() << "\n";
+        }
+      }
+      return r;
+    }();
+    return *reg;
+  }
+
+  Failpoint& GetOrCreate(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = points.find(std::string(name));
+    if (it == points.end()) {
+      it = points
+               .emplace(std::string(name),
+                        std::unique_ptr<Failpoint>(
+                            new Failpoint(std::string(name))))
+               .first;
+    }
+    return *it->second;
+  }
+
+  Failpoint* Find(std::string_view name) {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = points.find(std::string(name));
+    return it == points.end() ? nullptr : it->second.get();
+  }
+
+  // Friend-of-Failpoint helpers the failpoints:: free functions delegate to.
+  void Arm(Failpoint& fp, FailpointAction action) {
+    bool armed = action.kind != FailpointAction::Kind::kOff;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      fp.action_ = std::move(action);
+      fp.rng_state_ = fp.action_.seed;
+      fp.hits_.store(0, std::memory_order_relaxed);
+    }
+    fp.armed_.store(armed, std::memory_order_release);
+  }
+
+  void Disarm(Failpoint& fp) {
+    fp.armed_.store(false, std::memory_order_release);
+  }
+
+  void DisarmAll() {
+    std::lock_guard<std::mutex> lock(mu);
+    for (auto& [name, fp] : points) {
+      fp->armed_.store(false, std::memory_order_release);
+    }
+  }
+};
+
+Failpoint& Failpoint::Get(std::string_view name) {
+  return FailpointRegistry::Instance().GetOrCreate(name);
+}
+
+Status Failpoint::Fire() {
+  // Cold path: only reached when armed. The registry mutex guards the
+  // action and RNG (Enable may race a concurrent Fire).
+  FailpointAction action;
+  bool fire;
+  {
+    std::lock_guard<std::mutex> lock(FailpointRegistry::Instance().mu);
+    action = action_;
+    uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+    fire = action.kind != FailpointAction::Kind::kOff &&
+           (action.nth == 0 || hit == action.nth);
+    if (fire && action.probability < 1.0) {
+      double draw = static_cast<double>(NextRand(&rng_state_) >> 11) *
+                    (1.0 / 9007199254740992.0);  // uniform in [0, 1)
+      fire = draw < action.probability;
+    }
+  }
+  if (!fire) return Status::OK();
+  switch (action.kind) {
+    case FailpointAction::Kind::kOff:
+      break;
+    case FailpointAction::Kind::kError:
+      return Status(action.code, action.message.empty()
+                                     ? "injected failure at " + name_
+                                     : action.message);
+    case FailpointAction::Kind::kCrash:
+      // No atexit handlers, no stream flushes: the portable stand-in for
+      // SIGKILL the crash matrix recovers from.
+      std::_Exit(action.crash_exit_code);
+    case FailpointAction::Kind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(action.delay_ms));
+      break;
+  }
+  return Status::OK();
+}
+
+namespace failpoints {
+
+void Enable(std::string_view name, FailpointAction action) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  reg.Arm(reg.GetOrCreate(name), std::move(action));
+}
+
+void Disable(std::string_view name) {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  if (Failpoint* fp = reg.Find(name)) reg.Disarm(*fp);
+}
+
+void DisableAll() { FailpointRegistry::Instance().DisarmAll(); }
+
+uint64_t Hits(std::string_view name) {
+  Failpoint* fp = FailpointRegistry::Instance().Find(name);
+  return fp == nullptr ? 0 : fp->hits();
+}
+
+std::vector<std::string> Registered() {
+  FailpointRegistry& reg = FailpointRegistry::Instance();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    names.reserve(reg.points.size());
+    for (const auto& [name, fp] : reg.points) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+namespace {
+
+Status ParseEntry(std::string_view entry) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument("failpoint entry needs name=action: " +
+                                   std::string(entry));
+  }
+  std::string_view name = entry.substr(0, eq);
+  std::string_view rest = entry.substr(eq + 1);
+
+  // Peel the modifiers off the back: [ '@' nth ] [ '%' prob [ '#' seed ] ].
+  uint64_t nth = 0;
+  double probability = 1.0;
+  uint64_t seed = 0;
+  if (size_t pct = rest.find('%'); pct != std::string_view::npos) {
+    std::string_view prob_str = rest.substr(pct + 1);
+    rest = rest.substr(0, pct);
+    if (size_t hash = prob_str.find('#'); hash != std::string_view::npos) {
+      std::string_view seed_str = prob_str.substr(hash + 1);
+      prob_str = prob_str.substr(0, hash);
+      auto [p, ec] =
+          std::from_chars(seed_str.data(), seed_str.data() + seed_str.size(),
+                          seed);
+      if (ec != std::errc() || p != seed_str.data() + seed_str.size()) {
+        return Status::InvalidArgument("bad failpoint seed: " +
+                                       std::string(seed_str));
+      }
+    }
+    // std::from_chars for double is not universally available; strtod on a
+    // bounded copy is.
+    std::string prob_copy(prob_str);
+    char* end = nullptr;
+    probability = std::strtod(prob_copy.c_str(), &end);
+    if (end != prob_copy.c_str() + prob_copy.size() || probability < 0.0 ||
+        probability > 1.0) {
+      return Status::InvalidArgument("bad failpoint probability: " +
+                                     prob_copy);
+    }
+  }
+  if (size_t at = rest.find('@'); at != std::string_view::npos) {
+    std::string_view nth_str = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+    auto [p, ec] = std::from_chars(nth_str.data(),
+                                   nth_str.data() + nth_str.size(), nth);
+    if (ec != std::errc() || p != nth_str.data() + nth_str.size() ||
+        nth == 0) {
+      return Status::InvalidArgument("bad failpoint nth: " +
+                                     std::string(nth_str));
+    }
+  }
+
+  // Action word with optional parenthesized argument.
+  std::string_view word = rest;
+  std::string_view arg;
+  if (size_t paren = rest.find('('); paren != std::string_view::npos) {
+    if (rest.back() != ')') {
+      return Status::InvalidArgument("unterminated failpoint action: " +
+                                     std::string(rest));
+    }
+    word = rest.substr(0, paren);
+    arg = rest.substr(paren + 1, rest.size() - paren - 2);
+  }
+
+  FailpointAction action;
+  if (word == "off") {
+    action.kind = FailpointAction::Kind::kOff;
+  } else if (word == "error") {
+    action = FailpointAction::Error();
+    if (!arg.empty()) {
+      if (arg == "unavailable") {
+        action.code = StatusCode::kUnavailable;
+      } else if (arg == "dataloss") {
+        action.code = StatusCode::kDataLoss;
+      } else if (arg == "internal") {
+        action.code = StatusCode::kInternal;
+      } else if (arg == "resourceexhausted") {
+        action.code = StatusCode::kResourceExhausted;
+      } else if (arg == "invalidargument") {
+        action.code = StatusCode::kInvalidArgument;
+      } else {
+        return Status::InvalidArgument("unknown failpoint error code: " +
+                                       std::string(arg));
+      }
+    }
+  } else if (word == "crash") {
+    action = FailpointAction::Crash();
+    if (!arg.empty()) {
+      int exit_code = 0;
+      auto [p, ec] =
+          std::from_chars(arg.data(), arg.data() + arg.size(), exit_code);
+      if (ec != std::errc() || p != arg.data() + arg.size()) {
+        return Status::InvalidArgument("bad crash exit code: " +
+                                       std::string(arg));
+      }
+      action.crash_exit_code = exit_code;
+    }
+  } else if (word == "delay") {
+    uint32_t ms = 0;
+    auto [p, ec] = std::from_chars(arg.data(), arg.data() + arg.size(), ms);
+    if (arg.empty() || ec != std::errc() ||
+        p != arg.data() + arg.size()) {
+      return Status::InvalidArgument("delay needs delay(<ms>): " +
+                                     std::string(rest));
+    }
+    action = FailpointAction::Delay(ms);
+  } else {
+    return Status::InvalidArgument("unknown failpoint action: " +
+                                   std::string(rest));
+  }
+  action.nth = nth;
+  action.probability = probability;
+  action.seed = seed;
+  Enable(name, std::move(action));
+  return Status::OK();
+}
+
+}  // namespace
+
+Status EnableFromSpec(std::string_view spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t sep = spec.find(';', start);
+    if (sep == std::string_view::npos) sep = spec.size();
+    std::string_view entry = spec.substr(start, sep - start);
+    // Trim surrounding whitespace so multi-line env values read naturally.
+    while (!entry.empty() && (entry.front() == ' ' || entry.front() == '\n' ||
+                              entry.front() == '\t')) {
+      entry.remove_prefix(1);
+    }
+    while (!entry.empty() && (entry.back() == ' ' || entry.back() == '\n' ||
+                              entry.back() == '\t')) {
+      entry.remove_suffix(1);
+    }
+    if (!entry.empty()) GEDLIB_RETURN_IF_ERROR(ParseEntry(entry));
+    start = sep + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace failpoints
+
+}  // namespace ged

@@ -1,0 +1,212 @@
+// Named failpoints: deterministic fault injection for crash-safety tests.
+//
+// A failpoint is a named site in library code where a test (or the
+// GEDLIB_FAILPOINTS environment variable) can inject a failure:
+//
+//   Status WalWriter::Append(...) {
+//     GEDLIB_FAILPOINT("wal.append.write");   // may return an injected
+//     ...                                     // Status, sleep, or _Exit()
+//   }
+//
+// Per-point actions (FailpointAction):
+//   * kError — return an injected Status (configurable code/message) from
+//     the enclosing function;
+//   * kCrash — terminate the process immediately via std::_Exit (no atexit,
+//     no flushes: the closest portable stand-in for SIGKILL / power loss,
+//     which is exactly what the crash-recovery matrix needs);
+//   * kDelay — sleep, then continue OK (races / timeout paths).
+// Each action can be limited to the Nth armed hit (`nth`, 1-based) or fire
+// with a seeded probability (`probability` + `seed` — the same seed always
+// produces the same firing pattern, so "flaky disk" tests stay
+// reproducible).
+//
+// Activation:
+//   * test API: failpoints::Enable("wal.append.write", action),
+//     failpoints::Disable / DisableAll;
+//   * environment: GEDLIB_FAILPOINTS="wal.append.write=error;
+//     commit.wal_appended=crash@3" parsed once at first failpoint use —
+//     the hook the crash-matrix forks a child under.
+//
+// Cost discipline: a disabled failpoint is one relaxed atomic load (plus
+// the enclosing function-local-static guard), no branch taken — cheap
+// enough to leave compiled into release binaries, which is the point:
+// recovery code is only trustworthy if the same binary that serves traffic
+// can be made to fail on demand.
+//
+// Failpoints are process-global (like the interner): names are registered
+// lazily at first evaluation or first Enable, whichever comes first.
+
+#ifndef GEDLIB_COMMON_FAILPOINT_H_
+#define GEDLIB_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ged {
+
+/// Exit code kCrash terminates with by default; crash-matrix tests assert
+/// the child died with exactly this code (distinguishing an injected crash
+/// from an accidental abort).
+inline constexpr int kFailpointCrashExitCode = 42;
+
+/// What an armed failpoint does when evaluated.
+struct FailpointAction {
+  enum class Kind : uint8_t {
+    kOff,    ///< disarmed (Disable uses this)
+    kError,  ///< return Status(code, message) from the enclosing function
+    kCrash,  ///< std::_Exit(crash_exit_code) — simulated hard crash
+    kDelay,  ///< sleep delay_ms, then continue OK
+  };
+  Kind kind = Kind::kOff;
+  /// kError: injected status code. Default kUnavailable — the code the
+  /// durability layer maps transient IO failure to.
+  StatusCode code = StatusCode::kUnavailable;
+  /// kError: injected message ("" = "injected failure at <name>").
+  std::string message;
+  /// Fire only on the nth armed evaluation (1-based); 0 = every hit.
+  uint64_t nth = 0;
+  /// Chance of firing per (nth-eligible) hit, drawn from a per-point RNG
+  /// seeded with `seed` — deterministic across runs.
+  double probability = 1.0;
+  uint64_t seed = 0;
+  /// kDelay: sleep duration.
+  uint32_t delay_ms = 0;
+  /// kCrash: process exit code.
+  int crash_exit_code = kFailpointCrashExitCode;
+
+  static FailpointAction Error(StatusCode code = StatusCode::kUnavailable,
+                               std::string message = "") {
+    FailpointAction a;
+    a.kind = Kind::kError;
+    a.code = code;
+    a.message = std::move(message);
+    return a;
+  }
+  static FailpointAction Crash(int exit_code = kFailpointCrashExitCode) {
+    FailpointAction a;
+    a.kind = Kind::kCrash;
+    a.crash_exit_code = exit_code;
+    return a;
+  }
+  static FailpointAction Delay(uint32_t ms) {
+    FailpointAction a;
+    a.kind = Kind::kDelay;
+    a.delay_ms = ms;
+    return a;
+  }
+  /// The Nth-hit variant of this action (1-based).
+  FailpointAction OnNthHit(uint64_t n) const {
+    FailpointAction a = *this;
+    a.nth = n;
+    return a;
+  }
+  /// The seeded-probability variant of this action.
+  FailpointAction WithProbability(double p, uint64_t seed_value) const {
+    FailpointAction a = *this;
+    a.probability = p;
+    a.seed = seed_value;
+    return a;
+  }
+};
+
+/// One named injection site. Library code never constructs these directly —
+/// the GEDLIB_FAILPOINT macros do, via Get().
+class Failpoint {
+ public:
+  /// The registry entry for `name`, created on first use. The reference is
+  /// stable for the process lifetime.
+  static Failpoint& Get(std::string_view name);
+
+  /// True iff an action is armed. One relaxed load; the macros gate Fire()
+  /// on it so disarmed sites never take the slow path.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Evaluates the armed action: counts the hit, applies nth/probability
+  /// gating, then errors / crashes / delays. Returns OK when the action did
+  /// not fire (or was a delay). Called by the macros only when armed().
+  Status Fire();
+
+  /// Armed evaluations so far (counted whether or not the action fired;
+  /// reset by Enable). Crash-matrix tests use this to prove a point sits on
+  /// the executed path before relying on it.
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  explicit Failpoint(std::string name) : name_(std::move(name)) {}
+  friend struct FailpointRegistry;
+
+  std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> hits_{0};
+  // Action + RNG guarded by a mutex in failpoint.cc (cold path only).
+  FailpointAction action_;
+  uint64_t rng_state_ = 0;
+};
+
+namespace failpoints {
+
+/// Arms `name` with `action` (replacing any previous action; hit count
+/// resets). Enable with Kind::kOff is Disable.
+void Enable(std::string_view name, FailpointAction action);
+/// Disarms `name` (no-op if unknown).
+void Disable(std::string_view name);
+/// Disarms every registered failpoint (test teardown).
+void DisableAll();
+/// Armed evaluations of `name` so far (0 if never registered).
+uint64_t Hits(std::string_view name);
+/// Names registered so far (sites evaluated or enabled), sorted.
+std::vector<std::string> Registered();
+
+/// Parses and arms a `;`-separated activation spec, the GEDLIB_FAILPOINTS
+/// grammar:
+///
+///   spec    := entry (';' entry)*
+///   entry   := name '=' action modifiers
+///   action  := 'off' | 'error' | 'error(' code ')'
+///            | 'crash' | 'crash(' int ')' | 'delay(' ms ')'
+///   code    := 'unavailable' | 'dataloss' | 'internal'
+///            | 'resourceexhausted' | 'invalidargument'
+///   modifiers := [ '@' nth ] [ '%' probability [ '#' seed ] ]
+///
+/// e.g. "wal.append.write=error@3;refreeze.freeze=error%0.25#7;
+/// commit.wal_appended=crash". Returns InvalidArgument naming the first
+/// malformed entry; entries before it are already armed.
+Status EnableFromSpec(std::string_view spec);
+
+}  // namespace failpoints
+
+/// Injection site in a function returning Status or Result<T>: an armed
+/// kError action returns the injected status from the enclosing function;
+/// kCrash exits the process; kDelay sleeps. Disabled cost: one relaxed
+/// atomic load.
+#define GEDLIB_FAILPOINT(name)                                            \
+  do {                                                                    \
+    static ::ged::Failpoint& gedlib_fp = ::ged::Failpoint::Get(name);     \
+    if (gedlib_fp.armed()) {                                              \
+      ::ged::Status gedlib_fp_status = gedlib_fp.Fire();                  \
+      if (!gedlib_fp_status.ok()) return gedlib_fp_status;                \
+    }                                                                     \
+  } while (0)
+
+/// Injection site on a path that cannot propagate Status (void functions,
+/// background workers that handle failure themselves): kCrash and kDelay
+/// behave as above, kError is evaluated into `status_out` (a ged::Status
+/// lvalue) for the caller to handle.
+#define GEDLIB_FAILPOINT_STATUS(name, status_out)                         \
+  do {                                                                    \
+    static ::ged::Failpoint& gedlib_fp = ::ged::Failpoint::Get(name);     \
+    if (gedlib_fp.armed()) {                                              \
+      (status_out) = gedlib_fp.Fire();                                    \
+    }                                                                     \
+  } while (0)
+
+}  // namespace ged
+
+#endif  // GEDLIB_COMMON_FAILPOINT_H_

@@ -22,6 +22,10 @@ enum class StatusCode {
   kResourceExhausted, ///< A configured cap (steps, matches, ...) was hit.
   kInternal,          ///< Invariant violation inside the library.
   kUnknown,           ///< A decision procedure could not decide (see ext/).
+  kUnavailable,       ///< A required service (WAL, disk) cannot serve now;
+                      ///< retrying after the cause clears may succeed.
+  kDataLoss,          ///< Unrecoverable corruption in durable state (bad
+                      ///< checksum, gap in the log) — not retryable.
 };
 
 /// Result status of a fallible operation: either OK or a code plus message.
@@ -59,6 +63,14 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  /// Returns a kUnavailable status with the given message.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Returns a kDataLoss status with the given message.
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   /// True iff the operation succeeded.
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -82,6 +94,8 @@ class Status {
       case StatusCode::kResourceExhausted: return "ResourceExhausted";
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kUnknown: return "Unknown";
+      case StatusCode::kUnavailable: return "Unavailable";
+      case StatusCode::kDataLoss: return "DataLoss";
     }
     return "?";
   }

@@ -79,6 +79,20 @@ class GraphDelta {
 
   // ----- inspection -----------------------------------------------------
 
+  /// One recorded AddEdge (endpoints may be provisional ids).
+  struct EdgeOp {
+    NodeId src;
+    Label label;
+    NodeId dst;
+    bool operator==(const EdgeOp&) const = default;
+  };
+  /// One recorded SetAttr.
+  struct AttrOp {
+    NodeId v;
+    AttrId attr;
+    Value value;
+  };
+
   size_t base_num_nodes() const { return base_num_nodes_; }
   size_t NumNewNodes() const { return new_nodes_.size(); }
   size_t NumNewEdges() const { return new_edges_.size(); }
@@ -86,6 +100,14 @@ class GraphDelta {
   bool Empty() const {
     return new_nodes_.empty() && new_edges_.empty() && attr_ops_.empty();
   }
+
+  /// The recorded operations, in recording order — the WAL codec
+  /// (incr/wal.h) serializes exactly these, and replaying them through the
+  /// recording API reproduces an equivalent delta (labels and attribute
+  /// names travel as strings on disk because Symbols are process-local).
+  const std::vector<Label>& new_node_labels() const { return new_nodes_; }
+  const std::vector<EdgeOp>& edge_ops() const { return new_edges_; }
+  const std::vector<AttrOp>& attr_ops() const { return attr_ops_; }
 
   // ----- commit ---------------------------------------------------------
 
@@ -132,12 +154,6 @@ class GraphDelta {
   template <typename GBackend>
   Result<Applied> ApplyT(GBackend* g) const;
 
-  struct EdgeOp {
-    NodeId src;
-    Label label;
-    NodeId dst;
-    bool operator==(const EdgeOp&) const = default;
-  };
   struct EdgeOpHash {
     size_t operator()(const EdgeOp& e) const {
       uint64_t h = uint64_t{e.src} * 0x9e3779b97f4a7c15ULL;
@@ -146,12 +162,6 @@ class GraphDelta {
       return static_cast<size_t>(h);
     }
   };
-  struct AttrOp {
-    NodeId v;
-    AttrId attr;
-    Value value;
-  };
-
   size_t base_num_nodes_;
   std::optional<uint64_t> epoch_;
   std::vector<Label> new_nodes_;

@@ -4,6 +4,9 @@
 #include <iterator>
 #include <utility>
 
+#include "common/failpoint.h"
+#include "graph/io.h"
+
 namespace ged {
 
 IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
@@ -43,7 +46,38 @@ IncrementalValidator::IncrementalValidator(Graph g, std::vector<Ged> sigma,
                                FrozenGraph::Freeze(graph_, options_.obs)),
                            /*epoch=*/0);
   }
+  OpenWal();
   report_ = RevalidateFull();
+}
+
+void IncrementalValidator::OpenWal() {
+  if (!options_.durability.enabled()) return;
+  Result<std::unique_ptr<WalWriter>> wal = WalWriter::Open(options_.durability);
+  if (wal.ok()) {
+    wal_ = std::move(wal.value());
+    return;
+  }
+  // Fail closed: commits will be rejected with kUnavailable rather than
+  // silently running without durability.
+  wal_error_ = wal.status().message();
+  if (StructuredLogger* logger = options_.obs.Log()) {
+    logger->Log(LogLevel::kError, "wal_open_failed",
+                {{"dir", options_.durability.dir}, {"error", wal_error_}});
+  }
+}
+
+void IncrementalValidator::MirrorWalMetrics() {
+  MetricsRegistry* metrics = options_.obs.Metrics();
+  if (metrics == nullptr || wal_ == nullptr) return;
+  const WalWriter::Stats& now = wal_->stats();
+  metrics->Inc(EngineMetric::kWalAppends, now.appends - wal_mirrored_.appends);
+  metrics->Inc(EngineMetric::kWalBytes, now.bytes - wal_mirrored_.bytes);
+  metrics->Inc(EngineMetric::kWalFsyncs, now.fsyncs - wal_mirrored_.fsyncs);
+  metrics->Inc(EngineMetric::kWalRotations,
+               now.rotations - wal_mirrored_.rotations);
+  metrics->Inc(EngineMetric::kWalFailures,
+               now.failures - wal_mirrored_.failures);
+  wal_mirrored_ = now;
 }
 
 Result<std::unique_ptr<IncrementalValidator>> IncrementalValidator::Create(
@@ -51,9 +85,83 @@ Result<std::unique_ptr<IncrementalValidator>> IncrementalValidator::Create(
   Status s = ValidateExecutionPolicy(EffectiveExecutionPolicy(options),
                                      ExecutionSurface::kIncremental);
   if (!s.ok()) return s;
-  return std::make_unique<IncrementalValidator>(std::move(g),
-                                                std::move(sigma),
-                                                std::move(options));
+  auto v = std::make_unique<IncrementalValidator>(std::move(g),
+                                                  std::move(sigma),
+                                                  std::move(options));
+  if (v->options_.durability.enabled() && !v->durable()) {
+    return Status::Unavailable("cannot open commit WAL in '" +
+                               v->options_.durability.dir +
+                               "': " + v->wal_error_);
+  }
+  return v;
+}
+
+Result<std::unique_ptr<IncrementalValidator>> IncrementalValidator::Recover(
+    std::vector<Ged> sigma, ValidationOptions options,
+    RecoveryStats* recovery) {
+  if (options.durability.dir.empty()) {
+    return Status::InvalidArgument(
+        "Recover requires options.durability.dir to be set");
+  }
+  const std::string& dir = options.durability.dir;
+  RecoveryStats rs;
+
+  // Newest loadable checkpoint seeds the graph; an unreadable newest one
+  // falls back to its predecessor (the WAL still covers the distance). If
+  // checkpoints exist but none loads, that is data loss, not a cold start.
+  Graph g;
+  std::vector<CheckpointInfo> checkpoints = ListCheckpoints(dir);
+  if (!checkpoints.empty()) {
+    Status last_error = Status::OK();
+    for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+      Result<Checkpoint> loaded = LoadCheckpoint(dir + "/" + it->name);
+      if (loaded.ok()) {
+        g = std::move(loaded.value().graph);
+        rs.from_checkpoint = true;
+        rs.checkpoint_epoch = loaded.value().epoch;
+        break;
+      }
+      last_error = loaded.status();
+      if (StructuredLogger* logger = options.obs.Log()) {
+        logger->Log(LogLevel::kWarn, "checkpoint_unreadable",
+                    {{"file", it->name}, {"error", last_error.message()}});
+      }
+    }
+    if (!rs.from_checkpoint) return last_error;
+  }
+
+  Result<WalReplayStats> replay = ReplayWal(
+      dir, rs.checkpoint_epoch,
+      [&g](uint64_t /*epoch*/, const GraphDelta& delta) {
+        Result<GraphDelta::Applied> applied = delta.Apply(&g);
+        return applied.ok() ? Status::OK() : applied.status();
+      });
+  if (!replay.ok()) return replay.status();
+  rs.wal_records_replayed = replay.value().records_replayed;
+  rs.wal_records_skipped = replay.value().records_skipped;
+  rs.torn_tail_dropped = replay.value().torn_tail_dropped;
+  rs.recovered_epoch = replay.value().last_epoch;
+
+  if (MetricsRegistry* metrics = options.obs.Metrics()) {
+    metrics->Inc(EngineMetric::kRecoveryRuns);
+    metrics->Inc(EngineMetric::kRecoveryReplayed, rs.wal_records_replayed);
+  }
+  if (StructuredLogger* logger = options.obs.Log()) {
+    logger->Log(LogLevel::kInfo, "recovered",
+                {{"dir", dir},
+                 {"from_checkpoint", rs.from_checkpoint},
+                 {"checkpoint_epoch", rs.checkpoint_epoch},
+                 {"replayed", rs.wal_records_replayed},
+                 {"torn_tail_dropped", rs.torn_tail_dropped},
+                 {"epoch", rs.recovered_epoch}});
+  }
+
+  Result<std::unique_ptr<IncrementalValidator>> v =
+      Create(std::move(g), std::move(sigma), std::move(options));
+  if (!v.ok()) return v.status();
+  v.value()->commit_epoch_ = rs.recovered_epoch;
+  if (recovery != nullptr) *recovery = rs;
+  return v;
 }
 
 IncrementalValidator::~IncrementalValidator() {
@@ -62,8 +170,7 @@ IncrementalValidator::~IncrementalValidator() {
 
 bool IncrementalValidator::FinishRefreeze() {
   if (!refreeze_running_) return false;
-  AdoptRefreeze();
-  return true;
+  return AdoptRefreeze();
 }
 
 void IncrementalValidator::MaybeAdoptRefreeze() {
@@ -72,13 +179,35 @@ void IncrementalValidator::MaybeAdoptRefreeze() {
   }
 }
 
-void IncrementalValidator::AdoptRefreeze() {
+bool IncrementalValidator::AdoptRefreeze() {
   ScopedSpan span(options_.obs.Trace(), "RefreezeAdopt");
   // join() synchronizes with the worker's completion, so every write it
   // made (including refreeze_result_) is visible below.
   refreeze_thread_.join();
   refreeze_running_ = false;
   refreeze_done_.store(false, std::memory_order_relaxed);
+  if (refreeze_result_ == nullptr) {
+    // The worker failed (injected fault). Degrade, don't crash: the current
+    // overlay keeps serving — it mirrors graph_ exactly — and the next
+    // attempt waits out a capped commit-counted backoff.
+    pending_.clear();
+    ++stats_.refreezes_failed;
+    ++refreeze_fail_streak_;
+    refreeze_cooldown_ = std::min<uint64_t>(
+        uint64_t{1} << std::min<uint64_t>(refreeze_fail_streak_, 6), 64);
+    if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+      metrics->Inc(EngineMetric::kRefreezeFailures);
+    }
+    if (StructuredLogger* logger = options_.obs.Log()) {
+      logger->Log(LogLevel::kWarn, "refreeze_failed",
+                  {{"error", refreeze_error_},
+                   {"fail_streak", refreeze_fail_streak_},
+                   {"backoff_commits", refreeze_cooldown_}});
+    }
+    refreeze_error_.clear();
+    return false;
+  }
+  refreeze_fail_streak_ = 0;
   OverlayView fresh(std::move(refreeze_result_), overlay_.epoch() + 1);
   // Replay the deltas committed while the freeze ran: their base node
   // counts line up in sequence with the snapshot the freeze compacted, so
@@ -94,17 +223,23 @@ void IncrementalValidator::AdoptRefreeze() {
   if (!ok) {
     // Unreachable by construction; resync rather than serve a diverged view.
     RebuildOverlay();
-    return;
+    return true;
   }
   overlay_ = std::move(fresh);
   ++stats_.refreezes_adopted;
   if (MetricsRegistry* metrics = options_.obs.Metrics()) {
     metrics->Inc(EngineMetric::kRefreezeAdopted);
   }
+  return true;
 }
 
 void IncrementalValidator::MaybeStartRefreeze() {
   if (refreeze_running_ || options_.overlay_refreeze_cutoff == 0) return;
+  if (refreeze_cooldown_ > 0) {
+    // Backing off after a failed re-freeze; each commit ticks it down.
+    --refreeze_cooldown_;
+    return;
+  }
   if (overlay_.DeltaWeight() < options_.overlay_refreeze_cutoff) return;
   refreeze_done_.store(false, std::memory_order_relaxed);
   refreeze_running_ = true;
@@ -115,11 +250,49 @@ void IncrementalValidator::MaybeStartRefreeze() {
   // The snapshot copy is cheap: a shared base pointer plus a side index
   // bounded by the cutoff. The worker compacts it while commits keep
   // landing on overlay_; adoption happens at a later commit boundary.
-  refreeze_thread_ = std::thread([this, snapshot = overlay_]() {
+  // `ckpt_epoch` pins the commit epoch the snapshot captures — the WAL
+  // suffix with epochs beyond it completes the durable state.
+  refreeze_thread_ = std::thread([this, snapshot = overlay_,
+                                  ckpt_epoch = commit_epoch_]() {
     ScopedSpan span(options_.obs.Trace(), "Refreeze");
     int64_t start_ns = MonotonicNowNs();
+    Status injected;
+    GEDLIB_FAILPOINT_STATUS("refreeze.worker", injected);
+    if (!injected.ok()) {
+      // Publish the failure instead of a result; the adopting thread
+      // degrades gracefully (keeps serving, retries with backoff).
+      refreeze_error_ = injected.message();
+      refreeze_result_ = nullptr;
+      refreeze_done_.store(true, std::memory_order_release);
+      return;
+    }
     refreeze_result_ = std::make_shared<FrozenGraph>(
         FrozenGraph::Freeze(snapshot, options_.obs));
+    // Piggyback a checkpoint on the compaction we just paid for. Failure
+    // is non-fatal: the WAL alone still recovers every commit.
+    if (wal_ != nullptr && options_.durability.checkpoints) {
+      Result<std::string> saved = SaveCheckpoint(
+          *refreeze_result_, ckpt_epoch, options_.durability.dir);
+      if (saved.ok()) {
+        checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+          metrics->Inc(EngineMetric::kCheckpointWrites);
+        }
+        // Best-effort GC of state the new checkpoint supersedes.
+        (void)RemoveObsoleteCheckpoints(options_.durability.dir, ckpt_epoch);
+        (void)RemoveObsoleteWalSegments(options_.durability.dir, ckpt_epoch);
+      } else {
+        checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+        if (MetricsRegistry* metrics = options_.obs.Metrics()) {
+          metrics->Inc(EngineMetric::kCheckpointFailures);
+        }
+        if (StructuredLogger* logger = options_.obs.Log()) {
+          logger->Log(LogLevel::kWarn, "checkpoint_failed",
+                      {{"epoch", ckpt_epoch},
+                       {"error", saved.status().message()}});
+        }
+      }
+    }
     if (MetricsRegistry* metrics = options_.obs.Metrics()) {
       metrics->Observe(
           EngineMetric::kRefreezeWallNs,
@@ -154,6 +327,35 @@ Result<GraphDelta::Applied> IncrementalValidator::Commit(
         std::to_string(*delta.bound_epoch()) + ", validator is at epoch " +
         std::to_string(commit_epoch_));
   }
+
+  // Durability: append to the WAL *before* the in-memory apply, so the log
+  // is always ≥ the in-memory state. A failed append rejects the commit
+  // with kUnavailable and leaves graph and report untouched — the caller
+  // may retry; recovery may replay a record the crashed process never got
+  // to apply (at-least-once, the safe direction).
+  if (options_.durability.enabled()) {
+    if (wal_ == nullptr) {
+      return Status::Unavailable("commit WAL unavailable: " + wal_error_);
+    }
+    // Validate first: an invalid delta must be rejected by its own error,
+    // not logged durably and then refused by Apply.
+    GEDLIB_RETURN_IF_ERROR(delta.Check(graph_));
+    Status wal_status = wal_->Append(delta, commit_epoch_ + 1);
+    MirrorWalMetrics();
+    if (!wal_status.ok()) {
+      if (StructuredLogger* logger = options_.obs.Log()) {
+        logger->Log(LogLevel::kWarn, "wal_append_failed",
+                    {{"epoch", commit_epoch_ + 1},
+                     {"error", wal_status.message()}});
+      }
+      return Status::Unavailable("WAL append failed, commit rejected: " +
+                                 wal_status.message());
+    }
+    // Crash window for the fault matrix: the record is durable, the apply
+    // has not happened — recovery must replay it.
+    GEDLIB_FAILPOINT("commit.wal_appended");
+  }
+
   Result<GraphDelta::Applied> applied = delta.Apply(&graph_);
   if (!applied.ok()) return applied;
   ++commit_epoch_;

@@ -57,6 +57,7 @@
 #include "graph/graph.h"
 #include "graph/overlay.h"
 #include "incr/delta.h"
+#include "incr/wal.h"
 #include "plan/plan.h"
 #include "reason/validation.h"
 
@@ -82,6 +83,29 @@ class IncrementalValidator {
   /// to intersect) with Status::InvalidArgument before any work starts.
   static Result<std::unique_ptr<IncrementalValidator>> Create(
       Graph g, std::vector<Ged> sigma, ValidationOptions options = {});
+
+  /// Recovery outcome metadata (Recover's optional out-parameter).
+  struct RecoveryStats {
+    bool from_checkpoint = false;      ///< a checkpoint seeded the graph
+    uint64_t checkpoint_epoch = 0;     ///< its commit epoch (0 when absent)
+    uint64_t wal_records_replayed = 0;
+    uint64_t wal_records_skipped = 0;  ///< already covered by the checkpoint
+    bool torn_tail_dropped = false;    ///< a truncated final record was cut
+    uint64_t recovered_epoch = 0;      ///< the validator's commit epoch now
+  };
+
+  /// Rebuilds a validator from the durable state under
+  /// `options.durability.dir` (which must be set): newest loadable
+  /// checkpoint + WAL-suffix replay, then one full Validate() seeds the
+  /// live report — bit-identical to the report of a process that never
+  /// crashed at the same commit epoch. A missing or empty directory is a
+  /// clean cold start (empty graph, epoch 0). Corrupted state (checksum
+  /// mismatch, epoch gap) fails with kDataLoss rather than serving a
+  /// silently wrong graph. The recovered validator keeps appending to the
+  /// same directory.
+  static Result<std::unique_ptr<IncrementalValidator>> Recover(
+      std::vector<Ged> sigma, ValidationOptions options,
+      RecoveryStats* recovery = nullptr);
 
   /// Joins any in-flight background re-freeze.
   ~IncrementalValidator();
@@ -149,8 +173,26 @@ class IncrementalValidator {
     // Re-freeze lifecycle totals (use_overlay only).
     uint64_t refreezes_started = 0;
     uint64_t refreezes_adopted = 0;
+    // Background re-freezes that failed (injected faults / checkpoint IO).
+    // The validator keeps serving the current overlay and retries after a
+    // capped backoff — a failure here never loses commits.
+    uint64_t refreezes_failed = 0;
   };
   const CommitStats& last_commit() const { return stats_; }
+
+  /// True when commits are written ahead to a WAL (durability configured
+  /// and the log opened successfully).
+  bool durable() const { return wal_ != nullptr; }
+  /// The WAL writer, for stats inspection (null when not durable).
+  const WalWriter* wal() const { return wal_.get(); }
+  /// Checkpoints written / failed by background re-freezes (atomic: the
+  /// re-freeze worker writes them).
+  uint64_t checkpoints_written() const {
+    return checkpoints_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_failures() const {
+    return checkpoint_failures_.load(std::memory_order_relaxed);
+  }
 
   /// Applies `delta` atomically and maintains the report incrementally.
   /// On error (stale epoch, stale base, id out of range) neither graph nor
@@ -167,7 +209,15 @@ class IncrementalValidator {
   // to the new overlay epoch (replaying deltas committed in the meantime).
   void MaybeAdoptRefreeze();
   // Blocking adoption of the finished (or still-running) re-freeze thread.
-  void AdoptRefreeze();
+  // Returns false when the worker failed (degraded: current overlay keeps
+  // serving, retry after a capped backoff).
+  bool AdoptRefreeze();
+  // Opens the WAL when options_.durability is enabled; on failure leaves
+  // wal_ null with the reason in wal_error_ (Commit then rejects with
+  // kUnavailable instead of silently running non-durably).
+  void OpenWal();
+  // Forwards WalWriter::Stats growth into the wal.* metrics.
+  void MirrorWalMetrics();
   // Starts a background re-freeze when the overlay side index outweighs the
   // cutoff and none is already running.
   void MaybeStartRefreeze();
@@ -198,6 +248,24 @@ class IncrementalValidator {
   // Deltas committed while the re-freeze ran; replayed onto the new epoch's
   // overlay at adoption (their base node counts line up by construction).
   std::vector<GraphDelta> pending_;
+
+  // ----- durability (options_.durability.enabled()) ---------------------
+  // Commit WAL; null when durability is off or the log failed to open (the
+  // failure reason then lives in wal_error_ and commits are rejected).
+  std::unique_ptr<WalWriter> wal_;
+  std::string wal_error_;
+  // Last WalWriter::Stats already forwarded to the metrics registry.
+  WalWriter::Stats wal_mirrored_;
+  // Re-freeze degradation: consecutive failures and the commits-counted
+  // backoff before the next start attempt (min(2^streak, 64)).
+  uint64_t refreeze_fail_streak_ = 0;
+  uint64_t refreeze_cooldown_ = 0;
+  // Worker-thread outcome channel: failure message (empty = success) and
+  // checkpoint counters. Written by the worker before its release store on
+  // refreeze_done_; the adopting thread reads after the acquire load.
+  std::string refreeze_error_;
+  std::atomic<uint64_t> checkpoints_written_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
 };
 
 }  // namespace ged

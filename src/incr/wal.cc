@@ -1,0 +1,469 @@
+#include "incr/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "common/binio.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+
+namespace ged {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'G', 'E', 'D', 'W', 'A', 'L', '0', '1'};
+constexpr size_t kRecordHeaderBytes = 8;  // u32 len + u32 crc
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+std::string SegmentName(uint64_t seqno) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%06llu.log",
+                static_cast<unsigned long long>(seqno));
+  return buf;
+}
+
+/// Parses "wal-NNNNNN.log" → seqno; returns false for other names.
+bool ParseSegmentName(std::string_view name, uint64_t* seqno) {
+  if (name.size() < 9 || name.substr(0, 4) != "wal-" ||
+      name.substr(name.size() - 4) != ".log") {
+    return false;
+  }
+  std::string_view digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) return false;
+  auto [p, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), *seqno);
+  return ec == std::errc() && p == digits.data() + digits.size();
+}
+
+/// fsync the directory so freshly created/renamed entries survive a crash.
+Status SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Status::Unavailable(ErrnoMessage("open dir " + dir));
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Unavailable(ErrnoMessage("fsync dir " + dir));
+  return Status::OK();
+}
+
+std::string EncodeRecordPayload(const GraphDelta& delta, uint64_t epoch) {
+  std::string payload;
+  binio::PutU64(&payload, epoch);
+  binio::PutU64(&payload, delta.base_num_nodes());
+  binio::PutU32(&payload, static_cast<uint32_t>(delta.NumNewNodes()));
+  for (Label label : delta.new_node_labels()) {
+    binio::PutStr(&payload, SymName(label));
+  }
+  binio::PutU32(&payload, static_cast<uint32_t>(delta.NumNewEdges()));
+  for (const GraphDelta::EdgeOp& e : delta.edge_ops()) {
+    binio::PutU32(&payload, e.src);
+    binio::PutU32(&payload, e.dst);
+    binio::PutStr(&payload, SymName(e.label));
+  }
+  binio::PutU32(&payload, static_cast<uint32_t>(delta.NumAttrOps()));
+  for (const GraphDelta::AttrOp& a : delta.attr_ops()) {
+    binio::PutU32(&payload, a.v);
+    binio::PutStr(&payload, SymName(a.attr));
+    binio::PutValue(&payload, a.value);
+  }
+  return payload;
+}
+
+Status DecodeRecordPayload(std::string_view payload, uint64_t* epoch,
+                           GraphDelta* out) {
+  binio::Reader r(payload);
+  uint64_t base_nodes = 0;
+  uint32_t n_nodes = 0, n_edges = 0, n_attrs = 0;
+  if (!r.GetU64(epoch) || !r.GetU64(&base_nodes) || !r.GetU32(&n_nodes)) {
+    return Status::DataLoss("wal record payload truncated (header)");
+  }
+  GraphDelta delta(static_cast<size_t>(base_nodes));
+  std::string str;
+  for (uint32_t i = 0; i < n_nodes; ++i) {
+    if (!r.GetStr(&str)) {
+      return Status::DataLoss("wal record payload truncated (node labels)");
+    }
+    delta.AddNode(std::string_view(str));
+  }
+  if (!r.GetU32(&n_edges)) {
+    return Status::DataLoss("wal record payload truncated (edge count)");
+  }
+  for (uint32_t i = 0; i < n_edges; ++i) {
+    uint32_t src = 0, dst = 0;
+    if (!r.GetU32(&src) || !r.GetU32(&dst) || !r.GetStr(&str)) {
+      return Status::DataLoss("wal record payload truncated (edges)");
+    }
+    delta.AddEdge(src, std::string_view(str), dst);
+  }
+  if (!r.GetU32(&n_attrs)) {
+    return Status::DataLoss("wal record payload truncated (attr count)");
+  }
+  for (uint32_t i = 0; i < n_attrs; ++i) {
+    uint32_t v = 0;
+    Value value;
+    if (!r.GetU32(&v) || !r.GetStr(&str) || !r.GetValue(&value)) {
+      return Status::DataLoss("wal record payload truncated (attrs)");
+    }
+    delta.SetAttr(v, std::string_view(str), std::move(value));
+  }
+  if (!r.Done()) {
+    return Status::DataLoss("wal record payload has trailing bytes");
+  }
+  *out = std::move(delta);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::Unavailable(ErrnoMessage("open " + path));
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable(ErrnoMessage("read " + path));
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return data;
+}
+
+}  // namespace
+
+std::vector<std::string> ListWalSegments(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return {};
+  while (struct dirent* entry = ::readdir(d)) {
+    uint64_t seqno = 0;
+    if (ParseSegmentName(entry->d_name, &seqno)) {
+      found.emplace_back(seqno, entry->d_name);
+    }
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> names;
+  names.reserve(found.size());
+  for (auto& [seqno, name] : found) names.push_back(std::move(name));
+  return names;
+}
+
+// ----- WalWriter ------------------------------------------------------------
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(
+    const DurabilityOptions& options) {
+  GEDLIB_FAILPOINT("wal.open");
+  const std::string& dir = options.dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument("WalWriter::Open: empty directory");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable(ErrnoMessage("mkdir " + dir));
+  }
+  uint64_t next_seqno = 1;
+  std::vector<std::string> segments = ListWalSegments(dir);
+  if (!segments.empty()) {
+    uint64_t last = 0;
+    ParseSegmentName(segments.back(), &last);
+    next_seqno = last + 1;
+  }
+  std::unique_ptr<WalWriter> writer(new WalWriter(dir, options));
+  GEDLIB_RETURN_IF_ERROR(writer->OpenSegment(next_seqno));
+  return writer;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::OpenSegment(uint64_t seqno) {
+  GEDLIB_FAILPOINT("wal.rotate.open");
+  std::string path = dir_ + "/" + SegmentName(seqno);
+  int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd < 0) return Status::Unavailable(ErrnoMessage("create " + path));
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+  segment_seqno_ = seqno;
+  segment_bytes_ = 0;
+  appends_since_fsync_ = 0;
+  poisoned_ = false;
+  Status st = WriteFully(kWalMagic, sizeof(kWalMagic));
+  if (!st.ok()) return st;
+  segment_bytes_ = sizeof(kWalMagic);
+  // Persist the directory entry: a segment that vanishes on power loss
+  // would open a gap in front of its successors.
+  return SyncDir(dir_);
+}
+
+Status WalWriter::WriteFully(const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd_, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(ErrnoMessage("wal write"));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Rotate() {
+  if (fd_ >= 0 && poisoned_) {
+    // Drop any partial record so the finished segment ends on a clean
+    // record boundary (a torn record mid-log would read as kDataLoss once
+    // later segments exist).
+    if (::ftruncate(fd_, static_cast<off_t>(segment_bytes_)) != 0) {
+      return Status::Unavailable(ErrnoMessage("wal ftruncate"));
+    }
+  }
+  ++stats_.rotations;
+  return OpenSegment(segment_seqno_ + 1);
+}
+
+Status WalWriter::Sync() {
+  GEDLIB_FAILPOINT("wal.append.fsync");
+  if (::fsync(fd_) != 0) {
+    return Status::Unavailable(ErrnoMessage("wal fsync"));
+  }
+  ++stats_.fsyncs;
+  appends_since_fsync_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::Append(const GraphDelta& delta, uint64_t epoch) {
+  if (poisoned_) {
+    // Self-heal from a previously failed append: a fresh segment, so the
+    // torn bytes never precede a newer record.
+    Status st = Rotate();
+    if (!st.ok()) {
+      ++stats_.failures;
+      return st;
+    }
+  }
+  GEDLIB_FAILPOINT("wal.append.serialize");
+  std::string payload = EncodeRecordPayload(delta, epoch);
+  std::string header;
+  binio::PutU32(&header, static_cast<uint32_t>(payload.size()));
+  binio::PutU32(&header, Crc32c(payload.data(), payload.size()));
+
+  auto fail = [this](Status st) {
+    poisoned_ = true;
+    ++stats_.failures;
+    return st;
+  };
+  {
+    Status injected;
+    GEDLIB_FAILPOINT_STATUS("wal.append.write", injected);
+    if (!injected.ok()) {
+      // Injected before any byte lands: the record is cleanly absent.
+      ++stats_.failures;
+      return injected;
+    }
+  }
+  Status st = WriteFully(header.data(), header.size());
+  if (!st.ok()) return fail(std::move(st));
+  // Crash (or injected error) here leaves a torn record: header without
+  // payload — exactly the tail ReplayWal must drop.
+  {
+    Status injected;
+    GEDLIB_FAILPOINT_STATUS("wal.append.mid_write", injected);
+    if (!injected.ok()) return fail(std::move(injected));
+  }
+  st = WriteFully(payload.data(), payload.size());
+  if (!st.ok()) return fail(std::move(st));
+  segment_bytes_ += header.size() + payload.size();
+  ++stats_.appends;
+  stats_.bytes += header.size() + payload.size();
+  ++appends_since_fsync_;
+
+  switch (options_.fsync) {
+    case DurabilityOptions::Fsync::kEveryCommit:
+      st = Sync();
+      break;
+    case DurabilityOptions::Fsync::kInterval:
+      if (appends_since_fsync_ >= options_.fsync_interval_commits) {
+        st = Sync();
+      }
+      break;
+    case DurabilityOptions::Fsync::kNone:
+      break;
+  }
+  if (!st.ok()) {
+    // The bytes are written but not durable; under kEveryCommit that means
+    // the commit cannot be acknowledged.
+    return fail(std::move(st));
+  }
+
+  if (segment_bytes_ >= options_.wal_segment_bytes) {
+    // Rotation failure is not an append failure — the record is durable in
+    // the old segment; retrying rotation happens on the next append.
+    Status rotate_st = Rotate();
+    if (!rotate_st.ok()) poisoned_ = false;  // old segment is still clean
+  }
+  return Status::OK();
+}
+
+// ----- replay ---------------------------------------------------------------
+
+Result<WalReplayStats> ReplayWal(
+    const std::string& dir, uint64_t after_epoch,
+    const std::function<Status(uint64_t epoch, const GraphDelta& delta)>&
+        apply) {
+  WalReplayStats stats;
+  stats.last_epoch = after_epoch;
+  std::vector<std::string> segments = ListWalSegments(dir);
+  if (segments.empty()) return stats;  // cold start
+
+  uint64_t expected_next = after_epoch + 1;
+  bool replaying_started = false;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    const bool is_last = s + 1 == segments.size();
+    const std::string path = dir + "/" + segments[s];
+    Result<std::string> data_r = ReadFile(path);
+    if (!data_r.ok()) return data_r.status();
+    const std::string& data = data_r.value();
+    ++stats.segments_read;
+
+    auto torn_or_loss = [&](const std::string& what,
+                            size_t offset) -> Status {
+      if (is_last) {
+        stats.torn_tail_dropped = true;
+        return Status::OK();
+      }
+      return Status::DataLoss("wal segment " + segments[s] + " " + what +
+                              " at offset " + std::to_string(offset) +
+                              " but later segments exist");
+    };
+
+    if (data.size() < sizeof(kWalMagic)) {
+      Status st = torn_or_loss("truncated before magic", 0);
+      if (!st.ok()) return st;
+      continue;
+    }
+    if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+      return Status::DataLoss("wal segment " + segments[s] +
+                              " has a bad magic header");
+    }
+
+    size_t off = sizeof(kWalMagic);
+    while (off < data.size()) {
+      size_t remaining = data.size() - off;
+      if (remaining < kRecordHeaderBytes) {
+        Status st = torn_or_loss("ends mid record header", off);
+        if (!st.ok()) return st;
+        break;
+      }
+      binio::Reader header(std::string_view(data).substr(off, 8));
+      uint32_t len = 0, crc = 0;
+      header.GetU32(&len);
+      header.GetU32(&crc);
+      if (len > remaining - kRecordHeaderBytes) {
+        Status st = torn_or_loss("ends mid record payload", off);
+        if (!st.ok()) return st;
+        break;
+      }
+      std::string_view payload =
+          std::string_view(data).substr(off + kRecordHeaderBytes, len);
+      uint32_t actual = Crc32c(payload.data(), payload.size());
+      if (actual != crc) {
+        // A complete record with a wrong checksum is corruption, not a torn
+        // write — truncation shortens files, it cannot flip bytes.
+        return Status::DataLoss(
+            "wal segment " + segments[s] + " record at offset " +
+            std::to_string(off) + " failed CRC32C (stored " +
+            std::to_string(crc) + ", computed " + std::to_string(actual) +
+            ")");
+      }
+      uint64_t epoch = 0;
+      GraphDelta delta(0);
+      Status st = DecodeRecordPayload(payload, &epoch, &delta);
+      if (!st.ok()) return st;
+      off += kRecordHeaderBytes + len;
+
+      if (epoch <= after_epoch) {
+        if (replaying_started) {
+          return Status::DataLoss("wal epoch " + std::to_string(epoch) +
+                                  " out of order after replay began");
+        }
+        ++stats.records_skipped;
+        continue;
+      }
+      if (epoch != expected_next) {
+        return Status::DataLoss(
+            "wal epoch gap: expected commit " +
+            std::to_string(expected_next) + ", found " +
+            std::to_string(epoch) +
+            " (a segment is missing or was removed past the checkpoint)");
+      }
+      GEDLIB_RETURN_IF_ERROR(apply(epoch, delta));
+      replaying_started = true;
+      ++stats.records_replayed;
+      stats.last_epoch = epoch;
+      ++expected_next;
+    }
+  }
+  return stats;
+}
+
+Status RemoveObsoleteWalSegments(const std::string& dir,
+                                 uint64_t checkpoint_epoch) {
+  std::vector<std::string> segments = ListWalSegments(dir);
+  if (segments.size() < 2) return Status::OK();
+
+  // First complete record's epoch per segment (UINT64_MAX when the segment
+  // has none — possible only for a torn final segment).
+  auto first_epoch = [&](const std::string& name) -> uint64_t {
+    Result<std::string> data_r = ReadFile(dir + "/" + name);
+    if (!data_r.ok()) return UINT64_MAX;
+    const std::string& data = data_r.value();
+    if (data.size() < sizeof(kWalMagic) + kRecordHeaderBytes) {
+      return UINT64_MAX;
+    }
+    binio::Reader header(
+        std::string_view(data).substr(sizeof(kWalMagic), 8));
+    uint32_t len = 0, crc = 0;
+    header.GetU32(&len);
+    header.GetU32(&crc);
+    if (len > data.size() - sizeof(kWalMagic) - kRecordHeaderBytes) {
+      return UINT64_MAX;
+    }
+    std::string_view payload = std::string_view(data).substr(
+        sizeof(kWalMagic) + kRecordHeaderBytes, len);
+    if (Crc32c(payload.data(), payload.size()) != crc) return UINT64_MAX;
+    binio::Reader r(payload);
+    uint64_t epoch = 0;
+    if (!r.GetU64(&epoch)) return UINT64_MAX;
+    return epoch;
+  };
+
+  // Replay after a checkpoint at epoch S starts at commit S+1: every
+  // segment before the *latest* one starting at or below S+1 is obsolete.
+  size_t keep_from = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (first_epoch(segments[i]) <= checkpoint_epoch + 1) keep_from = i;
+  }
+  for (size_t i = 0; i < keep_from; ++i) {
+    std::string path = dir + "/" + segments[i];
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Unavailable(ErrnoMessage("unlink " + path));
+    }
+  }
+  return keep_from > 0 ? SyncDir(dir) : Status::OK();
+}
+
+}  // namespace ged

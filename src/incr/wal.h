@@ -1,0 +1,149 @@
+// Write-ahead log of committed GraphDeltas (the durability half of the
+// incremental serving loop; recovery = graph/io.h checkpoint + WAL-suffix
+// replay).
+//
+// On-disk layout, one directory per validator (DurabilityOptions::dir):
+//
+//   wal-000001.log, wal-000002.log, ...   append-only segments
+//   checkpoint-<epoch>.ckpt               graph/io.h checkpoints
+//
+// Segment format: an 8-byte magic ("GEDWAL01") followed by length-prefixed
+// records:
+//
+//   u32 payload_len | u32 crc32c(payload) | payload
+//
+// payload (common/binio.h little-endian):
+//   u64 epoch            — commit sequence number this record completes
+//                          (1-based: the validator's commit_epoch() after
+//                          the commit applies)
+//   u64 base_num_nodes   — the delta's base snapshot (replay sanity check)
+//   u32 n  | n × str                    new-node labels
+//   u32 m  | m × (u32 src, u32 dst, str label)
+//   u32 k  | k × (u32 node, str attr, value)
+//
+// Labels and attribute names travel as strings: Symbols are process-local
+// interner ids, so a recovering process re-interns on replay.
+//
+// Durability discipline: WalWriter::Append runs *before* the in-memory
+// apply (IncrementalValidator::Commit), so the log is always ≥ the
+// in-memory state; recovery may replay a commit the crashed process never
+// acknowledged, which is the safe direction (at-least-once apply of the
+// durable prefix, never silent loss of an acknowledged commit under
+// Fsync::kEveryCommit).
+//
+// Torn tails: a crash mid-append leaves the final record truncated (the
+// writer even crashes between the header and payload writes under the
+// "wal.append.mid_write" failpoint to prove it). ReplayWal drops a
+// truncated final record silently — it was never acknowledged — but a
+// checksum mismatch on a *complete* record, or any anomaly in a non-final
+// segment, is real corruption and fails with kDataLoss.
+
+#ifndef GEDLIB_INCR_WAL_H_
+#define GEDLIB_INCR_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "incr/delta.h"
+#include "reason/policy.h"
+
+namespace ged {
+
+/// Appends committed deltas to the segmented log. Single-writer (the
+/// validator's commit path is single-threaded); not thread-safe.
+class WalWriter {
+ public:
+  /// Opens `options.dir` for appending, creating the directory (one level)
+  /// if missing. Always starts a fresh segment after the existing ones —
+  /// never appends into a file a previous process may have torn.
+  static Result<std::unique_ptr<WalWriter>> Open(
+      const DurabilityOptions& options);
+
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Serializes and appends one record, then applies the fsync policy.
+  /// On any failure the record must be considered not durable (the caller
+  /// rejects the commit with kUnavailable); the writer refuses further
+  /// appends until a successful Rotate() — a segment with a failed write
+  /// in the middle must not receive more records after it.
+  Status Append(const GraphDelta& delta, uint64_t epoch);
+
+  /// Forces an fsync of the current segment regardless of policy.
+  Status Sync();
+
+  /// Closes the current segment and opens the next one. Also the recovery
+  /// path out of a failed Append.
+  Status Rotate();
+
+  /// Running totals (mirrored into wal.* metrics by the validator).
+  struct Stats {
+    uint64_t appends = 0;
+    uint64_t bytes = 0;
+    uint64_t fsyncs = 0;
+    uint64_t rotations = 0;
+    uint64_t failures = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  WalWriter(std::string dir, DurabilityOptions options)
+      : dir_(std::move(dir)), options_(std::move(options)) {}
+
+  Status OpenSegment(uint64_t seqno);
+  Status WriteFully(const char* data, size_t n);
+
+  std::string dir_;
+  DurabilityOptions options_;
+  int fd_ = -1;
+  uint64_t segment_seqno_ = 0;
+  uint64_t segment_bytes_ = 0;
+  uint32_t appends_since_fsync_ = 0;
+  bool poisoned_ = false;  // failed append: rotate before further writes
+  Stats stats_;
+};
+
+/// Summary of a replay pass.
+struct WalReplayStats {
+  uint64_t segments_read = 0;
+  uint64_t records_replayed = 0;
+  /// Records skipped because their epoch was ≤ the caller's `after_epoch`
+  /// (already covered by the checkpoint).
+  uint64_t records_skipped = 0;
+  /// True when a truncated final record was dropped.
+  bool torn_tail_dropped = false;
+  /// Epoch of the last replayed (or skipped) record; `after_epoch` when the
+  /// log held nothing newer.
+  uint64_t last_epoch = 0;
+};
+
+/// Replays every record with epoch > `after_epoch`, in epoch order, through
+/// `apply`. Epochs must be consecutive from `after_epoch + 1` (a gap means
+/// a segment was lost: kDataLoss). A missing or empty directory replays
+/// nothing (clean cold start). An error from `apply` aborts the replay and
+/// is returned as-is.
+Result<WalReplayStats> ReplayWal(
+    const std::string& dir, uint64_t after_epoch,
+    const std::function<Status(uint64_t epoch, const GraphDelta& delta)>&
+        apply);
+
+/// Deletes WAL segments made obsolete by a checkpoint at `checkpoint_epoch`:
+/// a segment may go once replay-from-checkpoint can start at a later
+/// segment. Best-effort (returns the first IO error, but the log is never
+/// left unreadable — deletion proceeds oldest-first).
+Status RemoveObsoleteWalSegments(const std::string& dir,
+                                 uint64_t checkpoint_epoch);
+
+/// The wal-NNNNNN.log files under `dir`, sorted by sequence number.
+/// (Exposed for tests and tooling.)
+std::vector<std::string> ListWalSegments(const std::string& dir);
+
+}  // namespace ged
+
+#endif  // GEDLIB_INCR_WAL_H_

@@ -134,6 +134,20 @@ MetricsRegistry::MetricsRegistry()
       {EngineMetric::kRefreezeRuns, "refreeze.runs", MetricKind::kCounter},
       {EngineMetric::kRefreezeAdopted, "refreeze.adopted",
        MetricKind::kCounter},
+      {EngineMetric::kRefreezeFailures, "refreeze.failures",
+       MetricKind::kCounter},
+      {EngineMetric::kWalAppends, "wal.appends", MetricKind::kCounter},
+      {EngineMetric::kWalBytes, "wal.bytes", MetricKind::kCounter},
+      {EngineMetric::kWalFsyncs, "wal.fsyncs", MetricKind::kCounter},
+      {EngineMetric::kWalRotations, "wal.rotations", MetricKind::kCounter},
+      {EngineMetric::kWalFailures, "wal.failures", MetricKind::kCounter},
+      {EngineMetric::kCheckpointWrites, "checkpoint.writes",
+       MetricKind::kCounter},
+      {EngineMetric::kCheckpointFailures, "checkpoint.failures",
+       MetricKind::kCounter},
+      {EngineMetric::kRecoveryRuns, "recovery.runs", MetricKind::kCounter},
+      {EngineMetric::kRecoveryReplayed, "recovery.replayed_records",
+       MetricKind::kCounter},
       {EngineMetric::kGraphNodes, "graph.nodes", MetricKind::kGauge},
       {EngineMetric::kGraphEdges, "graph.edges", MetricKind::kGauge},
       {EngineMetric::kLiveViolations, "incr.live_violations",

@@ -82,6 +82,16 @@ enum class EngineMetric : size_t {
   kGedOrScans,              ///< GED-OR violation scans (FindGedOrViolations)
   kRefreezeRuns,            ///< background overlay re-freezes started
   kRefreezeAdopted,         ///< re-frozen bases adopted (epoch swaps)
+  kRefreezeFailures,        ///< background re-freezes that failed (degraded)
+  kWalAppends,              ///< WAL records appended (durable commits)
+  kWalBytes,                ///< WAL bytes written (cumulative)
+  kWalFsyncs,               ///< WAL fsync calls
+  kWalRotations,            ///< WAL segment rotations
+  kWalFailures,             ///< failed WAL appends (commits rejected)
+  kCheckpointWrites,        ///< checkpoints written
+  kCheckpointFailures,      ///< checkpoint attempts that failed
+  kRecoveryRuns,            ///< Recover() invocations
+  kRecoveryReplayed,        ///< WAL records replayed during recovery
   // ----- gauges (last value wins) -------------------------------------
   kGraphNodes,              ///< nodes of the most recently scanned graph
   kGraphEdges,              ///< edges of the most recently scanned graph

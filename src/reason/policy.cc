@@ -48,6 +48,18 @@ const char* CommitBackendName(CommitBackend v) {
   return "unknown";
 }
 
+const char* FsyncPolicyName(DurabilityOptions::Fsync v) {
+  switch (v) {
+    case DurabilityOptions::Fsync::kEveryCommit:
+      return "every_commit";
+    case DurabilityOptions::Fsync::kInterval:
+      return "interval";
+    case DurabilityOptions::Fsync::kNone:
+      return "none";
+  }
+  return "unknown";
+}
+
 Status ValidateExecutionPolicy(const ExecutionPolicy& policy,
                                ExecutionSurface surface) {
   if (policy.join == JoinStrategy::kLeapfrog &&

@@ -137,6 +137,13 @@ struct ValidationOptions {
   /// EXPLAIN profiler. Default-disabled; enabling must not change any
   /// report (pinned by tests/obs_test.cc).
   ObsOptions obs;
+  /// Crash safety for the incremental validator (reason/policy.h): when
+  /// `durability.dir` is set, every Commit appends the delta to a
+  /// write-ahead log *before* the in-memory apply, background re-freezes
+  /// piggyback binary checkpoints, and IncrementalValidator::Recover(dir)
+  /// rebuilds graph + live report from checkpoint + WAL-suffix replay.
+  /// Ignored by full (non-incremental) validation. Default-disabled.
+  DurabilityOptions durability;
 };
 #pragma GCC diagnostic pop
 

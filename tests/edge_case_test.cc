@@ -2,12 +2,15 @@
 // corner cases, wildcard-heavy inputs, and cross-feature interactions that
 // the per-module suites do not reach.
 
+#include <random>
+
 #include <gtest/gtest.h>
 
 #include "axiom/checker.h"
 #include "axiom/generator.h"
 #include "ext/gedor.h"
 #include "ged/parser.h"
+#include "graph/io.h"
 #include "reason/implication.h"
 #include "reason/satisfiability.h"
 #include "reason/validation.h"
@@ -252,6 +255,116 @@ TEST(EdgeCase, SatisfiabilityWithDuplicateRules) {
     })");
   ASSERT_TRUE(sigma.ok());
   EXPECT_TRUE(IsSatisfiable(sigma.value()));
+}
+
+// ----- adversarial graph-text parsing ---------------------------------------
+// Every malformed input must come back as an InvalidArgument Status; none
+// may reach UB (out-of-range indexing, unchecked conversions). The ASan CI
+// job runs this suite, so "no crash" here means no heap errors either.
+
+TEST(EdgeCase, ParseGraphRejectsHostileNodeIds) {
+  for (const char* text : {
+           "node 4294967296 n",           // > uint32 max
+           "node 99999999999999999999 n", // > uint64 max
+           "node -1 n",                   // negative
+           "node 0x10 n",                 // partial parse: trailing garbage
+           "node 1e3 n",                  // not an integer token
+           "node  n",                     // id missing entirely
+           "node 1 n",                    // ids must start at 0
+           "node 0 n\nnode 2 n",          // gap
+           "node 0 n\nnode 0 n",          // duplicate
+           "edge 0 e 0",                  // edge before any node
+           "node 0 n\nedge 0 e 7",        // dst out of range
+           "node 0 n\nedge 7 e 0",        // src out of range
+       }) {
+    auto g = ParseGraph(text);
+    ASSERT_FALSE(g.ok()) << "accepted: " << text;
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(EdgeCase, ParseGraphRejectsMalformedAttrsAndLines) {
+  for (const char* text : {
+           "node 0 n =5",                  // empty attribute name
+           "node 0 n a=",                  // empty value
+           "node 0 n a",                   // no '='
+           "node 0",                       // label missing
+           "node",                         // everything missing
+           "edge 0 e",                     // dst missing
+           "vertex 0 n",                   // unknown directive
+           "node 0 n a=\"unterminated",    // quote never closes
+           "node 0 n a=\"bad\\x\"",        // unsupported escape
+           "node 0 n a=\"dangling\\",      // escape at end of input
+           "node 0 n a=\"two\" \"quotes\"",// second bare token also quoted
+           "node 0 n a=12garbage",         // number with trailing junk
+           "node 0 n a=1e999",             // double overflow
+           "node 0 n a=92233720368547758079", // int64 overflow
+           "node 0 n a=tru",               // almost a boolean
+       }) {
+    auto g = ParseGraph(text);
+    ASSERT_FALSE(g.ok()) << "accepted: " << text;
+    EXPECT_EQ(g.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+TEST(EdgeCase, ParseValueStrictness) {
+  EXPECT_TRUE(ParseValue("42").ok());
+  EXPECT_TRUE(ParseValue("-7").ok());
+  EXPECT_TRUE(ParseValue("3.5").ok());
+  EXPECT_TRUE(ParseValue("true").ok());
+  EXPECT_TRUE(ParseValue("\"a \\\"b\\\" \\\\c\"").ok());
+  for (const char* token : {"", "\"", "\"\\\"", "1e999", "0.0.0", "nanx",
+                            "12 ", " 12", "\"inner\"tail", "+ ", "--3"}) {
+    auto v = ParseValue(token);
+    EXPECT_FALSE(v.ok()) << "accepted: [" << token << "]";
+  }
+}
+
+TEST(EdgeCase, ParseGraphFuzzNeverCrashes) {
+  // Deterministic byte-soup fuzzing: mutate a valid serialized graph with
+  // truncations, byte flips and splices. Outcomes may be ok (some mutations
+  // are harmless) but must never be UB; errors must be InvalidArgument.
+  Graph g;
+  for (int i = 0; i < 6; ++i) {
+    NodeId v = g.AddNode("n" + std::to_string(i % 2));
+    g.SetAttr(v, "a", Value(int64_t{i}));
+    g.SetAttr(v, "s", Value("str \"q\" \\ " + std::to_string(i)));
+    if (i > 0) g.AddEdge(v - 1, "e", v);
+  }
+  const std::string base = SerializeGraph(g);
+  ASSERT_TRUE(ParseGraph(base).ok());
+
+  std::mt19937 rng(1234);
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = base;
+    switch (round % 4) {
+      case 0:  // truncate anywhere
+        mutated.resize(rng() % (base.size() + 1));
+        break;
+      case 1:  // flip a byte to any value
+        if (!mutated.empty()) {
+          mutated[rng() % mutated.size()] =
+              static_cast<char>(rng() % 256);
+        }
+        break;
+      case 2:  // splice a random chunk over a random position
+        if (!mutated.empty()) {
+          size_t pos = rng() % mutated.size();
+          for (size_t i = pos; i < mutated.size() && i < pos + 8; ++i) {
+            mutated[i] = static_cast<char>(rng() % 256);
+          }
+        }
+        break;
+      case 3:  // duplicate a random line somewhere
+        mutated += "\n" + base.substr(rng() % base.size());
+        break;
+    }
+    auto parsed = ParseGraph(mutated);
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << "round " << round;
+    }
+  }
 }
 
 }  // namespace

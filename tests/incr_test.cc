@@ -645,5 +645,26 @@ TEST(IncrementalValidator, InertLeapfrogPolicyIsRejected) {
   EXPECT_TRUE(logged);
 }
 
+TEST(IncrementalValidator, DestructorJoinsInFlightRefreeze) {
+  // Destroying the validator immediately after a cutoff-triggering commit
+  // must join the background re-freeze worker, never detach it: a detached
+  // worker would race the destructor over the overlay and (under TSan,
+  // which covers this suite) report the window. Loop to widen the race.
+  KbInstance kb = GenKnowledgeBase(KbParams{});
+  for (int round = 0; round < 8; ++round) {
+    ValidationOptions opts;
+    opts.overlay_refreeze_cutoff = 1;
+    auto v = std::make_unique<IncrementalValidator>(kb.graph, Example1Geds(),
+                                                    opts);
+    GraphDelta d = v->NewDelta();
+    NodeId p = d.AddNode("person");
+    d.SetAttr(p, "round", Value(static_cast<int64_t>(round)));
+    ASSERT_TRUE(v->Commit(d).ok());
+    // The worker is (very likely) still freezing; destruction must block
+    // on it rather than leave it running against freed state.
+    v.reset();
+  }
+}
+
 }  // namespace
 }  // namespace ged

@@ -1,0 +1,385 @@
+// WAL tests: record round-trips, fsync policies, segment rotation and GC,
+// failpoint-driven append failures, and the torn-tail matrix — the final
+// record truncated at every byte offset must recover with that record
+// dropped, while CRC corruption of a complete record must fail loudly.
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "graph/graph.h"
+#include "incr/delta.h"
+#include "incr/wal.h"
+#include "reason/policy.h"
+
+namespace ged {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/gedlib_wal_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir;
+}
+
+void RemoveTree(const std::string& dir) {
+  std::string cmd = "rm -rf '" + dir + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void WriteAll(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  ASSERT_TRUE(out.good());
+}
+
+DurabilityOptions Opts(const std::string& dir) {
+  DurabilityOptions d;
+  d.dir = dir;
+  d.fsync = DurabilityOptions::Fsync::kNone;  // tests don't need real syncs
+  return d;
+}
+
+// Records a mixed-op delta against `g`, applies it to keep `g` current, and
+// returns the recorded batch (what the WAL serializes).
+GraphDelta MakeDelta(Graph* g, int i) {
+  GraphDelta d(*g);
+  NodeId v = d.AddNode("label_" + std::to_string(i % 3));
+  d.SetAttr(v, "count", Value(int64_t{1000} + i));
+  if (i % 2 == 0) d.SetAttr(v, "name", Value(std::string("node-") +
+                                             std::to_string(i)));
+  if (i % 3 == 0) d.SetAttr(v, "score", Value(0.5 * i));
+  if (i % 5 == 0) d.SetAttr(v, "flag", Value(i % 2 == 1));
+  NodeId target = g->NumNodes() > 0 ? static_cast<NodeId>(i) % g->NumNodes()
+                                    : v;
+  d.AddEdge(v, "edge_" + std::to_string(i % 2), target);
+  EXPECT_TRUE(d.Apply(g).ok());
+  return d;
+}
+
+// Replays the whole log into a fresh graph; EXPECTs success.
+Graph ReplayAll(const std::string& dir, WalReplayStats* stats = nullptr) {
+  Graph g;
+  auto r = ReplayWal(dir, 0, [&g](uint64_t, const GraphDelta& d) {
+    auto a = d.Apply(&g);
+    return a.ok() ? Status::OK() : a.status();
+  });
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (r.ok() && stats != nullptr) *stats = r.value();
+  return g;
+}
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { dir_ = MakeTempDir(); }
+  void TearDown() override {
+    failpoints::DisableAll();
+    RemoveTree(dir_);
+  }
+  std::string dir_;
+};
+
+TEST_F(WalTest, RoundTripReproducesGraph) {
+  Graph oracle;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 20; ++i) {
+      GraphDelta d = MakeDelta(&oracle, i);
+      ASSERT_TRUE(wal.value()->Append(d, i + 1).ok());
+    }
+  }
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 20u);
+  EXPECT_EQ(stats.records_skipped, 0u);
+  EXPECT_FALSE(stats.torn_tail_dropped);
+  EXPECT_EQ(stats.last_epoch, 20u);
+  EXPECT_TRUE(replayed == oracle);
+}
+
+TEST_F(WalTest, AfterEpochSkipsPrefix) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 6; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+  }
+  uint64_t replayed = 0;
+  auto r = ReplayWal(dir_, 4, [&](uint64_t epoch, const GraphDelta&) {
+    ++replayed;
+    EXPECT_GT(epoch, 4u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(replayed, 2u);
+  EXPECT_EQ(r.value().records_skipped, 4u);
+  EXPECT_EQ(r.value().last_epoch, 6u);
+}
+
+TEST_F(WalTest, MissingDirectoryIsCleanColdStart) {
+  auto r = ReplayWal(dir_ + "/never_created", 0,
+                     [](uint64_t, const GraphDelta&) { return Status::OK(); });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().records_replayed, 0u);
+  EXPECT_EQ(r.value().segments_read, 0u);
+}
+
+TEST_F(WalTest, TornTailDroppedAtEveryByteOffset) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+  }
+  auto segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string path = dir_ + "/" + segments[0];
+  const std::string full = ReadAll(path);
+
+  // Locate the final record's start: replay two records' worth by parsing
+  // isn't needed — write the same first two records into a fresh dir and
+  // measure.
+  std::string two_dir = MakeTempDir();
+  {
+    Graph g2;
+    auto wal = WalWriter::Open(Opts(two_dir));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g2, i), i + 1).ok());
+    }
+  }
+  auto two_segments = ListWalSegments(two_dir);
+  size_t last_record_start =
+      ReadAll(two_dir + "/" + two_segments[0]).size();
+  RemoveTree(two_dir);
+  ASSERT_LT(last_record_start, full.size());
+
+  for (size_t cut = last_record_start; cut < full.size(); ++cut) {
+    WriteAll(path, full.substr(0, cut));
+    WalReplayStats stats;
+    Graph replayed = ReplayAll(dir_, &stats);
+    EXPECT_EQ(stats.records_replayed, 2u) << "cut at " << cut;
+    EXPECT_EQ(stats.torn_tail_dropped, cut > last_record_start)
+        << "cut at " << cut;
+  }
+}
+
+TEST_F(WalTest, CrcCorruptionIsDataLoss) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+  }
+  auto segments = ListWalSegments(dir_);
+  const std::string path = dir_ + "/" + segments[0];
+  const std::string full = ReadAll(path);
+
+  // Flip one payload byte of the *middle* record (complete, inside the
+  // file) — must be detected, with a descriptive message.
+  std::string corrupted = full;
+  corrupted[full.size() / 2] ^= 0x40;
+  WriteAll(path, corrupted);
+  auto r = ReplayWal(dir_, 0,
+                     [](uint64_t, const GraphDelta&) { return Status::OK(); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("CRC"), std::string::npos)
+      << r.status().message();
+
+  // Bad magic: also data loss.
+  corrupted = full;
+  corrupted[0] = 'X';
+  WriteAll(path, corrupted);
+  r = ReplayWal(dir_, 0,
+                [](uint64_t, const GraphDelta&) { return Status::OK(); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, TruncationInNonFinalSegmentIsDataLoss) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+    ASSERT_TRUE(wal.value()->Rotate().ok());
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 1), 2).ok());
+  }
+  auto segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 2u);
+  const std::string first = dir_ + "/" + segments[0];
+  std::string data = ReadAll(first);
+  WriteAll(first, data.substr(0, data.size() - 3));
+  auto r = ReplayWal(dir_, 0,
+                     [](uint64_t, const GraphDelta&) { return Status::OK(); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(WalTest, EpochGapIsDataLoss) {
+  Graph g;
+  auto wal = WalWriter::Open(Opts(dir_));
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 1), 2).ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 2), 4).ok());  // gap: no 3
+  auto r = ReplayWal(dir_, 0,
+                     [](uint64_t, const GraphDelta&) { return Status::OK(); });
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(r.status().message().find("gap"), std::string::npos);
+}
+
+TEST_F(WalTest, FsyncPolicies) {
+  Graph g;
+  DurabilityOptions every = Opts(dir_);
+  every.fsync = DurabilityOptions::Fsync::kEveryCommit;
+  {
+    auto wal = WalWriter::Open(every);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+    EXPECT_EQ(wal.value()->stats().fsyncs, 4u);
+  }
+  DurabilityOptions interval = Opts(dir_);
+  interval.fsync = DurabilityOptions::Fsync::kInterval;
+  interval.fsync_interval_commits = 2;
+  {
+    auto wal = WalWriter::Open(interval);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 4; i < 10; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+    EXPECT_EQ(wal.value()->stats().fsyncs, 3u);
+  }
+  DurabilityOptions none = Opts(dir_);
+  {
+    auto wal = WalWriter::Open(none);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 10; i < 14; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+    EXPECT_EQ(wal.value()->stats().fsyncs, 0u);
+  }
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 14u);
+  EXPECT_TRUE(replayed == g);
+}
+
+TEST_F(WalTest, SegmentRotationBySize) {
+  Graph g;
+  DurabilityOptions opts = Opts(dir_);
+  opts.wal_segment_bytes = 256;  // force frequent rotation
+  {
+    auto wal = WalWriter::Open(opts);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 12; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+    EXPECT_GT(wal.value()->stats().rotations, 1u);
+  }
+  EXPECT_GT(ListWalSegments(dir_).size(), 2u);
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 12u);
+  EXPECT_TRUE(replayed == g);
+}
+
+TEST_F(WalTest, ReopenStartsFreshSegment) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+  }
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 1), 2).ok());
+  }
+  EXPECT_EQ(ListWalSegments(dir_).size(), 2u);
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_TRUE(replayed == g);
+}
+
+TEST_F(WalTest, InjectedWriteFailureRejectsThenSelfHeals) {
+  Graph g;
+  auto wal = WalWriter::Open(Opts(dir_));
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+
+  failpoints::Enable("wal.append.mid_write", FailpointAction::Error());
+  Graph g_failed = g;
+  GraphDelta failed = MakeDelta(&g_failed, 1);
+  EXPECT_FALSE(wal.value()->Append(failed, 2).ok());
+  EXPECT_EQ(wal.value()->stats().failures, 1u);
+  failpoints::DisableAll();
+
+  // The next append self-heals by rotating; the log then replays cleanly
+  // with only the durable records.
+  ASSERT_TRUE(wal.value()->Append(failed, 2).ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g_failed, 2), 3).ok());
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_TRUE(replayed == g_failed);
+}
+
+TEST_F(WalTest, ObsoleteSegmentRemoval) {
+  Graph g;
+  DurabilityOptions opts = Opts(dir_);
+  opts.wal_segment_bytes = 256;
+  {
+    auto wal = WalWriter::Open(opts);
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+  }
+  size_t before = ListWalSegments(dir_).size();
+  ASSERT_GT(before, 2u);
+  // GC below a mid-log checkpoint: replay of epochs > 8 must still work.
+  ASSERT_TRUE(RemoveObsoleteWalSegments(dir_, 8).ok());
+  EXPECT_LT(ListWalSegments(dir_).size(), before);
+  uint64_t replayed = 0;
+  auto r = ReplayWal(dir_, 8, [&](uint64_t, const GraphDelta&) {
+    ++replayed;
+    return Status::OK();
+  });
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(replayed, 8u);
+  // GC at the log head is a no-op that keeps everything needed.
+  ASSERT_TRUE(RemoveObsoleteWalSegments(dir_, 16).ok());
+  ASSERT_GE(ListWalSegments(dir_).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ged
