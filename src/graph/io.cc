@@ -429,13 +429,13 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
                      ", computed " + std::to_string(actual) + ")");
     }
     if (!top.Skip(len)) return corrupt("section skip past end");
-    if (id <= 3) {
+    if (id >= kSectionNodes && id <= kSectionAttrs) {
       if (have[id]) return corrupt("duplicate section " + std::to_string(id));
       have[id] = true;
       (id == kSectionNodes ? nodes : id == kSectionEdges ? edges : attrs) =
           payload;
     }
-    // Unknown section ids are skipped (forward compatibility).
+    // Unknown section ids (including 0) are skipped (forward compat).
   }
   if (!have[kSectionNodes] || !have[kSectionEdges] || !have[kSectionAttrs]) {
     return corrupt("missing section");

@@ -142,6 +142,53 @@ Result<std::string> ReadFile(const std::string& path) {
   return data;
 }
 
+/// Removes any torn tail a crashed writer left on the newest segment, so
+/// the segment is clean before a successor is created: ReplayWal only
+/// tolerates truncation on the *final* segment, and without this repair a
+/// crash + two restarts would strand the torn record mid-log as permanent
+/// kDataLoss. A partial record is ftruncated away; a stub too short to hold
+/// the magic is unlinked. Complete records are kept without checking their
+/// CRC — truncation shortens files but cannot flip bytes, so a corrupt
+/// complete record must survive for ReplayWal to report rather than be
+/// silently discarded here.
+Status RepairLastSegmentTail(const std::string& dir) {
+  std::vector<std::string> segments = ListWalSegments(dir);
+  if (segments.empty()) return Status::OK();
+  const std::string path = dir + "/" + segments.back();
+  Result<std::string> data_r = ReadFile(path);
+  if (!data_r.ok()) return data_r.status();
+  const std::string& data = data_r.value();
+  if (data.size() < sizeof(kWalMagic)) {
+    // The magic write never completed: the stub holds no records, and once
+    // a successor exists it would read as mid-log corruption.
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Unavailable(ErrnoMessage("unlink " + path));
+    }
+    return SyncDir(dir);
+  }
+  if (std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    return Status::OK();  // corruption, not truncation: ReplayWal reports it
+  }
+  size_t keep = sizeof(kWalMagic);
+  while (keep < data.size()) {
+    size_t remaining = data.size() - keep;
+    if (remaining < kRecordHeaderBytes) break;
+    binio::Reader header(std::string_view(data).substr(keep, 4));
+    uint32_t len = 0;
+    header.GetU32(&len);
+    if (len > remaining - kRecordHeaderBytes) break;
+    keep += kRecordHeaderBytes + len;
+  }
+  if (keep == data.size()) return Status::OK();
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Status::Unavailable(ErrnoMessage("open " + path));
+  int rc = ::ftruncate(fd, static_cast<off_t>(keep));
+  if (rc == 0) rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::Unavailable(ErrnoMessage("truncate " + path));
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<std::string> ListWalSegments(const std::string& dir) {
@@ -174,6 +221,9 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::Unavailable(ErrnoMessage("mkdir " + dir));
   }
+  // A previous process may have crashed mid-append; clean the newest
+  // segment's tail before starting a successor behind it.
+  GEDLIB_RETURN_IF_ERROR(RepairLastSegmentTail(dir));
   uint64_t next_seqno = 1;
   std::vector<std::string> segments = ListWalSegments(dir);
   if (!segments.empty()) {
@@ -195,23 +245,34 @@ Status WalWriter::OpenSegment(uint64_t seqno) {
   std::string path = dir_ + "/" + SegmentName(seqno);
   int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
   if (fd < 0) return Status::Unavailable(ErrnoMessage("create " + path));
+  // All-or-nothing: the magic lands and the directory entry becomes
+  // durable (a segment that vanishes on power loss would open a gap in
+  // front of its successors) before the writer adopts the fd. A failure at
+  // any step leaves the writer on its previous — still clean — segment and
+  // removes the stub, so a magic-less file never sits in front of later
+  // segments.
+  Status st = WriteFully(fd, kWalMagic, sizeof(kWalMagic));
+  if (st.ok()) {
+    GEDLIB_FAILPOINT_STATUS("wal.rotate.magic", st);
+  }
+  if (st.ok()) st = SyncDir(dir_);
+  if (!st.ok()) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return st;
+  }
   if (fd_ >= 0) ::close(fd_);
   fd_ = fd;
   segment_seqno_ = seqno;
-  segment_bytes_ = 0;
+  segment_bytes_ = sizeof(kWalMagic);
   appends_since_fsync_ = 0;
   poisoned_ = false;
-  Status st = WriteFully(kWalMagic, sizeof(kWalMagic));
-  if (!st.ok()) return st;
-  segment_bytes_ = sizeof(kWalMagic);
-  // Persist the directory entry: a segment that vanishes on power loss
-  // would open a gap in front of its successors.
-  return SyncDir(dir_);
+  return Status::OK();
 }
 
-Status WalWriter::WriteFully(const char* data, size_t n) {
+Status WalWriter::WriteFully(int fd, const char* data, size_t n) {
   while (n > 0) {
-    ssize_t w = ::write(fd_, data, n);
+    ssize_t w = ::write(fd, data, n);
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::Unavailable(ErrnoMessage("wal write"));
@@ -224,15 +285,17 @@ Status WalWriter::WriteFully(const char* data, size_t n) {
 
 Status WalWriter::Rotate() {
   if (fd_ >= 0 && poisoned_) {
-    // Drop any partial record so the finished segment ends on a clean
-    // record boundary (a torn record mid-log would read as kDataLoss once
-    // later segments exist).
+    // Drop any unacknowledged bytes — a torn record, or a fully written
+    // record whose fsync failed — so the finished segment ends on the last
+    // acknowledged boundary. Keeping them would read as kDataLoss (torn
+    // mid-log) or replay a commit the caller was told failed.
     if (::ftruncate(fd_, static_cast<off_t>(segment_bytes_)) != 0) {
       return Status::Unavailable(ErrnoMessage("wal ftruncate"));
     }
   }
+  GEDLIB_RETURN_IF_ERROR(OpenSegment(segment_seqno_ + 1));
   ++stats_.rotations;
-  return OpenSegment(segment_seqno_ + 1);
+  return Status::OK();
 }
 
 Status WalWriter::Sync() {
@@ -275,7 +338,7 @@ Status WalWriter::Append(const GraphDelta& delta, uint64_t epoch) {
       return injected;
     }
   }
-  Status st = WriteFully(header.data(), header.size());
+  Status st = WriteFully(fd_, header.data(), header.size());
   if (!st.ok()) return fail(std::move(st));
   // Crash (or injected error) here leaves a torn record: header without
   // payload — exactly the tail ReplayWal must drop.
@@ -284,11 +347,8 @@ Status WalWriter::Append(const GraphDelta& delta, uint64_t epoch) {
     GEDLIB_FAILPOINT_STATUS("wal.append.mid_write", injected);
     if (!injected.ok()) return fail(std::move(injected));
   }
-  st = WriteFully(payload.data(), payload.size());
+  st = WriteFully(fd_, payload.data(), payload.size());
   if (!st.ok()) return fail(std::move(st));
-  segment_bytes_ += header.size() + payload.size();
-  ++stats_.appends;
-  stats_.bytes += header.size() + payload.size();
   ++appends_since_fsync_;
 
   switch (options_.fsync) {
@@ -304,16 +364,24 @@ Status WalWriter::Append(const GraphDelta& delta, uint64_t epoch) {
       break;
   }
   if (!st.ok()) {
-    // The bytes are written but not durable; under kEveryCommit that means
-    // the commit cannot be acknowledged.
+    // The bytes are written but not durable, so the commit cannot be
+    // acknowledged. segment_bytes_ still marks the pre-append offset: the
+    // self-heal rotation truncates this record, so a retried commit cannot
+    // land the same epoch in the log twice.
     return fail(std::move(st));
   }
+  // Acknowledge: only now does the record count toward the segment, so any
+  // failure path above leaves segment_bytes_ at a truncation point that
+  // drops exactly the unacknowledged bytes.
+  segment_bytes_ += header.size() + payload.size();
+  ++stats_.appends;
+  stats_.bytes += header.size() + payload.size();
 
   if (segment_bytes_ >= options_.wal_segment_bytes) {
     // Rotation failure is not an append failure — the record is durable in
-    // the old segment; retrying rotation happens on the next append.
-    Status rotate_st = Rotate();
-    if (!rotate_st.ok()) poisoned_ = false;  // old segment is still clean
+    // the old segment, OpenSegment's all-or-nothing swap leaves the writer
+    // on it, and the next append retries the rotation.
+    (void)Rotate();
   }
   return Status::OK();
 }

@@ -59,7 +59,10 @@ class WalWriter {
  public:
   /// Opens `options.dir` for appending, creating the directory (one level)
   /// if missing. Always starts a fresh segment after the existing ones —
-  /// never appends into a file a previous process may have torn.
+  /// never appends into a file a previous process may have torn. Any torn
+  /// tail on the newest existing segment is truncated away first (and a
+  /// magic-less stub unlinked), so that segment stays replayable once it is
+  /// no longer the final one.
   static Result<std::unique_ptr<WalWriter>> Open(
       const DurabilityOptions& options);
 
@@ -97,7 +100,7 @@ class WalWriter {
       : dir_(std::move(dir)), options_(std::move(options)) {}
 
   Status OpenSegment(uint64_t seqno);
-  Status WriteFully(const char* data, size_t n);
+  static Status WriteFully(int fd, const char* data, size_t n);
 
   std::string dir_;
   DurabilityOptions options_;

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/binio.h"
+#include "common/crc32c.h"
 #include "common/failpoint.h"
 #include "graph/frozen.h"
 #include "graph/graph.h"
@@ -142,6 +144,31 @@ TEST_F(CheckpointTest, TruncationIsDataLoss) {
     auto loaded = LoadCheckpoint(saved.value());
     ASSERT_FALSE(loaded.ok()) << "kept " << keep << " bytes";
     EXPECT_EQ(loaded.status().code(), StatusCode::kDataLoss);
+  }
+}
+
+TEST_F(CheckpointTest, UnknownSectionIdsAreSkipped) {
+  Graph g = SampleGraph();
+  auto saved = SaveCheckpoint(g, 3, dir_);
+  ASSERT_TRUE(saved.ok());
+  std::string data = ReadAll(saved.value());
+
+  // Append a CRC-valid section with an unknown id — including id 0, which
+  // must not be mistaken for a known section and clobber a parsed one —
+  // and bump the section count (u32 after magic + version + epoch).
+  for (uint32_t id : {uint32_t{0}, uint32_t{7}}) {
+    std::string mutated = data;
+    const std::string payload = "not-a-real-section";
+    binio::PutU32(&mutated, id);
+    binio::PutU64(&mutated, payload.size());
+    binio::PutU32(&mutated, Crc32c(payload.data(), payload.size()));
+    mutated.append(payload);
+    mutated[8 + 4 + 8] = 4;  // section count 3 -> 4
+    WriteAll(saved.value(), mutated);
+    auto loaded = LoadCheckpoint(saved.value());
+    ASSERT_TRUE(loaded.ok()) << "id " << id << ": "
+                             << loaded.status().ToString();
+    EXPECT_TRUE(loaded.value().graph == g) << "id " << id;
   }
 }
 

@@ -353,6 +353,113 @@ TEST_F(WalTest, InjectedWriteFailureRejectsThenSelfHeals) {
   EXPECT_TRUE(replayed == g_failed);
 }
 
+TEST_F(WalTest, TornTailRepairedAcrossRestarts) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, i), i + 1).ok());
+    }
+  }
+  auto segments = ListWalSegments(dir_);
+  ASSERT_EQ(segments.size(), 1u);
+  const std::string path = dir_ + "/" + segments[0];
+  const std::string full = ReadAll(path);
+  WriteAll(path, full.substr(0, full.size() - 5));  // crash tore record 3
+
+  // Restart #1: replay drops the torn record; reopening the writer must
+  // truncate it before creating segment 2, or the torn bytes sit in a
+  // non-final segment forever.
+  WalReplayStats stats;
+  Graph recovered = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_TRUE(stats.torn_tail_dropped);
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    // Re-commit epoch 3 — the crashed process never acknowledged it.
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&recovered, 2), 3).ok());
+  }
+
+  // Restart #2: before the repair this was permanent kDataLoss ("torn
+  // record but later segments exist").
+  WalReplayStats stats2;
+  Graph replayed = ReplayAll(dir_, &stats2);
+  EXPECT_EQ(stats2.records_replayed, 3u);
+  EXPECT_FALSE(stats2.torn_tail_dropped);
+  EXPECT_TRUE(replayed == recovered);
+}
+
+TEST_F(WalTest, MagiclessStubSegmentUnlinkedOnReopen) {
+  Graph g;
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+  }
+  // Simulate power loss during segment creation: a stub too short to hold
+  // the magic, sitting after the real segment.
+  WriteAll(dir_ + "/wal-000002.log", "GED");
+  {
+    auto wal = WalWriter::Open(Opts(dir_));
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 1), 2).ok());
+  }
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 2u);
+  EXPECT_TRUE(replayed == g);
+}
+
+TEST_F(WalTest, FsyncFailureRetryDoesNotDuplicateEpoch) {
+  Graph g;
+  DurabilityOptions opts = Opts(dir_);
+  opts.fsync = DurabilityOptions::Fsync::kEveryCommit;
+  auto wal = WalWriter::Open(opts);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+
+  // The record is fully written when the fsync fails, so the commit is not
+  // acknowledged; the self-heal rotation must truncate it or the retried
+  // commit lands epoch 2 in the log twice (replay: kDataLoss).
+  failpoints::Enable("wal.append.fsync", FailpointAction::Error());
+  GraphDelta retried = MakeDelta(&g, 1);
+  EXPECT_FALSE(wal.value()->Append(retried, 2).ok());
+  EXPECT_EQ(wal.value()->stats().failures, 1u);
+  failpoints::DisableAll();
+  ASSERT_TRUE(wal.value()->Append(retried, 2).ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 2), 3).ok());
+
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_TRUE(replayed == g);
+}
+
+TEST_F(WalTest, RotationFailureLeavesWriterOnOldSegment) {
+  Graph g;
+  DurabilityOptions opts = Opts(dir_);
+  opts.wal_segment_bytes = 1;  // rotate after every append
+  auto wal = WalWriter::Open(opts);
+  ASSERT_TRUE(wal.ok());
+
+  // In-band rotation fails after the next file is opened (its magic write
+  // errors): the writer must stay on the old, magic-complete segment
+  // rather than adopt a magic-less stub that replay would reject.
+  failpoints::Enable("wal.rotate.magic", FailpointAction::Error());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 0), 1).ok());
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 1), 2).ok());
+  failpoints::DisableAll();
+  ASSERT_TRUE(wal.value()->Append(MakeDelta(&g, 2), 3).ok());
+
+  WalReplayStats stats;
+  Graph replayed = ReplayAll(dir_, &stats);
+  EXPECT_EQ(stats.records_replayed, 3u);
+  EXPECT_TRUE(replayed == g);
+  EXPECT_EQ(ListWalSegments(dir_).size(), 2u);  // no stub left behind
+}
+
 TEST_F(WalTest, ObsoleteSegmentRemoval) {
   Graph g;
   DurabilityOptions opts = Opts(dir_);
